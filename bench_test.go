@@ -1,0 +1,240 @@
+package fmmfam
+
+// Benchmarks regenerating the paper's tables and figures as testing.B
+// targets, one family per table/figure (see DESIGN.md §4 for the mapping and
+// cmd/experiments for the full sweeps). Sizes are scaled down from the
+// paper's m=n=14400 — the pure-Go kernel is ~10× slower than the paper's
+// assembly — but keep the paper's *shape* ratios: rank-k updates use
+// k ≈ base/3, near-square uses k = base. Every benchmark reports effective
+// GFLOPS (2·m·n·k/time), the paper's metric.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"fmmfam/internal/core"
+	"fmmfam/internal/fmmexec"
+	"fmmfam/internal/gemm"
+	"fmmfam/internal/kernel"
+	"fmmfam/internal/matrix"
+	"fmmfam/internal/model"
+)
+
+const benchBase = 480 // m = n for benchmark problems
+
+func benchMulAdd(b *testing.B, m, k, n int, fn func(c, a, bm matrix.Mat)) {
+	b.Helper()
+	a, bm := matrix.New(m, k), matrix.New(k, n)
+	a.Fill(1.0 / 3)
+	bm.Fill(-2.0 / 3)
+	c := matrix.New(m, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(c, a, bm)
+	}
+	b.StopTimer()
+	secs := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(model.EffectiveGFLOPS(m, k, n, secs), "effGFLOPS")
+}
+
+func planFor(b *testing.B, v fmmexec.Variant, threads int, levels ...core.Algorithm) *fmmexec.Plan {
+	b.Helper()
+	cfg := gemm.DefaultConfig()
+	cfg.Threads = threads
+	p, err := fmmexec.NewPlan(cfg, v, levels...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkGEMMBaseline is the BLIS-style baseline all figures compare to.
+func BenchmarkGEMMBaseline(b *testing.B) {
+	ctx := gemm.MustNewContext(gemm.DefaultConfig())
+	for _, k := range []int{benchBase / 3, benchBase} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			benchMulAdd(b, benchBase, k, benchBase, func(c, a, bm matrix.Mat) { ctx.MulAdd(c, a, bm) })
+		})
+	}
+}
+
+// BenchmarkFigure2 regenerates the practical-speedup columns of the Figure-2
+// table: every catalog shape, one-level ABC, rank-k (#1) and near-square
+// (#2) problems.
+func BenchmarkFigure2(b *testing.B) {
+	for _, e := range core.Catalog() {
+		p := planFor(b, fmmexec.ABC, 1, e.Algorithm)
+		b.Run(fmt.Sprintf("%s/rankk", e.Shape()), func(b *testing.B) {
+			benchMulAdd(b, benchBase, benchBase/3, benchBase, p.MulAdd)
+		})
+		b.Run(fmt.Sprintf("%s/square", e.Shape()), func(b *testing.B) {
+			benchMulAdd(b, benchBase, benchBase, benchBase, p.MulAdd)
+		})
+	}
+}
+
+// BenchmarkFigure6 regenerates the measured panels of Figure 6: one-level
+// implementations in all three variants across the k sweep.
+func BenchmarkFigure6(b *testing.B) {
+	shapes := [][3]int{{2, 2, 2}, {2, 3, 2}, {3, 3, 3}, {3, 6, 3}}
+	for _, v := range fmmexec.Variants {
+		for _, s := range shapes {
+			algo := core.Generate(s[0], s[1], s[2])
+			p := planFor(b, v, 1, algo)
+			for _, k := range []int{benchBase / 4, benchBase / 2, benchBase} {
+				b.Run(fmt.Sprintf("%s/%s/k=%d", v, algo.ShapeString(), k), func(b *testing.B) {
+					benchMulAdd(b, benchBase, k, benchBase, p.MulAdd)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates the measured panels of Figure 7: two-level
+// ABC on the paper's three problem-shape families.
+func BenchmarkFigure7(b *testing.B) {
+	shapes := [][3]int{{2, 2, 2}, {2, 3, 2}, {3, 3, 3}}
+	for _, s := range shapes {
+		algo := core.Generate(s[0], s[1], s[2])
+		p := planFor(b, fmmexec.ABC, 1, algo, algo)
+		b.Run(fmt.Sprintf("%s+%s/square", algo.ShapeString(), algo.ShapeString()), func(b *testing.B) {
+			benchMulAdd(b, benchBase, benchBase, benchBase, p.MulAdd)
+		})
+		b.Run(fmt.Sprintf("%s+%s/ksweep", algo.ShapeString(), algo.ShapeString()), func(b *testing.B) {
+			benchMulAdd(b, benchBase, benchBase/3, benchBase, p.MulAdd)
+		})
+		b.Run(fmt.Sprintf("%s+%s/mnsweep", algo.ShapeString(), algo.ShapeString()), func(b *testing.B) {
+			benchMulAdd(b, benchBase, 256, benchBase, p.MulAdd)
+		})
+	}
+}
+
+// BenchmarkFigure8 regenerates the selection experiment: the model-selected
+// implementation per problem shape (vs the GEMM baseline above).
+func BenchmarkFigure8(b *testing.B) {
+	arch := model.PaperIvyBridge()
+	for _, s := range [][3]int{
+		{benchBase, benchBase, benchBase},
+		{benchBase, benchBase / 3, benchBase},
+		{benchBase, 256, benchBase},
+	} {
+		cand := Recommend(arch, s[0]*30, s[1]*30, s[2]*30) // model at paper-like scale
+		p := planFor(b, cand.Variant, 1, cand.Levels...)
+		b.Run(fmt.Sprintf("%dx%dx%d/%s", s[0], s[1], s[2], cand.Name()), func(b *testing.B) {
+			benchMulAdd(b, s[0], s[1], s[2], p.MulAdd)
+		})
+	}
+}
+
+// BenchmarkFigure9 regenerates the hybrid-partition comparison at fixed k.
+func BenchmarkFigure9(b *testing.B) {
+	s222 := core.Generate(2, 2, 2)
+	s232 := core.Generate(2, 3, 2)
+	s333 := core.Generate(3, 3, 3)
+	plans := []struct {
+		name   string
+		levels []core.Algorithm
+	}{
+		{"2L_222", []core.Algorithm{s222, s222}},
+		{"2L_232", []core.Algorithm{s232, s232}},
+		{"2L_333", []core.Algorithm{s333, s333}},
+		{"hybrid_222_232", []core.Algorithm{s222, s232}},
+		{"hybrid_222_333", []core.Algorithm{s222, s333}},
+	}
+	kfix := 384
+	for _, threads := range []int{1, runtime.GOMAXPROCS(0)} {
+		for _, pl := range plans {
+			p := planFor(b, fmmexec.ABC, threads, pl.levels...)
+			b.Run(fmt.Sprintf("t%d/%s", threads, pl.name), func(b *testing.B) {
+				benchMulAdd(b, benchBase, kfix, benchBase, p.MulAdd)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure10 regenerates the multicore comparison: ours (ABC) vs the
+// reference style of [1] (Naive) vs GEMM, all cores.
+func BenchmarkFigure10(b *testing.B) {
+	threads := runtime.GOMAXPROCS(0)
+	cfg := gemm.DefaultConfig()
+	cfg.Threads = threads
+	ctx := gemm.MustNewContext(cfg)
+	algo := core.Strassen()
+	ours := planFor(b, fmmexec.ABC, threads, algo)
+	ref := planFor(b, fmmexec.Naive, threads, algo)
+	for _, k := range []int{benchBase / 3, benchBase} {
+		b.Run(fmt.Sprintf("gemm/k=%d", k), func(b *testing.B) {
+			benchMulAdd(b, benchBase, k, benchBase, func(c, a, bm matrix.Mat) { ctx.MulAdd(c, a, bm) })
+		})
+		b.Run(fmt.Sprintf("ours_ABC/k=%d", k), func(b *testing.B) {
+			benchMulAdd(b, benchBase, k, benchBase, ours.MulAdd)
+		})
+		b.Run(fmt.Sprintf("reference_Naive/k=%d", k), func(b *testing.B) {
+			benchMulAdd(b, benchBase, k, benchBase, ref.MulAdd)
+		})
+	}
+}
+
+// BenchmarkAblationPeeling measures the dynamic-peeling overhead: divisible
+// size vs worst-case fringe (every dimension off by one).
+func BenchmarkAblationPeeling(b *testing.B) {
+	p := planFor(b, fmmexec.ABC, 1, core.Strassen(), core.Strassen())
+	b.Run("divisible", func(b *testing.B) {
+		benchMulAdd(b, 480, 480, 480, p.MulAdd)
+	})
+	b.Run("fringed", func(b *testing.B) {
+		benchMulAdd(b, 481, 481, 481, p.MulAdd)
+	})
+}
+
+// BenchmarkAblationKernel isolates the micro-kernel and fused packing.
+func BenchmarkAblationKernel(b *testing.B) {
+	const kc = 256
+	ap := make([]float64, kernel.PackABufLen(kernel.MR, kc))
+	bp := make([]float64, kernel.PackBBufLen(kc, kernel.NR))
+	for i := range ap {
+		ap[i] = 1.5
+	}
+	for i := range bp {
+		bp[i] = -0.5
+	}
+	b.Run("micro", func(b *testing.B) {
+		var acc [kernel.MR * kernel.NR]float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			kernel.Micro(kc, ap, bp, &acc)
+		}
+		secs := b.Elapsed().Seconds() / float64(b.N)
+		b.ReportMetric(2*float64(kernel.MR)*float64(kernel.NR)*float64(kc)/secs*1e-9, "GFLOPS")
+	})
+	src1, src2 := matrix.New(96, kc), matrix.New(96, kc)
+	src1.Fill(1)
+	src2.Fill(2)
+	buf := make([]float64, kernel.PackABufLen(96, kc))
+	b.Run("packA_single", func(b *testing.B) {
+		terms := kernel.SingleTerm(src1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			kernel.PackA(buf, terms, 0, 0, 96, kc)
+		}
+	})
+	b.Run("packA_fused2", func(b *testing.B) {
+		terms := []kernel.Term{{Coef: 1, M: src1}, {Coef: -1, M: src2}}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			kernel.PackA(buf, terms, 0, 0, 96, kc)
+		}
+	})
+}
+
+// BenchmarkAblationVariants compares the three variants head-to-head at the
+// rank-k shape where the ABC fusion matters most.
+func BenchmarkAblationVariants(b *testing.B) {
+	for _, v := range fmmexec.Variants {
+		p := planFor(b, v, 1, core.Strassen())
+		b.Run(v.String(), func(b *testing.B) {
+			benchMulAdd(b, benchBase, benchBase/3, benchBase, p.MulAdd)
+		})
+	}
+}

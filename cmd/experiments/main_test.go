@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runExp(t *testing.T, args ...string) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(strings.TrimSpace(string(out)))
+	cmd := exec.Command("go", append([]string{"run", "./cmd/experiments"}, args...)...)
+	cmd.Dir = root
+	b, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b)
+	}
+	return string(b)
+}
+
+func TestFig3MatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs the toolchain")
+	}
+	out := runExp(t, "-exp", "fig3", "-modelonly")
+	if !strings.Contains(out, " 0\t 1\t 4\t 5\t16\t17\t20\t21") {
+		t.Fatalf("figure 3 row 0 missing:\n%s", out)
+	}
+	if !strings.Contains(out, "42\t43\t46\t47\t58\t59\t62\t63") {
+		t.Fatalf("figure 3 row 7 missing:\n%s", out)
+	}
+}
+
+func TestFig2ModelOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs the toolchain")
+	}
+	out := runExp(t, "-exp", "fig2", "-modelonly")
+	if !strings.Contains(out, "<2,2,2>\t8\t7\t7\t14.3\t14.3") {
+		t.Fatalf("figure 2 Strassen row missing:\n%s", out)
+	}
+	// Model-only practical columns must be positive for <2,2,2> at paper scale.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "<2,2,2>\t") {
+			fields := strings.Split(line, "\t")
+			if len(fields) != 8 {
+				t.Fatalf("bad row %q", line)
+			}
+			if strings.HasPrefix(fields[6], "-") || strings.HasPrefix(fields[7], "-") {
+				t.Fatalf("modeled paper-scale Strassen speedup negative: %q", line)
+			}
+		}
+	}
+}
+
+func TestFig6ModelOnlyEmitsAllShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs the toolchain")
+	}
+	out := runExp(t, "-exp", "fig6", "-modelonly")
+	for _, shape := range []string{"<2,2,2>", "<3,6,3>", "<6,3,3>"} {
+		if !strings.Contains(out, "ABC\t"+shape) || !strings.Contains(out, "Naive\t"+shape) {
+			t.Fatalf("modeled fig6 missing %s:\n%.400s", shape, out)
+		}
+	}
+}

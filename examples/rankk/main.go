@@ -1,0 +1,71 @@
+// Rank-k update: the workload the paper's introduction motivates. For
+// C(m×n) += A(m×k)·B(k×n) with k much smaller than m and n — the shape of
+// blocked LU/QR trailing updates — traditional Strassen implementations lose
+// to GEMM, while the ABC variant (no temporaries, additions fused into
+// packing and micro-kernel) retains a speedup. This example measures GEMM
+// vs Naive vs ABC on a rank-k update and prints effective GFLOPS.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fmmfam"
+)
+
+func effGFLOPS(m, k, n int, d time.Duration) float64 {
+	return 2 * float64(m) * float64(n) * float64(k) / d.Seconds() * 1e-9
+}
+
+func main() {
+	const m, n, k = 1152, 1152, 384 // k = 1.5·kC: a rank-k update
+	a, b := fmmfam.NewMatrix(m, k), fmmfam.NewMatrix(k, n)
+	a.Fill(1.0 / 3)
+	b.Fill(-0.5)
+
+	strassen := fmmfam.Strassen()
+	cfg := fmmfam.DefaultConfig()
+
+	type impl struct {
+		name string
+		run  func(c fmmfam.Matrix)
+	}
+	gemmPlan, err := fmmfam.NewPlan(cfg, fmmfam.ABC, strassen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	naive, err := fmmfam.NewPlan(cfg, fmmfam.Naive, strassen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	abc, err := fmmfam.NewPlan(cfg, fmmfam.ABC, strassen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	impls := []impl{
+		{"GEMM (BLIS-style baseline)", func(c fmmfam.Matrix) { gemmPlan.Context().MulAdd(c, a, b) }},
+		{"<2,2,2> Naive (reference-style)", func(c fmmfam.Matrix) { naive.MulAdd(c, a, b) }},
+		{"<2,2,2> ABC (fused)", func(c fmmfam.Matrix) { abc.MulAdd(c, a, b) }},
+	}
+
+	fmt.Printf("rank-k update: C(%d×%d) += A(%d×%d)·B(%d×%d)\n\n", m, n, m, k, k, n)
+	var baseline float64
+	for _, im := range impls {
+		c := fmmfam.NewMatrix(m, n)
+		best := time.Duration(1 << 62)
+		for rep := 0; rep < 3; rep++ {
+			c.Zero()
+			start := time.Now()
+			im.run(c)
+			if el := time.Since(start); el < best {
+				best = el
+			}
+		}
+		g := effGFLOPS(m, k, n, best)
+		if baseline == 0 {
+			baseline = g
+		}
+		fmt.Printf("%-34s %8.2f GFLOPS  (%+.1f%% vs GEMM)\n", im.name, g, (g/baseline-1)*100)
+	}
+}

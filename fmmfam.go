@@ -1,0 +1,144 @@
+// Package fmmfam is a pure-Go implementation of the fast matrix
+// multiplication (FMM) framework of Huang, Rice, Matthews and van de Geijn,
+// "Generating Families of Practical Fast Matrix Multiplication Algorithms"
+// (FLAME Working Note #82 / IPDPS 2017).
+//
+// An FMM algorithm is a partition ⟨m̃,k̃,ñ⟩ with a coefficient triple
+// ⟦U,V,W⟧ computing the block product in R < m̃·k̃·ñ submatrix
+// multiplications. The package provides
+//
+//   - a generator producing a verified algorithm for every small partition
+//     (Generate, Catalog — the Figure-2 family),
+//   - multi-level composition via Kronecker products, including hybrid
+//     partitions with a different algorithm per level (NewPlan with several
+//     levels),
+//   - the paper's three implementation variants (Naive, AB, ABC) built on a
+//     BLIS-style GEMM whose packing and micro-kernel fuse the FMM submatrix
+//     additions, with goroutine data-parallelism,
+//   - the analytic performance model (Predict, Recommend) used to pick an
+//     implementation for a problem size without exhaustive search, and
+//   - numerical search for new algorithms (Discover).
+//
+// Quick start:
+//
+//	a, b := fmmfam.NewMatrix(1024, 1024), fmmfam.NewMatrix(1024, 1024)
+//	// ... fill a and b ...
+//	c := fmmfam.NewMatrix(1024, 1024)
+//	fmmfam.Multiply(c, a, b) // c += a·b with a model-selected FMM plan
+package fmmfam
+
+import (
+	"fmt"
+
+	"fmmfam/internal/core"
+	"fmmfam/internal/discover"
+	"fmmfam/internal/fmmexec"
+	"fmmfam/internal/gemm"
+	"fmmfam/internal/matrix"
+	"fmmfam/internal/model"
+)
+
+// Matrix is a dense row-major float64 matrix; submatrix views share storage.
+type Matrix = matrix.Mat
+
+// NewMatrix allocates a zeroed r×c matrix.
+func NewMatrix(r, c int) Matrix { return matrix.New(r, c) }
+
+// Algorithm is a one-level FMM algorithm ⟨m̃,k̃,ñ⟩ with coefficients ⟦U,V,W⟧.
+type Algorithm = core.Algorithm
+
+// Variant selects the implementation style of the paper's §4.1.
+type Variant = fmmexec.Variant
+
+// The three implementation variants.
+const (
+	Naive = fmmexec.Naive // explicit temporaries around black-box GEMM
+	AB    = fmmexec.AB    // operand sums fused into packing
+	ABC   = fmmexec.ABC   // AB plus fused multi-C micro-kernel updates
+)
+
+// Config carries the cache blocking {mC,kC,nC} and worker count.
+type Config = gemm.Config
+
+// DefaultConfig returns the single-threaded default blocking.
+func DefaultConfig() Config { return gemm.DefaultConfig() }
+
+// Plan is a ready-to-run FMM implementation; see NewPlan.
+type Plan = fmmexec.Plan
+
+// Strassen returns the ⟨2,2,2⟩;7 algorithm with the paper's coefficients.
+func Strassen() Algorithm { return core.Strassen() }
+
+// Generate returns the lowest-rank verified algorithm for partition ⟨m,k,n⟩
+// reachable from the built-in seeds (see DESIGN.md for rank provenance).
+func Generate(m, k, n int) Algorithm { return core.Generate(m, k, n) }
+
+// CatalogEntry is one row of the paper's Figure-2 family.
+type CatalogEntry = core.CatalogEntry
+
+// Catalog returns the Figure-2 family of evaluated partitions.
+func Catalog() []CatalogEntry { return core.Catalog() }
+
+// NewPlan builds an executable multi-level FMM plan. Levels are outermost
+// first; hybrid partitions simply pass different algorithms per level.
+func NewPlan(cfg Config, v Variant, levels ...Algorithm) (*Plan, error) {
+	return fmmexec.NewPlan(cfg, v, levels...)
+}
+
+// Arch holds performance-model machine parameters.
+type Arch = model.Arch
+
+// PaperArch returns the paper's Ivy Bridge machine constants (§5.1).
+func PaperArch() Arch { return model.PaperIvyBridge() }
+
+// Candidate is one implementation considered by the selector.
+type Candidate = model.Candidate
+
+// Predict estimates the execution time in seconds of a candidate on arch for
+// problem size (m,k,n), per the paper's Figure-5 model.
+func Predict(arch Arch, c Candidate, m, k, n int) float64 {
+	return model.Predict(arch, c.Stats(), c.Variant, m, k, n).Total()
+}
+
+// Recommend ranks the default candidate family (every catalog shape at one
+// and two levels in all variants, plus the Figure-9 hybrids) for problem
+// size (m,k,n) on arch and returns the predicted-fastest candidate.
+func Recommend(arch Arch, m, k, n int) Candidate {
+	ranked := model.Rank(arch, defaultCandidates(), m, k, n)
+	return ranked[0].Candidate
+}
+
+// Multiply computes c += a·b using a model-recommended FMM plan with default
+// blocking and all available CPUs. For repeated multiplications of similar
+// sizes, build a Plan once and reuse it.
+func Multiply(c, a, b Matrix) error {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		return fmt.Errorf("fmmfam: dims C(%d×%d) += A(%d×%d)·B(%d×%d)",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	cand := Recommend(PaperArch(), a.Rows, a.Cols, b.Cols)
+	plan, err := NewPlan(DefaultConfig().Parallel(), cand.Variant, cand.Levels...)
+	if err != nil {
+		return err
+	}
+	plan.MulAdd(c, a, b)
+	return nil
+}
+
+// DiscoverProblem specifies a numerical search target; see Discover.
+type DiscoverProblem = discover.Problem
+
+// DiscoverOptions tunes the ALS search; zero values select defaults.
+type DiscoverOptions = discover.Options
+
+// Discover searches numerically for an exact rank-R algorithm of shape
+// ⟨m,k,n⟩ (alternating least squares with discretization; the returned
+// algorithm, if any, is Brent-verified). Found algorithms can be fed to
+// RegisterSeed to improve Generate.
+func Discover(p DiscoverProblem, o DiscoverOptions) (Algorithm, error) {
+	return discover.Search(p, o)
+}
+
+// RegisterSeed adds a verified algorithm to the generator's seed set; future
+// Generate calls may compose it.
+func RegisterSeed(a Algorithm) error { return core.RegisterSeed(a) }

@@ -1,0 +1,155 @@
+package codegen
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fmmfam/internal/core"
+	"fmmfam/internal/fmmexec"
+)
+
+func TestGenerateStrassenABCParses(t *testing.T) {
+	src, err := Generate(Spec{
+		Package: "strassen", FuncName: "MulAdd",
+		Levels:  []core.Algorithm{core.Strassen()},
+		Variant: fmmexec.ABC,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(src)
+	for _, want := range []string{
+		"package strassen",
+		"func MulAdd(ctx *gemm.Context, c, a, b matrix.Mat)",
+		"R=7",
+		"func Predict(arch model.Arch",
+		"NnzU: 12",
+		"// M0 = (A0 + A3) · (B0 + B3); C0 += M; C3 += M",
+		"Dynamic peeling",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("generated source missing %q:\n%s", want, s)
+		}
+	}
+	// ABC must not allocate temporaries.
+	if strings.Contains(s, "matrix.New(sm, sn)") {
+		t.Fatal("ABC variant emitted a temporary")
+	}
+}
+
+func TestGenerateVariantsStructure(t *testing.T) {
+	for _, v := range fmmexec.Variants {
+		src, err := Generate(Spec{Package: "p", FuncName: "F", Levels: []core.Algorithm{core.Strassen()}, Variant: v})
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		s := string(src)
+		switch v {
+		case fmmexec.Naive:
+			if !strings.Contains(s, "asum.Zero()") || !strings.Contains(s, "ctx.MulAdd(mt, asum, bsum)") {
+				t.Fatal("Naive structure wrong")
+			}
+		case fmmexec.AB:
+			if !strings.Contains(s, "gemm.SingleTerm(mt)") || strings.Contains(s, "asum") {
+				t.Fatal("AB structure wrong")
+			}
+		case fmmexec.ABC:
+			if strings.Contains(s, "mt.Zero()") {
+				t.Fatal("ABC must not form M explicitly")
+			}
+		}
+	}
+}
+
+func TestGenerateTwoLevelCounts(t *testing.T) {
+	src, err := Generate(Spec{
+		Package: "p", FuncName: "F",
+		Levels:  []core.Algorithm{core.Strassen(), core.Strassen()},
+		Variant: fmmexec.ABC,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(src, []byte("// M")); got != 49 {
+		t.Fatalf("expected 49 typical operations, found %d", got)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Spec{FuncName: "F", Levels: []core.Algorithm{core.Strassen()}, Variant: fmmexec.ABC}); err == nil {
+		t.Fatal("missing package accepted")
+	}
+	if _, err := Generate(Spec{Package: "p", FuncName: "F", Variant: fmmexec.ABC}); err == nil {
+		t.Fatal("no levels accepted")
+	}
+	if _, err := Generate(Spec{Package: "p", FuncName: "F", Levels: []core.Algorithm{core.Strassen()}, Variant: fmmexec.Variant(5)}); err == nil {
+		t.Fatal("bad variant accepted")
+	}
+	if _, err := Generate(Spec{Package: "notmain", FuncName: "F", Levels: []core.Algorithm{core.Strassen()}, Variant: fmmexec.ABC, SelfTest: true}); err == nil {
+		t.Fatal("SelfTest outside main accepted")
+	}
+	bad := core.Strassen()
+	bad.U = bad.U.Clone()
+	bad.U.Set(0, 0, 9)
+	if _, err := Generate(Spec{Package: "p", FuncName: "F", Levels: []core.Algorithm{bad}, Variant: fmmexec.ABC}); err == nil {
+		t.Fatal("invalid level accepted")
+	}
+}
+
+// Full integration: generate a self-testing main, compile and run it with the
+// local toolchain. Exercises that emitted code actually computes C += AB.
+func TestGeneratedCodeCompilesAndRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a program")
+	}
+	root := moduleRoot(t)
+	for _, tc := range []struct {
+		name    string
+		levels  []core.Algorithm
+		variant fmmexec.Variant
+	}{
+		{"strassen_abc", []core.Algorithm{core.Strassen()}, fmmexec.ABC},
+		{"hybrid_naive", []core.Algorithm{core.Strassen(), core.Generate(2, 3, 2)}, fmmexec.Naive},
+		{"gen232_ab", []core.Algorithm{core.Generate(2, 3, 2)}, fmmexec.AB},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			src, err := Generate(Spec{
+				Package: "main", FuncName: "MulAdd",
+				Levels: tc.levels, Variant: tc.variant, SelfTest: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := filepath.Join(root, "tmp_codegen_"+tc.name)
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			if err := os.WriteFile(filepath.Join(dir, "main.go"), src, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			cmd := exec.Command("go", "run", "./"+filepath.Base(dir))
+			cmd.Dir = root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("generated program failed: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), "ok") {
+				t.Fatalf("unexpected output: %s", out)
+			}
+		})
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}

@@ -1,0 +1,179 @@
+// Package coeffio reads and writes ⟦U,V,W⟧ coefficient files, the exchange
+// format in which FMM algorithms circulate (the paper's inputs are the
+// coefficient files published by Benson–Ballard [1] and Smirnov [12]; with
+// this package such files can be imported directly and registered as
+// generator seeds, replacing the composed constructions with the literature
+// algorithms wherever the files are available).
+//
+// Format (text, line oriented, '#' comments):
+//
+//	# optional comments
+//	name <identifier>            (optional)
+//	<m> <k> <n> <R>
+//	U
+//	<m·k rows of R entries>
+//	V
+//	<k·n rows of R entries>
+//	W
+//	<m·n rows of R entries>
+//
+// Entries are integers, decimals, or rationals like -1/2.
+package coeffio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fmmfam/internal/core"
+	"fmmfam/internal/matrix"
+)
+
+// Write serializes a in the coefficient-file format.
+func Write(w io.Writer, a core.Algorithm) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# FMM coefficient file: <%d,%d,%d> with %d multiplications\n", a.M, a.K, a.N, a.R)
+	if a.Name != "" {
+		fmt.Fprintf(bw, "name %s\n", strings.ReplaceAll(a.Name, " ", "_"))
+	}
+	fmt.Fprintf(bw, "%d %d %d %d\n", a.M, a.K, a.N, a.R)
+	for _, f := range []struct {
+		label string
+		m     matrix.Mat
+	}{{"U", a.U}, {"V", a.V}, {"W", a.W}} {
+		fmt.Fprintln(bw, f.label)
+		for i := 0; i < f.m.Rows; i++ {
+			for j := 0; j < f.m.Cols; j++ {
+				if j > 0 {
+					fmt.Fprint(bw, " ")
+				}
+				fmt.Fprint(bw, formatEntry(f.m.At(i, j)))
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}
+
+// formatEntry renders exact dyadic rationals as fractions, everything else
+// as decimals.
+func formatEntry(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	for den := int64(2); den <= 64; den *= 2 {
+		scaled := v * float64(den)
+		if scaled == float64(int64(scaled)) {
+			return fmt.Sprintf("%d/%d", int64(scaled), den)
+		}
+	}
+	return strconv.FormatFloat(v, 'g', 17, 64)
+}
+
+// Read parses one algorithm from r and verifies it (Brent equations), so an
+// imported file can never yield an incorrect algorithm.
+func Read(r io.Reader) (core.Algorithm, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+
+	line, ok := next()
+	if !ok {
+		return core.Algorithm{}, fmt.Errorf("coeffio: empty input")
+	}
+	name := ""
+	if strings.HasPrefix(line, "name ") {
+		name = strings.TrimSpace(strings.TrimPrefix(line, "name "))
+		line, ok = next()
+		if !ok {
+			return core.Algorithm{}, fmt.Errorf("coeffio: missing header after name")
+		}
+	}
+	dims := strings.Fields(line)
+	if len(dims) != 4 {
+		return core.Algorithm{}, fmt.Errorf("coeffio: header %q: want \"m k n R\"", line)
+	}
+	var m, k, n, rk int
+	for i, dst := range []*int{&m, &k, &n, &rk} {
+		v, err := strconv.Atoi(dims[i])
+		if err != nil || v < 1 {
+			return core.Algorithm{}, fmt.Errorf("coeffio: header %q: bad field %q", line, dims[i])
+		}
+		*dst = v
+	}
+
+	readFactor := func(label string, rows int) (matrix.Mat, error) {
+		line, ok := next()
+		if !ok || line != label {
+			return matrix.Mat{}, fmt.Errorf("coeffio: expected %q section, got %q", label, line)
+		}
+		f := matrix.New(rows, rk)
+		for i := 0; i < rows; i++ {
+			line, ok := next()
+			if !ok {
+				return matrix.Mat{}, fmt.Errorf("coeffio: %s: unexpected EOF at row %d", label, i)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != rk {
+				return matrix.Mat{}, fmt.Errorf("coeffio: %s row %d: %d entries, want %d", label, i, len(fields), rk)
+			}
+			for j, fstr := range fields {
+				v, err := parseEntry(fstr)
+				if err != nil {
+					return matrix.Mat{}, fmt.Errorf("coeffio: %s row %d: %w", label, i, err)
+				}
+				f.Set(i, j, v)
+			}
+		}
+		return f, nil
+	}
+
+	u, err := readFactor("U", m*k)
+	if err != nil {
+		return core.Algorithm{}, err
+	}
+	v, err := readFactor("V", k*n)
+	if err != nil {
+		return core.Algorithm{}, err
+	}
+	w, err := readFactor("W", m*n)
+	if err != nil {
+		return core.Algorithm{}, err
+	}
+	a := core.Algorithm{Name: name, M: m, K: k, N: n, R: rk, U: u, V: v, W: w}
+	if a.Name == "" {
+		a.Name = fmt.Sprintf("imported<%d,%d,%d>", m, k, n)
+	}
+	if err := a.Verify(); err != nil {
+		return core.Algorithm{}, fmt.Errorf("coeffio: file parsed but algorithm is invalid: %w", err)
+	}
+	return a, nil
+}
+
+// parseEntry parses "-3", "0.5" or "-1/2".
+func parseEntry(s string) (float64, error) {
+	if num, den, found := strings.Cut(s, "/"); found {
+		nv, err1 := strconv.ParseFloat(num, 64)
+		dv, err2 := strconv.ParseFloat(den, 64)
+		if err1 != nil || err2 != nil || dv == 0 {
+			return 0, fmt.Errorf("bad rational %q", s)
+		}
+		return nv / dv, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad entry %q", s)
+	}
+	return v, nil
+}

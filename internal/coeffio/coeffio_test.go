@@ -1,0 +1,195 @@
+package coeffio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fmmfam/internal/core"
+	"fmmfam/internal/matrix"
+)
+
+func roundTrip(t *testing.T, a core.Algorithm) core.Algorithm {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("round trip failed: %v\nfile:\n%s", err, buf.String())
+	}
+	return got
+}
+
+func TestRoundTripStrassen(t *testing.T) {
+	a := core.Strassen()
+	got := roundTrip(t, a)
+	if got.M != 2 || got.K != 2 || got.N != 2 || got.R != 7 {
+		t.Fatalf("shape/rank lost: %s", got)
+	}
+	if got.U.MaxAbsDiff(a.U) != 0 || got.V.MaxAbsDiff(a.V) != 0 || got.W.MaxAbsDiff(a.W) != 0 {
+		t.Fatal("coefficients changed in round trip")
+	}
+	if got.Name != "strassen" {
+		t.Fatalf("name %q", got.Name)
+	}
+}
+
+func TestRoundTripCatalog(t *testing.T) {
+	for _, e := range core.Catalog() {
+		got := roundTrip(t, e.Algorithm)
+		if got.R != e.OurRank() {
+			t.Fatalf("%s: rank %d != %d", e.Shape(), got.R, e.OurRank())
+		}
+	}
+}
+
+func TestRoundTripFractionalCoefficients(t *testing.T) {
+	// Build a valid algorithm with a genuine 1/2: scale one rank-one term by
+	// 2 in U and 1/2 in W (leaves the bilinear form unchanged).
+	a := core.Strassen()
+	a.U, a.W = a.U.Clone(), a.W.Clone()
+	for i := 0; i < a.U.Rows; i++ {
+		a.U.Set(i, 0, a.U.At(i, 0)*2)
+	}
+	for p := 0; p < a.W.Rows; p++ {
+		a.W.Set(p, 0, a.W.At(p, 0)*0.5)
+	}
+	if err := a.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, a)
+	if got.W.At(0, 0) != 0.5 {
+		t.Fatalf("fraction lost: %v", got.W.At(0, 0))
+	}
+}
+
+func TestWriteFormatIsHumanReadable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, core.Strassen()); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"2 2 2 7", "\nU\n", "\nV\n", "\nW\n", "name strassen"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestReadRejectsInvalidAlgorithm(t *testing.T) {
+	// Syntactically valid file whose coefficients do not satisfy Brent.
+	file := `2 2 2 7
+U
+1 0 1 0 1 -1 0
+0 0 0 0 1 0 1
+0 1 0 0 0 1 0
+1 1 0 1 0 0 -1
+V
+1 1 0 -1 0 1 0
+0 0 1 0 0 1 0
+0 0 0 1 0 0 1
+1 0 -1 0 1 0 1
+W
+1 0 0 1 -1 0 1
+0 0 1 0 1 0 0
+0 1 0 1 0 0 0
+1 -1 1 0 0 1 1
+`
+	if _, err := Read(strings.NewReader(file)); err == nil || !strings.Contains(err.Error(), "invalid") {
+		t.Fatalf("want verification error, got %v", err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"short header":   "2 2 2\nU\n",
+		"bad dim":        "2 x 2 7\nU\n",
+		"zero dim":       "0 2 2 7\nU\n",
+		"missing U":      "1 1 1 1\nV\n1\n",
+		"short row":      "1 1 1 1\nU\n\nV\n1\nW\n1\n",
+		"bad entry":      "1 1 1 1\nU\nz\nV\n1\nW\n1\n",
+		"truncated rows": "2 2 2 7\nU\n1 0 1 0 1 -1 0\n",
+		"bad rational":   "1 1 1 1\nU\n1/0\nV\n1\nW\n1\n",
+	}
+	for name, file := range cases {
+		if _, err := Read(strings.NewReader(file)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadAcceptsCommentsAndBlankLines(t *testing.T) {
+	file := `
+# a comment
+# another
+
+1 1 1 1
+
+U
+1
+# interior comment
+V
+1
+W
+1
+`
+	a, err := Read(strings.NewReader(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.R != 1 || a.Name != "imported<1,1,1>" {
+		t.Fatalf("got %s", a)
+	}
+}
+
+func TestReadRationalEntries(t *testing.T) {
+	file := `1 1 1 1
+U
+-4/2
+V
+1/2
+W
+-1
+`
+	a, err := Read(strings.NewReader(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.U.At(0, 0) != -2 || a.V.At(0, 0) != 0.5 || a.W.At(0, 0) != -1 {
+		t.Fatalf("parsed %v %v %v", a.U.At(0, 0), a.V.At(0, 0), a.W.At(0, 0))
+	}
+}
+
+func TestFormatEntry(t *testing.T) {
+	cases := map[float64]string{
+		1:      "1",
+		-2:     "-2",
+		0.5:    "1/2",
+		-0.25:  "-1/4",
+		0.0625: "1/16",
+	}
+	for v, want := range cases {
+		if got := formatEntry(v); got != want {
+			t.Fatalf("formatEntry(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestRoundTripPreservesSemantics(t *testing.T) {
+	// The imported algorithm must multiply correctly, not just verify.
+	got := roundTrip(t, core.Generate(2, 3, 2))
+	a := matrix.New(4, 6)
+	b := matrix.New(6, 4)
+	a.Fill(0.5)
+	b.Fill(-2)
+	c := matrix.New(4, 4)
+	got.Apply(c, a, b)
+	want := matrix.New(4, 4)
+	matrix.MulAdd(want, a, b)
+	if c.MaxAbsDiff(want) > 1e-12 {
+		t.Fatal("imported algorithm computes wrong product")
+	}
+}

@@ -1,0 +1,184 @@
+// Package core implements the paper's central abstraction: a fast matrix
+// multiplication (FMM) algorithm represented as a partition ⟨m̃,k̃,ñ⟩ together
+// with a coefficient triple ⟦U,V,W⟧ (Section 3 of the paper). It provides
+//
+//   - exact validation via the Brent equations,
+//   - the combinators that generate families of algorithms: Kronecker
+//     products (multi-level FMM, §3.4–3.5), dimension permutations, direct
+//     sums (dimension splits), and classical base cases,
+//   - verified seeds (Strassen ⟨2,2,2⟩;7 from eq. (4), Winograd's variant),
+//   - a dynamic-programming generator that produces the lowest-rank algorithm
+//     reachable from the seeds for every requested shape, and
+//   - the Figure-2 catalog of shapes evaluated in the paper.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fmmfam/internal/matrix"
+)
+
+// Algorithm is a one-level ⟨M,K,N⟩ FMM algorithm ⟦U,V,W⟧ with R
+// multiplications. Submatrix indices are flat row-major: A's block (im,ik)
+// has index im*K+ik, B's block (ik,in) index ik*N+in, C's block (im,in)
+// index im*N+in. U is (M·K)×R, V is (K·N)×R, W is (M·N)×R, and
+//
+//	C_p += Σ_r W[p,r] · (Σ_i U[i,r]·A_i) · (Σ_j V[j,r]·B_j).
+type Algorithm struct {
+	Name    string
+	M, K, N int
+	R       int
+	U, V, W matrix.Mat
+}
+
+// Shape returns the partition dimensions ⟨M,K,N⟩.
+func (a Algorithm) Shape() (m, k, n int) { return a.M, a.K, a.N }
+
+// ShapeString renders the partition as the paper writes it, e.g. "<2,2,2>".
+func (a Algorithm) ShapeString() string { return fmt.Sprintf("<%d,%d,%d>", a.M, a.K, a.N) }
+
+// String identifies the algorithm for logs and catalogs.
+func (a Algorithm) String() string {
+	return fmt.Sprintf("%s:%d(%s)", a.ShapeString(), a.R, a.Name)
+}
+
+// NNZ returns the non-zero entry counts of U, V and W, the quantities the
+// performance model calls nnz(⊗U) etc.
+func (a Algorithm) NNZ() (u, v, w int) {
+	return nnz(a.U), nnz(a.V), nnz(a.W)
+}
+
+func nnz(m matrix.Mat) int {
+	n := 0
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TheoreticalSpeedup is the per-recursion-step speedup over classical
+// multiplication, (m̃k̃ñ/R − 1), reported as a fraction (0.143 for Strassen).
+// This is the "Theory" column of Figure 2.
+func (a Algorithm) TheoreticalSpeedup() float64 {
+	return float64(a.M*a.K*a.N)/float64(a.R) - 1
+}
+
+// brentTol bounds the residual accepted by Verify. Catalog coefficients are
+// small dyadic rationals, so valid algorithms satisfy the Brent equations to
+// well below this.
+const brentTol = 1e-9
+
+// Verify checks the Brent equations: for every triple of block indices,
+//
+//	Σ_r U[(im,ik),r]·V[(jk,jn),r]·W[(pm,pn),r] = δ(ik=jk)·δ(jn=pn)·δ(im=pm).
+//
+// It returns nil iff ⟦U,V,W⟧ exactly computes the ⟨M,K,N⟩ block product.
+func (a Algorithm) Verify() error {
+	if err := a.checkDims(); err != nil {
+		return err
+	}
+	for im := 0; im < a.M; im++ {
+		for ik := 0; ik < a.K; ik++ {
+			urow := a.U.Data[(im*a.K+ik)*a.U.Stride:]
+			for jk := 0; jk < a.K; jk++ {
+				for jn := 0; jn < a.N; jn++ {
+					vrow := a.V.Data[(jk*a.N+jn)*a.V.Stride:]
+					for pm := 0; pm < a.M; pm++ {
+						for pn := 0; pn < a.N; pn++ {
+							wrow := a.W.Data[(pm*a.N+pn)*a.W.Stride:]
+							sum := 0.0
+							for r := 0; r < a.R; r++ {
+								sum += urow[r] * vrow[r] * wrow[r]
+							}
+							want := 0.0
+							if ik == jk && jn == pn && im == pm {
+								want = 1
+							}
+							if math.Abs(sum-want) > brentTol {
+								return fmt.Errorf("core: %s violates Brent equation at A(%d,%d) B(%d,%d) C(%d,%d): got %g want %g",
+									a.String(), im, ik, jk, jn, pm, pn, sum, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (a Algorithm) checkDims() error {
+	switch {
+	case a.M < 1 || a.K < 1 || a.N < 1:
+		return fmt.Errorf("core: bad partition %s", a.ShapeString())
+	case a.R < 1:
+		return fmt.Errorf("core: bad rank %d", a.R)
+	case a.U.Rows != a.M*a.K || a.U.Cols != a.R:
+		return fmt.Errorf("core: U is %d×%d, want %d×%d", a.U.Rows, a.U.Cols, a.M*a.K, a.R)
+	case a.V.Rows != a.K*a.N || a.V.Cols != a.R:
+		return fmt.Errorf("core: V is %d×%d, want %d×%d", a.V.Rows, a.V.Cols, a.K*a.N, a.R)
+	case a.W.Rows != a.M*a.N || a.W.Cols != a.R:
+		return fmt.Errorf("core: W is %d×%d, want %d×%d", a.W.Rows, a.W.Cols, a.M*a.N, a.R)
+	}
+	return nil
+}
+
+// MustVerify panics if the algorithm is invalid. Used when constructing
+// package-level seeds and catalogs.
+func (a Algorithm) MustVerify() Algorithm {
+	if err := a.Verify(); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Apply computes C += A·B by direct evaluation of the bilinear formula (3):
+// explicit temporaries for the operand sums and each product Mr, with the
+// naive reference multiply for the R submatrix products. It is the
+// executable semantics of the algorithm and the oracle against which the
+// high-performance executor is tested. Requires m%M == 0, k%K == 0, n%N == 0.
+func (a Algorithm) Apply(c, am, bm matrix.Mat) {
+	if am.Rows%a.M != 0 || am.Cols%a.K != 0 || bm.Cols%a.N != 0 {
+		panic(fmt.Sprintf("core: %s cannot partition %d×%d·%d×%d", a.ShapeString(), am.Rows, am.Cols, bm.Rows, bm.Cols))
+	}
+	if am.Cols != bm.Rows || c.Rows != am.Rows || c.Cols != bm.Cols {
+		panic("core: dimension mismatch")
+	}
+	bm2 := bm
+	sm, sk, sn := am.Rows/a.M, am.Cols/a.K, bm.Cols/a.N
+	asum := matrix.New(sm, sk)
+	bsum := matrix.New(sk, sn)
+	prod := matrix.New(sm, sn)
+	for r := 0; r < a.R; r++ {
+		asum.Zero()
+		bsum.Zero()
+		prod.Zero()
+		for i := 0; i < a.M*a.K; i++ {
+			if u := a.U.At(i, r); u != 0 {
+				asum.AddScaled(u, am.Block(i/a.K, i%a.K, a.M, a.K))
+			}
+		}
+		for j := 0; j < a.K*a.N; j++ {
+			if v := a.V.At(j, r); v != 0 {
+				bsum.AddScaled(v, bm2.Block(j/a.N, j%a.N, a.K, a.N))
+			}
+		}
+		matrix.MulAdd(prod, asum, bsum)
+		for p := 0; p < a.M*a.N; p++ {
+			if w := a.W.At(p, r); w != 0 {
+				c.Block(p/a.N, p%a.N, a.M, a.N).AddScaled(w, prod)
+			}
+		}
+	}
+}
+
+// Rename returns a copy of the algorithm with a new name (storage is shared).
+func (a Algorithm) Rename(name string) Algorithm {
+	a.Name = name
+	return a
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fmmfam/internal/matrix"
+)
+
+// brute-force check that a.Apply matches the reference product on random
+// matrices whose dimensions are sm/sk/sn multiples of the partition.
+func checkApply(t *testing.T, a Algorithm, sm, sk, sn int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	am := matrix.New(a.M*sm, a.K*sk)
+	bm := matrix.New(a.K*sk, a.N*sn)
+	am.FillRand(rng)
+	bm.FillRand(rng)
+	c := matrix.New(a.M*sm, a.N*sn)
+	c.FillRand(rng)
+	want := c.Clone()
+	matrix.MulAdd(want, am, bm)
+	a.Apply(c, am, bm)
+	if d := c.MaxAbsDiff(want); d > 1e-9 {
+		t.Fatalf("%s Apply diverges from reference by %g", a, d)
+	}
+}
+
+func TestStrassenVerifies(t *testing.T) {
+	if err := Strassen().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWinogradVerifies(t *testing.T) {
+	if err := Winograd().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassicalVerifies(t *testing.T) {
+	for _, s := range [][3]int{{1, 1, 1}, {2, 2, 2}, {3, 2, 4}, {1, 5, 2}} {
+		if err := Classical(s[0], s[1], s[2]).Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStrassenApplyMatchesReference(t *testing.T) {
+	checkApply(t, Strassen(), 3, 4, 5, 1)
+}
+
+func TestWinogradApplyMatchesReference(t *testing.T) {
+	checkApply(t, Winograd(), 4, 3, 2, 2)
+}
+
+func TestVerifyRejectsCorruptedStrassen(t *testing.T) {
+	a := Strassen()
+	a.U = a.U.Clone()
+	a.U.Set(0, 0, 0) // knock out one coefficient
+	if a.Verify() == nil {
+		t.Fatal("corrupted algorithm passed verification")
+	}
+}
+
+func TestVerifyRejectsBadDims(t *testing.T) {
+	a := Strassen()
+	a.R = 6
+	if err := a.Verify(); err == nil || !strings.Contains(err.Error(), "U is") {
+		t.Fatalf("want dimension error, got %v", err)
+	}
+	b := Strassen()
+	b.M = 0
+	if b.Verify() == nil {
+		t.Fatal("bad partition accepted")
+	}
+}
+
+func TestNNZStrassen(t *testing.T) {
+	u, v, w := Strassen().NNZ()
+	if u != 12 || v != 12 || w != 12 {
+		t.Fatalf("Strassen nnz = %d,%d,%d; want 12,12,12", u, v, w)
+	}
+}
+
+func TestTheoreticalSpeedup(t *testing.T) {
+	s := Strassen().TheoreticalSpeedup()
+	if s < 0.142 || s > 0.143 {
+		t.Fatalf("Strassen theoretical speedup %v, want 1/7", s)
+	}
+	if Classical(3, 3, 3).TheoreticalSpeedup() != 0 {
+		t.Fatal("classical speedup must be 0")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if s := Strassen().ShapeString(); s != "<2,2,2>" {
+		t.Fatalf("got %q", s)
+	}
+}
+
+func TestApplyPanicsOnIndivisible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a := Strassen()
+	a.Apply(matrix.New(3, 4), matrix.New(3, 4), matrix.New(4, 4))
+}
+
+func TestMustVerifyPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a := Strassen()
+	a.U = matrix.New(4, 7) // all zeros
+	a.MustVerify()
+}

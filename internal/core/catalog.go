@@ -1,0 +1,83 @@
+package core
+
+import "fmt"
+
+// CatalogEntry is one row of Figure 2 of the paper: an evaluated partition
+// shape, the literature rank the paper reports, its provenance, and the
+// algorithm our generator produces for that shape.
+type CatalogEntry struct {
+	M, K, N   int
+	PaperRank int    // R in Figure 2
+	PaperRef  string // source cited by Figure 2
+	Algorithm Algorithm
+}
+
+// Shape renders the partition as the paper writes it.
+func (e CatalogEntry) Shape() string { return fmt.Sprintf("<%d,%d,%d>", e.M, e.K, e.N) }
+
+// OurRank is the rank of the generated algorithm for this shape.
+func (e CatalogEntry) OurRank() int { return e.Algorithm.R }
+
+// figure2Rows lists every ⟨m̃,k̃,ñ⟩ evaluated in Figure 2, with the rank and
+// citation the paper gives.
+var figure2Rows = []struct {
+	m, k, n, r int
+	ref        string
+}{
+	{2, 2, 2, 7, "Strassen [11]"},
+	{2, 3, 2, 11, "Benson-Ballard [1]"},
+	{2, 3, 4, 20, "Benson-Ballard [1]"},
+	{2, 4, 3, 20, "Ballard et al. [10]"},
+	{2, 5, 2, 18, "Ballard et al. [10]"},
+	{3, 2, 2, 11, "Ballard et al. [10]"},
+	{3, 2, 3, 15, "Ballard et al. [10]"},
+	{3, 2, 4, 20, "Ballard et al. [10]"},
+	{3, 3, 2, 15, "Ballard et al. [10]"},
+	{3, 3, 3, 23, "Smirnov [12]"},
+	{3, 3, 6, 40, "Smirnov [12]"},
+	{3, 4, 2, 20, "Benson-Ballard [1]"},
+	{3, 4, 3, 29, "Smirnov [12]"},
+	{3, 5, 3, 36, "Smirnov [12]"},
+	{3, 6, 3, 40, "Smirnov [12]"},
+	{4, 2, 2, 14, "Ballard et al. [10]"},
+	{4, 2, 3, 20, "Benson-Ballard [1]"},
+	{4, 2, 4, 26, "Ballard et al. [10]"},
+	{4, 3, 2, 20, "Ballard et al. [10]"},
+	{4, 3, 3, 29, "Ballard et al. [10]"},
+	{4, 4, 2, 26, "Ballard et al. [10]"},
+	{5, 2, 2, 18, "Ballard et al. [10]"},
+	{6, 3, 3, 40, "Smirnov [12]"},
+}
+
+// Catalog returns the Figure-2 family: one entry per shape the paper
+// evaluates, each carrying the generator's algorithm for that shape. The
+// slice is freshly built on each call (entries share coefficient storage via
+// the generator memo, which callers must treat as read-only).
+func Catalog() []CatalogEntry {
+	out := make([]CatalogEntry, len(figure2Rows))
+	for i, row := range figure2Rows {
+		out[i] = CatalogEntry{
+			M: row.m, K: row.k, N: row.n,
+			PaperRank: row.r,
+			PaperRef:  row.ref,
+			Algorithm: Generate(row.m, row.k, row.n).Rename(fmt.Sprintf("gen<%d,%d,%d>", row.m, row.k, row.n)),
+		}
+	}
+	return out
+}
+
+// CatalogShape returns the catalog entry for one shape, or false if the shape
+// is not part of the Figure-2 family.
+func CatalogShape(m, k, n int) (CatalogEntry, bool) {
+	for _, row := range figure2Rows {
+		if row.m == m && row.k == k && row.n == n {
+			return CatalogEntry{
+				M: m, K: k, N: n,
+				PaperRank: row.r,
+				PaperRef:  row.ref,
+				Algorithm: Generate(m, k, n).Rename(fmt.Sprintf("gen<%d,%d,%d>", m, k, n)),
+			}, true
+		}
+	}
+	return CatalogEntry{}, false
+}

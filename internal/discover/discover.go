@@ -1,0 +1,403 @@
+// Package discover searches for new fast matrix multiplication algorithms
+// numerically, the substrate behind the coefficient files of Benson–Ballard
+// [1] and Smirnov [12] that the paper consumes, and the paper's "finding new
+// FMM algorithms" future-work item. The matrix multiplication tensor of
+// ⟨m,k,n⟩ is decomposed as a rank-R CP sum with alternating least squares
+// (ALS) plus ridge regularization; converged factors are canonically rescaled
+// and snapped to the small dyadic grid {0, ±1/2, ±1, ±3/2, ±2} and accepted
+// only if the exact Brent verification of internal/core passes — the module
+// can therefore never emit an invalid algorithm.
+package discover
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fmmfam/internal/core"
+	"fmmfam/internal/matrix"
+)
+
+// Problem specifies the target tensor ⟨m,k,n⟩ and the sought rank R.
+type Problem struct {
+	M, K, N int
+	R       int
+}
+
+func (p Problem) String() string { return fmt.Sprintf("<%d,%d,%d>;%d", p.M, p.K, p.N, p.R) }
+
+func (p Problem) validate() error {
+	if p.M < 1 || p.K < 1 || p.N < 1 {
+		return fmt.Errorf("discover: bad shape %s", p)
+	}
+	if p.R < 1 || p.R > p.M*p.K*p.N {
+		return fmt.Errorf("discover: rank %d outside [1, %d]", p.R, p.M*p.K*p.N)
+	}
+	return nil
+}
+
+// Options tunes the search.
+type Options struct {
+	Restarts int     // independent random starts (default 20)
+	Iters    int     // ALS sweeps per start (default 400)
+	Ridge    float64 // initial ridge regularization (default 1e-2)
+	Tol      float64 // residual² at which a start is considered converged (default 1e-16)
+	Seed     int64   // RNG seed (default 1)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Restarts == 0 {
+		o.Restarts = 20
+	}
+	if o.Iters == 0 {
+		o.Iters = 400
+	}
+	if o.Ridge == 0 {
+		o.Ridge = 1e-2
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// ErrNotFound reports that the search budget was exhausted without a
+// verified discrete algorithm.
+var ErrNotFound = errors.New("discover: no exact algorithm found within budget")
+
+// nonzero is one unit entry of the ⟨m,k,n⟩ tensor.
+type nonzero struct{ i, j, p int }
+
+// tensorNonzeros enumerates the m·k·n unit entries: i=(im,ik), j=(ik,in),
+// p=(im,in).
+func tensorNonzeros(m, k, n int) []nonzero {
+	out := make([]nonzero, 0, m*k*n)
+	for im := 0; im < m; im++ {
+		for ik := 0; ik < k; ik++ {
+			for in := 0; in < n; in++ {
+				out = append(out, nonzero{i: im*k + ik, j: ik*n + in, p: im*n + in})
+			}
+		}
+	}
+	return out
+}
+
+// factors is a working CP decomposition.
+type factors struct {
+	p       Problem
+	u, v, w matrix.Mat
+	nz      []nonzero
+}
+
+func newFactors(p Problem, rng *rand.Rand) *factors {
+	f := &factors{
+		p:  p,
+		u:  matrix.New(p.M*p.K, p.R),
+		v:  matrix.New(p.K*p.N, p.R),
+		w:  matrix.New(p.M*p.N, p.R),
+		nz: tensorNonzeros(p.M, p.K, p.N),
+	}
+	f.u.FillRand(rng)
+	f.v.FillRand(rng)
+	f.w.FillRand(rng)
+	return f
+}
+
+func fromAlgorithm(a core.Algorithm) *factors {
+	return &factors{
+		p:  Problem{M: a.M, K: a.K, N: a.N, R: a.R},
+		u:  a.U.Clone(),
+		v:  a.V.Clone(),
+		w:  a.W.Clone(),
+		nz: tensorNonzeros(a.M, a.K, a.N),
+	}
+}
+
+// residual returns ||T − Σ_r u_r∘v_r∘w_r||², looping over the full dense
+// index space (sizes here are tiny).
+func (f *factors) residual() float64 {
+	r2 := 0.0
+	isNZ := map[[3]int]bool{}
+	for _, t := range f.nz {
+		isNZ[[3]int{t.i, t.j, t.p}] = true
+	}
+	for i := 0; i < f.u.Rows; i++ {
+		for j := 0; j < f.v.Rows; j++ {
+			for p := 0; p < f.w.Rows; p++ {
+				s := 0.0
+				for r := 0; r < f.p.R; r++ {
+					s += f.u.At(i, r) * f.v.At(j, r) * f.w.At(p, r)
+				}
+				if isNZ[[3]int{i, j, p}] {
+					s -= 1
+				}
+				r2 += s * s
+			}
+		}
+	}
+	return r2
+}
+
+// alsSweep updates U, V, W once each by regularized least squares.
+func (f *factors) alsSweep(ridge float64) {
+	f.updateFactor(f.u, f.v, f.w, func(t nonzero) (int, int, int) { return t.i, t.j, t.p }, ridge)
+	f.updateFactor(f.v, f.u, f.w, func(t nonzero) (int, int, int) { return t.j, t.i, t.p }, ridge)
+	f.updateFactor(f.w, f.u, f.v, func(t nonzero) (int, int, int) { return t.p, t.i, t.j }, ridge)
+}
+
+// updateFactor solves, for every row x_i of target, the ridge system
+// (G + ridge·I)·x_i = b_i with G = (AᵀA)∘(BᵀB) and b_i[r] = Σ_nz A[a,r]·B[b,r]
+// over the tensor non-zeros whose target index is i.
+func (f *factors) updateFactor(target, fa, fb matrix.Mat, pick func(nonzero) (int, int, int), ridge float64) {
+	r := f.p.R
+	g := make([]float64, r*r)
+	ga := gram(fa)
+	gb := gram(fb)
+	for x := 0; x < r; x++ {
+		for y := 0; y < r; y++ {
+			g[x*r+y] = ga[x*r+y] * gb[x*r+y]
+		}
+		g[x*r+x] += ridge
+	}
+	chol, ok := cholesky(g, r)
+	if !ok {
+		return // keep previous factor; a later sweep with larger ridge recovers
+	}
+	b := make([]float64, r)
+	for i := 0; i < target.Rows; i++ {
+		for x := range b {
+			b[x] = ridge * target.At(i, x) // proximal term keeps ALS stable
+		}
+		for _, t := range f.nz {
+			ti, ai, bi := pick(t)
+			if ti != i {
+				continue
+			}
+			for x := 0; x < r; x++ {
+				b[x] += fa.At(ai, x) * fb.At(bi, x)
+			}
+		}
+		cholSolve(chol, b, r)
+		for x := 0; x < r; x++ {
+			target.Set(i, x, b[x])
+		}
+	}
+}
+
+func gram(m matrix.Mat) []float64 {
+	r := m.Cols
+	g := make([]float64, r*r)
+	for x := 0; x < r; x++ {
+		for y := 0; y < r; y++ {
+			s := 0.0
+			for i := 0; i < m.Rows; i++ {
+				s += m.At(i, x) * m.At(i, y)
+			}
+			g[x*r+y] = s
+		}
+	}
+	return g
+}
+
+// cholesky factors the SPD matrix g (r×r, row-major) in place; returns false
+// if g is not positive definite.
+func cholesky(g []float64, r int) ([]float64, bool) {
+	l := make([]float64, r*r)
+	for i := 0; i < r; i++ {
+		for j := 0; j <= i; j++ {
+			s := g[i*r+j]
+			for k := 0; k < j; k++ {
+				s -= l[i*r+k] * l[j*r+k]
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, false
+				}
+				l[i*r+i] = math.Sqrt(s)
+			} else {
+				l[i*r+j] = s / l[j*r+j]
+			}
+		}
+	}
+	return l, true
+}
+
+// cholSolve solves L·Lᵀ·x = b in place.
+func cholSolve(l, b []float64, r int) {
+	for i := 0; i < r; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l[i*r+k] * b[k]
+		}
+		b[i] = s / l[i*r+i]
+	}
+	for i := r - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < r; k++ {
+			s -= l[k*r+i] * b[k]
+		}
+		b[i] = s / l[i*r+i]
+	}
+}
+
+// canonicalize rescales every rank-one triple (u_r, v_r, w_r) by (α, β, 1/αβ)
+// so that max|u_r| = max|v_r| = 1, pushing all scale freedom into W — the
+// normal form in which literature algorithms have grid coefficients.
+func (f *factors) canonicalize() {
+	for r := 0; r < f.p.R; r++ {
+		mu := colMaxAbs(f.u, r)
+		mv := colMaxAbs(f.v, r)
+		if mu == 0 || mv == 0 {
+			continue
+		}
+		scaleCol(f.u, r, 1/mu)
+		scaleCol(f.v, r, 1/mv)
+		scaleCol(f.w, r, mu*mv)
+	}
+}
+
+func colMaxAbs(m matrix.Mat, c int) float64 {
+	v := 0.0
+	for i := 0; i < m.Rows; i++ {
+		if a := math.Abs(m.At(i, c)); a > v {
+			v = a
+		}
+	}
+	return v
+}
+
+func scaleCol(m matrix.Mat, c int, s float64) {
+	for i := 0; i < m.Rows; i++ {
+		m.Set(i, c, m.At(i, c)*s)
+	}
+}
+
+// snap rounds every coefficient to the nearest half-integer in [-2, 2].
+func snap(m matrix.Mat) matrix.Mat {
+	out := m.Clone()
+	for i := 0; i < out.Rows; i++ {
+		for j := 0; j < out.Cols; j++ {
+			v := math.Round(out.At(i, j)*2) / 2
+			if v > 2 {
+				v = 2
+			} else if v < -2 {
+				v = -2
+			}
+			out.Set(i, j, v)
+		}
+	}
+	return out
+}
+
+// blendTowardGrid canonicalizes and moves every coefficient a fraction gamma
+// of the way to its nearest grid value, biasing ALS toward discrete
+// solutions without forcing them.
+func (f *factors) blendTowardGrid(gamma float64) {
+	f.canonicalize()
+	for _, m := range []matrix.Mat{f.u, f.v, f.w} {
+		for i := 0; i < m.Rows; i++ {
+			for j := 0; j < m.Cols; j++ {
+				v := m.At(i, j)
+				g := math.Round(v*2) / 2
+				if g > 2 {
+					g = 2
+				} else if g < -2 {
+					g = -2
+				}
+				m.Set(i, j, v+gamma*(g-v))
+			}
+		}
+	}
+}
+
+// perturb adds uniform noise of the given amplitude to every factor entry.
+func (f *factors) perturb(rng *rand.Rand, amp float64) {
+	for _, m := range []matrix.Mat{f.u, f.v, f.w} {
+		for i := 0; i < m.Rows; i++ {
+			for j := 0; j < m.Cols; j++ {
+				m.Add(i, j, amp*(2*rng.Float64()-1))
+			}
+		}
+	}
+}
+
+// Round canonicalizes and snaps the factors of a (possibly approximate)
+// algorithm to the dyadic grid, returning the result only if it passes exact
+// Brent verification.
+func Round(a core.Algorithm) (core.Algorithm, error) {
+	f := fromAlgorithm(a)
+	f.canonicalize()
+	cand := core.Algorithm{
+		Name: a.Name + "·rounded",
+		M:    a.M, K: a.K, N: a.N, R: a.R,
+		U: snap(f.u), V: snap(f.v), W: snap(f.w),
+	}
+	if err := cand.Verify(); err != nil {
+		return core.Algorithm{}, err
+	}
+	return cand, nil
+}
+
+// Polish runs iters ALS sweeps starting from a's coefficients (useful for
+// cleaning up noisy or hand-transcribed coefficient sets) and returns the
+// refined approximate algorithm together with its final residual².
+func Polish(a core.Algorithm, iters int) (core.Algorithm, float64) {
+	f := fromAlgorithm(a)
+	ridge := 1e-6
+	for i := 0; i < iters; i++ {
+		f.alsSweep(ridge)
+	}
+	out := core.Algorithm{Name: a.Name + "·polished", M: a.M, K: a.K, N: a.N, R: a.R, U: f.u, V: f.v, W: f.w}
+	return out, f.residual()
+}
+
+// Search runs restarts independent ALS searches for Problem p and returns
+// the first exactly verified discrete algorithm, or ErrNotFound. The
+// returned algorithm, if any, always passes core verification.
+func Search(p Problem, opts Options) (core.Algorithm, error) {
+	if err := p.validate(); err != nil {
+		return core.Algorithm{}, err
+	}
+	o := opts.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+	for restart := 0; restart < o.Restarts; restart++ {
+		f := newFactors(p, rng)
+		ridge := o.Ridge
+		prev := math.Inf(1)
+		for it := 0; it < o.Iters; it++ {
+			f.alsSweep(ridge)
+			if it%25 != 24 {
+				continue
+			}
+			res := f.residual()
+			if res < 0.05 {
+				// Close enough that snapping may complete the convergence:
+				// rounding is guarded by exact verification, so trying it
+				// early is free of false positives.
+				approx := core.Algorithm{
+					Name: fmt.Sprintf("als%s·r%d", p, restart),
+					M:    p.M, K: p.K, N: p.N, R: p.R,
+					U: f.u, V: f.v, W: f.w,
+				}
+				if exact, err := Round(approx); err == nil {
+					return exact, nil
+				}
+				// Not discrete yet: anneal toward the grid.
+				f.blendTowardGrid(0.25)
+				ridge = math.Max(ridge*0.3, 1e-9)
+			} else if res > prev*0.999 {
+				// Stalled in a swamp: kick with noise and re-regularize.
+				f.perturb(rng, 0.2)
+				ridge = o.Ridge
+			} else {
+				ridge = math.Max(ridge*0.5, 1e-9)
+			}
+			prev = res
+		}
+	}
+	return core.Algorithm{}, ErrNotFound
+}

@@ -1,0 +1,23 @@
+package discover
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Diagnostic (skipped by default): prints the residual trajectory of ALS.
+func TestALSTrajectoryDiag(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	rng := rand.New(rand.NewSource(5))
+	f := newFactors(Problem{M: 2, K: 2, N: 2, R: 7}, rng)
+	ridge := 1e-2
+	for it := 0; it < 2000; it++ {
+		f.alsSweep(ridge)
+		if it%200 == 199 {
+			t.Logf("it=%d ridge=%g res=%g", it, ridge, f.residual())
+			ridge *= 0.3
+		}
+	}
+}

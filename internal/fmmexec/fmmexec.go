@@ -1,0 +1,277 @@
+// Package fmmexec executes fast matrix multiplication plans: a multi-level
+// ⟦U,V,W⟧ algorithm (composed with Kronecker products per §3.4–3.5 of the
+// paper) evaluated iteratively in one of the paper's three implementation
+// variants (§4.1):
+//
+//	Naive — explicit temporaries for ΣuᵢAᵢ, ΣvⱼBⱼ and the product Mr around
+//	        a black-box GEMM (this is also how the reference implementations
+//	        of Benson–Ballard [1] are structured);
+//	AB    — the operand sums are fused into the packing of Ã and B̃, but Mr
+//	        is still formed explicitly and then scattered into C;
+//	ABC   — AB plus the fused micro-kernel that adds each register tile of
+//	        Mr directly into every target submatrix of C (no temporaries).
+//
+// Matrix sizes that are not multiples of the composite partition are handled
+// by dynamic peeling [16]: the divisible core runs the FMM, the fringes run
+// plain GEMM through the same driver, requiring no extra workspace.
+package fmmexec
+
+import (
+	"fmt"
+	"sync"
+
+	"fmmfam/internal/core"
+	"fmmfam/internal/gemm"
+	"fmmfam/internal/matrix"
+)
+
+// Variant selects the implementation style of §4.1.
+type Variant int
+
+// The three generated-implementation variants of the paper.
+const (
+	Naive Variant = iota
+	AB
+	ABC
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Naive:
+		return "Naive"
+	case AB:
+		return "AB"
+	case ABC:
+		return "ABC"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Variants lists all three for sweeps.
+var Variants = []Variant{Naive, AB, ABC}
+
+type coefIdx struct {
+	idx  int
+	coef float64
+}
+
+// Plan is a ready-to-run FMM implementation: per-level algorithms composed
+// into a flat algorithm, a variant, and reusable workspace. Create with
+// NewPlan; a Plan is not safe for concurrent use (it parallelizes
+// internally via its gemm.Context).
+type Plan struct {
+	Levels  []core.Algorithm
+	Flat    core.Algorithm
+	Variant Variant
+
+	ctx *gemm.Context
+
+	uCols, vCols, wCols [][]coefIdx
+
+	asum, bsum, mtmp matrix.Mat
+}
+
+// NewPlan composes the given per-level algorithms (outermost first) into an
+// executable plan. Every level must verify; at least one level is required.
+func NewPlan(cfg gemm.Config, variant Variant, levels ...core.Algorithm) (*Plan, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("fmmexec: no levels")
+	}
+	if variant != Naive && variant != AB && variant != ABC {
+		return nil, fmt.Errorf("fmmexec: unknown variant %d", int(variant))
+	}
+	for i, l := range levels {
+		if err := l.Verify(); err != nil {
+			return nil, fmt.Errorf("fmmexec: level %d: %w", i, err)
+		}
+	}
+	ctx, err := gemm.NewContext(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		Levels:  append([]core.Algorithm(nil), levels...),
+		Flat:    core.KronAll(levels...),
+		Variant: variant,
+		ctx:     ctx,
+	}
+	p.uCols = columns(p.Flat.U)
+	p.vCols = columns(p.Flat.V)
+	p.wCols = columns(p.Flat.W)
+	return p, nil
+}
+
+// MustNewPlan is NewPlan for known-good inputs.
+func MustNewPlan(cfg gemm.Config, variant Variant, levels ...core.Algorithm) *Plan {
+	p, err := NewPlan(cfg, variant, levels...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// columns extracts the non-zero (row, coef) list of every column.
+func columns(m matrix.Mat) [][]coefIdx {
+	out := make([][]coefIdx, m.Cols)
+	for r := 0; r < m.Cols; r++ {
+		for i := 0; i < m.Rows; i++ {
+			if c := m.At(i, r); c != 0 {
+				out[r] = append(out[r], coefIdx{idx: i, coef: c})
+			}
+		}
+	}
+	return out
+}
+
+// String describes the plan, e.g. "<2,2,2>+<3,3,3> ABC".
+func (p *Plan) String() string {
+	s := ""
+	for i, l := range p.Levels {
+		if i > 0 {
+			s += "+"
+		}
+		s += l.ShapeString()
+	}
+	return s + " " + p.Variant.String()
+}
+
+// Context exposes the plan's gemm context (e.g. for running the baseline
+// with identical blocking).
+func (p *Plan) Context() *gemm.Context { return p.ctx }
+
+// MulAdd computes c += a·b. Arbitrary sizes are supported via dynamic
+// peeling; inputs may be views. c must not alias a or b.
+func (p *Plan) MulAdd(c, a, b matrix.Mat) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	if b.Rows != k || c.Rows != m || c.Cols != n {
+		panic(fmt.Sprintf("fmmexec: dims C(%d×%d) += A(%d×%d)·B(%d×%d)", c.Rows, c.Cols, m, k, b.Rows, n))
+	}
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	mt, kt, nt := p.Flat.M, p.Flat.K, p.Flat.N
+	sm, sk, sn := m/mt, k/kt, n/nt
+	if sm == 0 || sk == 0 || sn == 0 {
+		p.ctx.MulAdd(c, a, b) // partition larger than the problem
+		return
+	}
+	m1, k1, n1 := sm*mt, sk*kt, sn*nt
+	p.mulCore(c.View(0, 0, m1, n1), a.View(0, 0, m1, k1), b.View(0, 0, k1, n1))
+	// Dynamic peeling fringes (plain GEMM, no extra workspace).
+	if k1 < k {
+		p.ctx.FusedMulAdd(
+			gemm.SingleTerm(c.View(0, 0, m1, n1)),
+			gemm.SingleTerm(a.View(0, k1, m1, k-k1)),
+			gemm.SingleTerm(b.View(k1, 0, k-k1, n1)))
+	}
+	if n1 < n {
+		p.ctx.MulAdd(c.View(0, n1, m1, n-n1), a.View(0, 0, m1, k), b.View(0, n1, k, n-n1))
+	}
+	if m1 < m {
+		p.ctx.MulAdd(c.View(m1, 0, m-m1, n), a.View(m1, 0, m-m1, k), b)
+	}
+}
+
+// mulCore runs the iterative FMM of (5) on a region whose dimensions divide
+// evenly by the composite partition.
+func (p *Plan) mulCore(c, a, b matrix.Mat) {
+	mt, kt, nt := p.Flat.M, p.Flat.K, p.Flat.N
+	sm, sk, sn := a.Rows/mt, a.Cols/kt, b.Cols/nt
+	switch p.Variant {
+	case ABC:
+		aTerms := make([]gemm.Term, 0, 8)
+		bTerms := make([]gemm.Term, 0, 8)
+		cTerms := make([]gemm.Term, 0, 8)
+		for r := 0; r < p.Flat.R; r++ {
+			aTerms = aTerms[:0]
+			for _, ci := range p.uCols[r] {
+				aTerms = append(aTerms, gemm.Term{Coef: ci.coef, M: a.Block(ci.idx/kt, ci.idx%kt, mt, kt)})
+			}
+			bTerms = bTerms[:0]
+			for _, ci := range p.vCols[r] {
+				bTerms = append(bTerms, gemm.Term{Coef: ci.coef, M: b.Block(ci.idx/nt, ci.idx%nt, kt, nt)})
+			}
+			cTerms = cTerms[:0]
+			for _, ci := range p.wCols[r] {
+				cTerms = append(cTerms, gemm.Term{Coef: ci.coef, M: c.Block(ci.idx/nt, ci.idx%nt, mt, nt)})
+			}
+			p.ctx.FusedMulAdd(cTerms, aTerms, bTerms)
+		}
+	case AB:
+		p.mtmp = grow(p.mtmp, sm, sn)
+		aTerms := make([]gemm.Term, 0, 8)
+		bTerms := make([]gemm.Term, 0, 8)
+		for r := 0; r < p.Flat.R; r++ {
+			aTerms = aTerms[:0]
+			for _, ci := range p.uCols[r] {
+				aTerms = append(aTerms, gemm.Term{Coef: ci.coef, M: a.Block(ci.idx/kt, ci.idx%kt, mt, kt)})
+			}
+			bTerms = bTerms[:0]
+			for _, ci := range p.vCols[r] {
+				bTerms = append(bTerms, gemm.Term{Coef: ci.coef, M: b.Block(ci.idx/nt, ci.idx%nt, kt, nt)})
+			}
+			p.mtmp.Zero()
+			p.ctx.FusedMulAdd(gemm.SingleTerm(p.mtmp), aTerms, bTerms)
+			for _, ci := range p.wCols[r] {
+				p.addScaled(c.Block(ci.idx/nt, ci.idx%nt, mt, nt), ci.coef, p.mtmp)
+			}
+		}
+	case Naive:
+		p.asum = grow(p.asum, sm, sk)
+		p.bsum = grow(p.bsum, sk, sn)
+		p.mtmp = grow(p.mtmp, sm, sn)
+		for r := 0; r < p.Flat.R; r++ {
+			p.asum.Zero()
+			for _, ci := range p.uCols[r] {
+				p.addScaled(p.asum, ci.coef, a.Block(ci.idx/kt, ci.idx%kt, mt, kt))
+			}
+			p.bsum.Zero()
+			for _, ci := range p.vCols[r] {
+				p.addScaled(p.bsum, ci.coef, b.Block(ci.idx/nt, ci.idx%nt, kt, nt))
+			}
+			p.mtmp.Zero()
+			p.ctx.MulAdd(p.mtmp, p.asum, p.bsum)
+			for _, ci := range p.wCols[r] {
+				p.addScaled(c.Block(ci.idx/nt, ci.idx%nt, mt, nt), ci.coef, p.mtmp)
+			}
+		}
+	}
+}
+
+// addScaledParThreshold is the element count below which the parallel
+// split's goroutine overhead exceeds the memory-bound work.
+const addScaledParThreshold = 1 << 15
+
+// addScaled computes dst += coef·src, splitting rows across the plan's
+// workers for large operands — the explicit submatrix additions of the Naive
+// and AB variants are memory-bound streams that parallelize like the packing.
+func (p *Plan) addScaled(dst matrix.Mat, coef float64, src matrix.Mat) {
+	threads := p.ctx.Config().Threads
+	if threads <= 1 || dst.Rows*dst.Cols < addScaledParThreshold || dst.Rows < threads {
+		dst.AddScaled(coef, src)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (dst.Rows + threads - 1) / threads
+	for r0 := 0; r0 < dst.Rows; r0 += chunk {
+		rows := chunk
+		if r0+rows > dst.Rows {
+			rows = dst.Rows - r0
+		}
+		wg.Add(1)
+		go func(r0, rows int) {
+			defer wg.Done()
+			dst.View(r0, 0, rows, dst.Cols).AddScaled(coef, src.View(r0, 0, rows, src.Cols))
+		}(r0, rows)
+	}
+	wg.Wait()
+}
+
+// grow returns a matrix of exactly r×c, reusing ws's backing array when it is
+// large enough.
+func grow(ws matrix.Mat, r, c int) matrix.Mat {
+	if cap(ws.Data) >= r*c {
+		return matrix.Mat{Rows: r, Cols: c, Stride: c, Data: ws.Data[:r*c]}
+	}
+	return matrix.New(r, c)
+}

@@ -1,0 +1,212 @@
+// Package gemm implements the GotoBLAS/BLIS five-loop matrix multiplication
+// driver of Figure 1 (left) of the paper over the micro-kernel and packing
+// routines of internal/kernel — generalized, as in Figure 1 (right), to the
+// fused operation
+//
+//	M := (Σ u_t·A_t)·(Σ v_t·B_t);   C_t += w_t·M  for every C-side term,
+//
+// which is the building block every generated FMM variant is assembled from.
+// Plain GEMM is the degenerate single-term call, so the baseline and all FMM
+// implementations share packing and kernel code exactly as in the paper.
+//
+// Parallelism mirrors the paper (§5.1): the third loop around the
+// micro-kernel (the ic loop over mC-sized row panels of A) is divided among
+// goroutines, the Go analogue of the OpenMP data parallelism of [20].
+package gemm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fmmfam/internal/kernel"
+	"fmmfam/internal/matrix"
+)
+
+// Term re-exports kernel.Term: one weighted operand of a fused combination.
+type Term = kernel.Term
+
+// SingleTerm wraps a matrix as the trivial combination 1.0·M.
+func SingleTerm(m matrix.Mat) []Term { return kernel.SingleTerm(m) }
+
+// Config carries the cache blocking parameters {mC, kC, nC} of Figure 1 and
+// the worker count. The defaults suit the pure-Go micro-kernel: Ã(mC×kC)
+// ≈ 192 KiB target L2 residency, B̃(kC×nC) sized for L3, as in §5.1.
+type Config struct {
+	MC, KC, NC int
+	Threads    int
+}
+
+// DefaultConfig returns the blocking used throughout the experiments.
+func DefaultConfig() Config {
+	return Config{MC: 96, KC: 256, NC: 2048, Threads: 1}
+}
+
+// Parallel returns c with Threads set to the machine's logical CPU count.
+func (c Config) Parallel() Config {
+	c.Threads = runtime.GOMAXPROCS(0)
+	return c
+}
+
+func (c Config) validate() error {
+	if c.MC < kernel.MR || c.KC < 1 || c.NC < kernel.NR || c.Threads < 1 {
+		return fmt.Errorf("gemm: bad config %+v", c)
+	}
+	return nil
+}
+
+// Context owns the packing buffers so repeated multiplications do not
+// allocate. A Context is not safe for concurrent use by multiple goroutines;
+// it exploits parallelism internally.
+type Context struct {
+	cfg   Config
+	bbuf  []float64
+	abufs [][]float64 // one Ã per worker
+}
+
+// NewContext validates cfg and allocates packing buffers for it.
+func NewContext(cfg Config) (*Context, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ctx := &Context{cfg: cfg}
+	ctx.bbuf = make([]float64, kernel.PackBBufLen(cfg.KC, cfg.NC))
+	ctx.abufs = make([][]float64, cfg.Threads)
+	for i := range ctx.abufs {
+		ctx.abufs[i] = make([]float64, kernel.PackABufLen(cfg.MC, cfg.KC))
+	}
+	return ctx, nil
+}
+
+// MustNewContext is NewContext for known-good configs.
+func MustNewContext(cfg Config) *Context {
+	ctx, err := NewContext(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return ctx
+}
+
+// Config returns the context's configuration.
+func (ctx *Context) Config() Config { return ctx.cfg }
+
+// MulAdd computes c += a·b (plain GEMM through the fused path).
+func (ctx *Context) MulAdd(c, a, b matrix.Mat) {
+	ctx.FusedMulAdd(kernel.SingleTerm(c), kernel.SingleTerm(a), kernel.SingleTerm(b))
+}
+
+// FusedMulAdd executes the generalized operation. All A-side terms must have
+// equal dimensions m×k, B-side k×n, C-side m×n.
+func (ctx *Context) FusedMulAdd(cTerms, aTerms, bTerms []Term) {
+	m, k := dims(aTerms, "A")
+	k2, n := dims(bTerms, "B")
+	mc, nc2 := dims(cTerms, "C")
+	if k != k2 || m != mc || n != nc2 {
+		panic(fmt.Sprintf("gemm: fused dims C(%d×%d) += A(%d×%d)·B(%d×%d)", mc, nc2, m, k, k2, n))
+	}
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
+	cfg := ctx.cfg
+	for jc := 0; jc < n; jc += cfg.NC {
+		ncur := min(cfg.NC, n-jc)
+		for pc := 0; pc < k; pc += cfg.KC {
+			kcur := min(cfg.KC, k-pc)
+			ctx.packB(bTerms, pc, jc, kcur, ncur)
+			ctx.icLoop(cTerms, aTerms, pc, jc, m, kcur, ncur)
+		}
+	}
+}
+
+// packB fills the B̃ buffer, splitting the column-panel range across workers
+// when parallel (packing is memory-bound and, for FMM term lists, a large
+// serial fraction otherwise — BLIS likewise packs in parallel).
+func (ctx *Context) packB(bTerms []Term, pc, jc, kcur, ncur int) {
+	panels := (ncur + kernel.NR - 1) / kernel.NR
+	workers := min(ctx.cfg.Threads, panels)
+	if workers <= 1 {
+		kernel.PackB(ctx.bbuf, bTerms, pc, jc, kcur, ncur)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (panels + workers - 1) / workers
+	for lo := 0; lo < panels; lo += chunk {
+		hi := min(lo+chunk, panels)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			kernel.PackBRange(ctx.bbuf, bTerms, pc, jc, kcur, ncur, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// icLoop runs the third loop around the micro-kernel, parallelized over
+// mC-sized row panels.
+func (ctx *Context) icLoop(cTerms, aTerms []Term, pc, jc, m, kcur, ncur int) {
+	cfg := ctx.cfg
+	nBlocks := (m + cfg.MC - 1) / cfg.MC
+	workers := min(cfg.Threads, nBlocks)
+	if workers <= 1 {
+		for ic := 0; ic < m; ic += cfg.MC {
+			ctx.macroKernel(ctx.abufs[0], cTerms, aTerms, ic, pc, jc, min(cfg.MC, m-ic), kcur, ncur)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, nBlocks)
+	for b := 0; b < nBlocks; b++ {
+		next <- b
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(abuf []float64) {
+			defer wg.Done()
+			for b := range next {
+				ic := b * cfg.MC
+				ctx.macroKernel(abuf, cTerms, aTerms, ic, pc, jc, min(cfg.MC, m-ic), kcur, ncur)
+			}
+		}(ctx.abufs[w])
+	}
+	wg.Wait()
+}
+
+// macroKernel packs one Ã block and sweeps the second and first loops around
+// the micro-kernel, scattering each register tile into every C-side term.
+func (ctx *Context) macroKernel(abuf []float64, cTerms, aTerms []Term, ic, pc, jc, mcur, kcur, ncur int) {
+	kernel.PackA(abuf, aTerms, ic, pc, mcur, kcur)
+	var acc [kernel.MR * kernel.NR]float64
+	for jr := 0; jr < ncur; jr += kernel.NR {
+		nr := min(kernel.NR, ncur-jr)
+		bp := ctx.bbuf[(jr/kernel.NR)*kcur*kernel.NR:]
+		for ir := 0; ir < mcur; ir += kernel.MR {
+			mr := min(kernel.MR, mcur-ir)
+			ap := abuf[(ir/kernel.MR)*kernel.MR*kcur:]
+			kernel.Micro(kcur, ap, bp, &acc)
+			for _, ct := range cTerms {
+				kernel.Scatter(ct.M, ic+ir, jc+jr, ct.Coef, &acc, mr, nr)
+			}
+		}
+	}
+}
+
+func dims(terms []Term, side string) (r, c int) {
+	if len(terms) == 0 {
+		panic("gemm: empty " + side + " term list")
+	}
+	r, c = terms[0].M.Rows, terms[0].M.Cols
+	for _, t := range terms[1:] {
+		if t.M.Rows != r || t.M.Cols != c {
+			panic(fmt.Sprintf("gemm: ragged %s terms: %d×%d vs %d×%d", side, t.M.Rows, t.M.Cols, r, c))
+		}
+	}
+	return r, c
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,269 @@
+package gemm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fmmfam/internal/kernel"
+	"fmmfam/internal/matrix"
+)
+
+func smallCfg() Config { return Config{MC: 8, KC: 8, NC: 16, Threads: 1} }
+
+func randMat(rng *rand.Rand, r, c int) matrix.Mat {
+	m := matrix.New(r, c)
+	m.FillRand(rng)
+	return m
+}
+
+func TestMulAddMatchesReferenceVariedShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ctx := MustNewContext(smallCfg())
+	shapes := [][3]int{
+		{1, 1, 1}, {4, 4, 4}, {5, 7, 3}, {8, 8, 8}, {9, 17, 33},
+		{16, 1, 16}, {1, 32, 1}, {33, 9, 2}, {40, 40, 40},
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+		c := randMat(rng, m, n)
+		want := c.Clone()
+		matrix.MulAdd(want, a, b)
+		ctx.MulAdd(c, a, b)
+		if d := c.MaxAbsDiff(want); d > 1e-10 {
+			t.Fatalf("shape %v: diff %g", s, d)
+		}
+	}
+}
+
+func TestMulAddLargeBlocksCrossingAllLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ctx := MustNewContext(Config{MC: 12, KC: 10, NC: 20, Threads: 1})
+	// Sizes chosen to exercise partial blocks in every one of the 5 loops.
+	m, k, n := 37, 23, 45
+	a, b := randMat(rng, m, k), randMat(rng, k, n)
+	c := randMat(rng, m, n)
+	want := c.Clone()
+	matrix.MulAdd(want, a, b)
+	ctx.MulAdd(c, a, b)
+	if d := c.MaxAbsDiff(want); d > 1e-10 {
+		t.Fatalf("diff %g", d)
+	}
+}
+
+func TestMulAddOnViews(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ctx := MustNewContext(smallCfg())
+	big := randMat(rng, 30, 30)
+	a := big.View(2, 3, 10, 9)
+	b := big.View(12, 0, 9, 11)
+	c := matrix.New(10, 11)
+	want := matrix.New(10, 11)
+	matrix.MulAdd(want, a, b)
+	ctx.MulAdd(c, a, b)
+	if d := c.MaxAbsDiff(want); d > 1e-10 {
+		t.Fatalf("diff %g", d)
+	}
+}
+
+func TestFusedMulAddStrassenRow(t *testing.T) {
+	// The representative computation of Fig. 1 (right):
+	// M = (X+Y)(V+W); C += M; D -= M.
+	rng := rand.New(rand.NewSource(4))
+	ctx := MustNewContext(smallCfg())
+	x, y := randMat(rng, 12, 10), randMat(rng, 12, 10)
+	v, w := randMat(rng, 10, 14), randMat(rng, 10, 14)
+	c, d := randMat(rng, 12, 14), randMat(rng, 12, 14)
+	wantC, wantD := c.Clone(), d.Clone()
+
+	xs := x.Clone()
+	xs.AddScaled(1, y)
+	vs := v.Clone()
+	vs.AddScaled(1, w)
+	mtmp := matrix.New(12, 14)
+	matrix.MulAdd(mtmp, xs, vs)
+	wantC.AddScaled(1, mtmp)
+	wantD.AddScaled(-1, mtmp)
+
+	ctx.FusedMulAdd(
+		[]Term{{Coef: 1, M: c}, {Coef: -1, M: d}},
+		[]Term{{Coef: 1, M: x}, {Coef: 1, M: y}},
+		[]Term{{Coef: 1, M: v}, {Coef: 1, M: w}},
+	)
+	if c.MaxAbsDiff(wantC) > 1e-10 || d.MaxAbsDiff(wantD) > 1e-10 {
+		t.Fatal("fused Strassen row diverges from explicit computation")
+	}
+}
+
+func TestFusedMulAddFractionalCoefs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ctx := MustNewContext(smallCfg())
+	a1, a2 := randMat(rng, 9, 9), randMat(rng, 9, 9)
+	b1 := randMat(rng, 9, 9)
+	c := matrix.New(9, 9)
+	as := a1.Clone()
+	as.Scale(0.5)
+	as.AddScaled(-1.5, a2)
+	want := matrix.New(9, 9)
+	matrix.MulAdd(want, as, b1)
+	ctx.FusedMulAdd(
+		kernel.SingleTerm(c),
+		[]Term{{Coef: 0.5, M: a1}, {Coef: -1.5, M: a2}},
+		kernel.SingleTerm(b1),
+	)
+	if d := c.MaxAbsDiff(want); d > 1e-10 {
+		t.Fatalf("diff %g", d)
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m, k, n := 67, 41, 53
+	a, b := randMat(rng, m, k), randMat(rng, k, n)
+	c1, c2 := matrix.New(m, n), matrix.New(m, n)
+	serial := MustNewContext(Config{MC: 8, KC: 16, NC: 32, Threads: 1})
+	parallel := MustNewContext(Config{MC: 8, KC: 16, NC: 32, Threads: 4})
+	serial.MulAdd(c1, a, b)
+	parallel.MulAdd(c2, a, b)
+	if d := c1.MaxAbsDiff(c2); d != 0 {
+		t.Fatalf("parallel result differs by %g", d)
+	}
+}
+
+func TestParallelFusedMultiC(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b := randMat(rng, 40, 24), randMat(rng, 24, 36)
+	c1a, c1b := matrix.New(40, 36), matrix.New(40, 36)
+	c2a, c2b := matrix.New(40, 36), matrix.New(40, 36)
+	serial := MustNewContext(Config{MC: 8, KC: 8, NC: 16, Threads: 1})
+	parallel := MustNewContext(Config{MC: 8, KC: 8, NC: 16, Threads: 3})
+	serial.FusedMulAdd([]Term{{Coef: 1, M: c1a}, {Coef: -2, M: c1b}}, kernel.SingleTerm(a), kernel.SingleTerm(b))
+	parallel.FusedMulAdd([]Term{{Coef: 1, M: c2a}, {Coef: -2, M: c2b}}, kernel.SingleTerm(a), kernel.SingleTerm(b))
+	if c1a.MaxAbsDiff(c2a) != 0 || c1b.MaxAbsDiff(c2b) != 0 {
+		t.Fatal("parallel fused result differs")
+	}
+}
+
+func TestEmptyDimsNoop(t *testing.T) {
+	ctx := MustNewContext(smallCfg())
+	c := matrix.New(3, 3)
+	c.Fill(1)
+	ctx.MulAdd(c, matrix.New(3, 0), matrix.New(0, 3))
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if c.At(i, j) != 1 {
+				t.Fatal("k=0 must be a no-op")
+			}
+		}
+	}
+}
+
+func TestNewContextRejectsBadConfig(t *testing.T) {
+	if _, err := NewContext(Config{MC: 2, KC: 8, NC: 16, Threads: 1}); err == nil {
+		t.Fatal("MC < MR accepted")
+	}
+	if _, err := NewContext(Config{MC: 8, KC: 8, NC: 16, Threads: 0}); err == nil {
+		t.Fatal("0 threads accepted")
+	}
+}
+
+func TestDimMismatchPanics(t *testing.T) {
+	ctx := MustNewContext(smallCfg())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ctx.MulAdd(matrix.New(3, 3), matrix.New(3, 4), matrix.New(3, 3))
+}
+
+func TestRaggedTermsPanics(t *testing.T) {
+	ctx := MustNewContext(smallCfg())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ctx.FusedMulAdd(
+		kernel.SingleTerm(matrix.New(4, 4)),
+		[]Term{{Coef: 1, M: matrix.New(4, 4)}, {Coef: 1, M: matrix.New(4, 5)}},
+		kernel.SingleTerm(matrix.New(4, 4)),
+	)
+}
+
+// Property: GEMM through the blocked driver equals the reference for random
+// shapes and random blocking parameters.
+func TestBlockedEqualsReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			MC:      4 * (1 + rng.Intn(4)),
+			KC:      1 + rng.Intn(24),
+			NC:      4 * (1 + rng.Intn(6)),
+			Threads: 1 + rng.Intn(3),
+		}
+		ctx := MustNewContext(cfg)
+		m, k, n := 1+rng.Intn(30), 1+rng.Intn(30), 1+rng.Intn(30)
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+		c := randMat(rng, m, n)
+		want := c.Clone()
+		matrix.MulAdd(want, a, b)
+		ctx.MulAdd(c, a, b)
+		return c.MaxAbsDiff(want) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtremeBlockingKC1(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ctx := MustNewContext(Config{MC: 4, KC: 1, NC: 4, Threads: 1})
+	a, b := randMat(rng, 9, 7), randMat(rng, 7, 5)
+	c := matrix.New(9, 5)
+	want := matrix.New(9, 5)
+	matrix.MulAdd(want, a, b)
+	ctx.MulAdd(c, a, b)
+	if d := c.MaxAbsDiff(want); d > 1e-10 {
+		t.Fatalf("KC=1 diff %g", d)
+	}
+}
+
+func TestOperandsAsStridedViews(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	big := randMat(rng, 64, 64)
+	a := big.View(1, 1, 20, 30)
+	b := big.View(25, 10, 30, 22)
+	cHost := matrix.New(40, 40)
+	c := cHost.View(3, 5, 20, 22)
+	want := matrix.New(20, 22)
+	matrix.MulAdd(want, a, b)
+	MustNewContext(Config{MC: 8, KC: 8, NC: 16, Threads: 2}).MulAdd(c, a, b)
+	if d := c.Clone().MaxAbsDiff(want); d > 1e-10 {
+		t.Fatalf("view diff %g", d)
+	}
+	// The host matrix outside the view must be untouched.
+	if cHost.At(0, 0) != 0 || cHost.At(39, 39) != 0 || cHost.At(2, 5) != 0 {
+		t.Fatal("write leaked outside the C view")
+	}
+}
+
+func TestManyCTermsScatter(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, b := randMat(rng, 12, 12), randMat(rng, 12, 12)
+	targets := make([]Term, 5)
+	for i := range targets {
+		targets[i] = Term{Coef: float64(i) - 2, M: matrix.New(12, 12)}
+	}
+	MustNewContext(smallCfg()).FusedMulAdd(targets, kernel.SingleTerm(a), kernel.SingleTerm(b))
+	prod := matrix.New(12, 12)
+	matrix.MulAdd(prod, a, b)
+	for i, tm := range targets {
+		want := matrix.New(12, 12)
+		want.AddScaled(float64(i)-2, prod)
+		if d := tm.M.MaxAbsDiff(want); d > 1e-10 {
+			t.Fatalf("target %d diff %g", i, d)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package matrix provides dense, row-major, strided float64 matrices and the
+// small set of dense linear-algebra primitives the FMM stack is built on:
+// views (submatrices share storage), scaled accumulation, norms, comparison
+// helpers, and reference matrix products used as test oracles.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mat is a dense row-major matrix view. Element (i, j) lives at
+// Data[i*Stride+j]. A Mat may be a view into a larger matrix; mutating a view
+// mutates the parent. The zero Mat is an empty 0×0 matrix.
+type Mat struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float64
+}
+
+// New allocates a zeroed r×c matrix with a tight stride.
+func New(r, c int) Mat {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("matrix: negative dimensions %d×%d", r, c))
+	}
+	return Mat{Rows: r, Cols: c, Stride: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) Mat {
+	r := len(rows)
+	if r == 0 {
+		return Mat{}
+	}
+	c := len(rows[0])
+	m := New(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("matrix: ragged rows")
+		}
+		copy(m.Data[i*m.Stride:i*m.Stride+c], row)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m Mat) At(i, j int) float64 { return m.Data[i*m.Stride+j] }
+
+// Set assigns element (i, j).
+func (m Mat) Set(i, j int, v float64) { m.Data[i*m.Stride+j] = v }
+
+// Add adds v to element (i, j).
+func (m Mat) Add(i, j int, v float64) { m.Data[i*m.Stride+j] += v }
+
+// IsEmpty reports whether the matrix has no elements.
+func (m Mat) IsEmpty() bool { return m.Rows == 0 || m.Cols == 0 }
+
+// View returns the rows×cols submatrix with top-left corner (i, j), sharing
+// storage with m.
+func (m Mat) View(i, j, rows, cols int) Mat {
+	if i < 0 || j < 0 || rows < 0 || cols < 0 || i+rows > m.Rows || j+cols > m.Cols {
+		panic(fmt.Sprintf("matrix: view [%d:%d, %d:%d] out of %d×%d", i, i+rows, j, j+cols, m.Rows, m.Cols))
+	}
+	if rows == 0 || cols == 0 {
+		return Mat{Rows: rows, Cols: cols, Stride: m.Stride}
+	}
+	off := i*m.Stride + j
+	return Mat{Rows: rows, Cols: cols, Stride: m.Stride, Data: m.Data[off : off+(rows-1)*m.Stride+cols]}
+}
+
+// Block partitions m into an rBlocks×cBlocks grid of equal blocks and returns
+// block (bi, bj). Panics if the dimensions do not divide evenly.
+func (m Mat) Block(bi, bj, rBlocks, cBlocks int) Mat {
+	if m.Rows%rBlocks != 0 || m.Cols%cBlocks != 0 {
+		panic(fmt.Sprintf("matrix: %d×%d not divisible into %d×%d blocks", m.Rows, m.Cols, rBlocks, cBlocks))
+	}
+	br, bc := m.Rows/rBlocks, m.Cols/cBlocks
+	return m.View(bi*br, bj*bc, br, bc)
+}
+
+// Zero sets every element to 0.
+func (m Mat) Zero() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// Fill sets every element to v.
+func (m Mat) Fill(v float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] = v
+		}
+	}
+}
+
+// FillRand fills m with uniform values in [-1, 1).
+func (m Mat) FillRand(rng *rand.Rand) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] = 2*rng.Float64() - 1
+		}
+	}
+}
+
+// Clone returns a freshly allocated copy of m with a tight stride.
+func (m Mat) Clone() Mat {
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Data[i*out.Stride:i*out.Stride+m.Cols], m.Data[i*m.Stride:i*m.Stride+m.Cols])
+	}
+	return out
+}
+
+// CopyFrom copies src into m. Dimensions must match.
+func (m Mat) CopyFrom(src Mat) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("matrix: copy %d×%d from %d×%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.Data[i*m.Stride:i*m.Stride+m.Cols], src.Data[i*src.Stride:i*src.Stride+src.Cols])
+	}
+}
+
+// AddScaled accumulates m += alpha*x. Dimensions must match.
+func (m Mat) AddScaled(alpha float64, x Mat) {
+	if m.Rows != x.Rows || m.Cols != x.Cols {
+		panic(fmt.Sprintf("matrix: addscaled %d×%d += %d×%d", m.Rows, m.Cols, x.Rows, x.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		src := x.Data[i*x.Stride : i*x.Stride+x.Cols]
+		for j := range dst {
+			dst[j] += alpha * src[j]
+		}
+	}
+}
+
+// Scale multiplies every element by alpha.
+func (m Mat) Scale(alpha float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] *= alpha
+		}
+	}
+}
+
+// Transpose returns a newly allocated transpose of m.
+func (m Mat) Transpose() Mat {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Stride+i] = m.Data[i*m.Stride+j]
+		}
+	}
+	return out
+}
+
+// MaxAbs returns max |m(i,j)|.
+func (m Mat) MaxAbs() float64 {
+	v := 0.0
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for _, x := range row {
+			if a := math.Abs(x); a > v {
+				v = a
+			}
+		}
+	}
+	return v
+}
+
+// MaxAbsDiff returns max |m(i,j) - x(i,j)|.
+func (m Mat) MaxAbsDiff(x Mat) float64 {
+	if m.Rows != x.Rows || m.Cols != x.Cols {
+		panic(fmt.Sprintf("matrix: diff %d×%d vs %d×%d", m.Rows, m.Cols, x.Rows, x.Cols))
+	}
+	v := 0.0
+	for i := 0; i < m.Rows; i++ {
+		a := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		b := x.Data[i*x.Stride : i*x.Stride+x.Cols]
+		for j := range a {
+			if d := math.Abs(a[j] - b[j]); d > v {
+				v = d
+			}
+		}
+	}
+	return v
+}
+
+// EqualApprox reports whether every |m-x| element is within tol.
+func (m Mat) EqualApprox(x Mat, tol float64) bool {
+	return m.Rows == x.Rows && m.Cols == x.Cols && m.MaxAbsDiff(x) <= tol
+}
+
+// FrobNorm returns the Frobenius norm of m.
+func (m Mat) FrobNorm() float64 {
+	s := 0.0
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for _, x := range row {
+			s += x * x
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// String renders small matrices for debugging; large matrices are summarized.
+func (m Mat) String() string {
+	if m.Rows*m.Cols > 400 {
+		return fmt.Sprintf("Mat(%d×%d)", m.Rows, m.Cols)
+	}
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			s += fmt.Sprintf("%8.3g ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// MulAdd computes c += a*b with a straightforward triple loop. It is the slow,
+// obviously-correct oracle used by tests and by tiny fallback paths.
+func MulAdd(c, a, b Mat) {
+	checkMulDims(c, a, b)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*b.Stride : p*b.Stride+b.Cols]
+			for j := range crow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MulAddKahan computes c += a*b accumulating each output element with Kahan
+// compensated summation. It is the high-accuracy oracle for stability
+// experiments.
+func MulAddKahan(c, a, b Mat) {
+	checkMulDims(c, a, b)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			sum, comp := 0.0, 0.0
+			for p := 0; p < a.Cols; p++ {
+				y := a.At(i, p)*b.At(p, j) - comp
+				t := sum + y
+				comp = (t - sum) - y
+				sum = t
+			}
+			c.Add(i, j, sum)
+		}
+	}
+}
+
+func checkMulDims(c, a, b Mat) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("matrix: mul dims C(%d×%d) += A(%d×%d)·B(%d×%d)",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

@@ -1,0 +1,326 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || m.Stride != 4 {
+		t.Fatalf("got %d×%d stride %d", m.Rows, m.Cols, m.Stride)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("not zeroed at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.At(2, 1) != 6 || m.At(0, 0) != 1 {
+		t.Fatalf("bad values: %v", m)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer expectPanic(t, "ragged rows")
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m := FromRows(nil)
+	if !m.IsEmpty() {
+		t.Fatal("expected empty")
+	}
+}
+
+func TestSetAdd(t *testing.T) {
+	m := New(2, 2)
+	m.Set(1, 0, 3)
+	m.Add(1, 0, 2)
+	if m.At(1, 0) != 5 {
+		t.Fatalf("got %v", m.At(1, 0))
+	}
+}
+
+func TestViewSharesStorage(t *testing.T) {
+	m := New(4, 4)
+	v := m.View(1, 1, 2, 2)
+	v.Set(0, 0, 7)
+	if m.At(1, 1) != 7 {
+		t.Fatal("view does not alias parent")
+	}
+	if v.Rows != 2 || v.Cols != 2 || v.Stride != 4 {
+		t.Fatalf("bad view shape %d×%d stride %d", v.Rows, v.Cols, v.Stride)
+	}
+}
+
+func TestViewOfView(t *testing.T) {
+	m := New(8, 8)
+	m.Set(3, 3, 9)
+	v := m.View(2, 2, 4, 4).View(1, 1, 2, 2)
+	if v.At(0, 0) != 9 {
+		t.Fatal("nested view misaligned")
+	}
+}
+
+func TestViewBoundsPanic(t *testing.T) {
+	defer expectPanic(t, "view bounds")
+	New(3, 3).View(2, 2, 2, 2)
+}
+
+func TestViewZeroSize(t *testing.T) {
+	v := New(3, 3).View(1, 1, 0, 2)
+	if !v.IsEmpty() {
+		t.Fatal("expected empty view")
+	}
+}
+
+func TestBlock(t *testing.T) {
+	m := New(6, 4)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 4; j++ {
+			m.Set(i, j, float64(10*i+j))
+		}
+	}
+	b := m.Block(2, 1, 3, 2) // bottom-right 2×2 block
+	if b.Rows != 2 || b.Cols != 2 || b.At(0, 0) != 42 {
+		t.Fatalf("bad block: %v", b)
+	}
+}
+
+func TestBlockIndivisiblePanics(t *testing.T) {
+	defer expectPanic(t, "indivisible block")
+	New(5, 4).Block(0, 0, 2, 2)
+}
+
+func TestZeroFillScale(t *testing.T) {
+	m := New(3, 3)
+	m.Fill(2)
+	m.Scale(1.5)
+	if m.At(2, 2) != 3 {
+		t.Fatalf("got %v", m.At(2, 2))
+	}
+	m.Zero()
+	if m.MaxAbs() != 0 {
+		t.Fatal("zero failed")
+	}
+}
+
+func TestZeroOnViewLeavesRest(t *testing.T) {
+	m := New(4, 4)
+	m.Fill(1)
+	m.View(1, 1, 2, 2).Zero()
+	if m.At(0, 0) != 1 || m.At(1, 1) != 0 || m.At(3, 3) != 1 {
+		t.Fatal("view zero leaked")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 4)
+	c := m.Clone()
+	c.Set(1, 2, 5)
+	if m.At(1, 2) != 4 {
+		t.Fatal("clone aliases original")
+	}
+	if c.Stride != 3 {
+		t.Fatal("clone stride not tight")
+	}
+}
+
+func TestCloneOfView(t *testing.T) {
+	m := New(4, 4)
+	m.Set(2, 2, 8)
+	c := m.View(2, 2, 2, 2).Clone()
+	if c.At(0, 0) != 8 || c.Stride != 2 {
+		t.Fatalf("bad clone of view")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := New(2, 2)
+	b.CopyFrom(a)
+	if b.MaxAbsDiff(a) != 0 {
+		t.Fatal("copy mismatch")
+	}
+}
+
+func TestCopyFromDimMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "copy dims")
+	New(2, 2).CopyFrom(New(2, 3))
+}
+
+func TestAddScaled(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{10, 20}, {30, 40}})
+	a.AddScaled(0.5, b)
+	want := FromRows([][]float64{{6, 12}, {18, 24}})
+	if a.MaxAbsDiff(want) != 0 {
+		t.Fatalf("got %v", a)
+	}
+}
+
+func TestAddScaledDimMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "addscaled dims")
+	New(2, 2).AddScaled(1, New(3, 2))
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 0) != 3 || tr.At(0, 1) != 4 {
+		t.Fatalf("bad transpose %v", tr)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	m := FromRows([][]float64{{3, 0}, {0, -4}})
+	if m.MaxAbs() != 4 {
+		t.Fatalf("maxabs %v", m.MaxAbs())
+	}
+	if math.Abs(m.FrobNorm()-5) > 1e-15 {
+		t.Fatalf("frob %v", m.FrobNorm())
+	}
+}
+
+func TestEqualApprox(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{1, 2.0000001}})
+	if !a.EqualApprox(b, 1e-6) || a.EqualApprox(b, 1e-9) {
+		t.Fatal("tolerance behaviour wrong")
+	}
+	if a.EqualApprox(New(2, 1), 1) {
+		t.Fatal("shape mismatch should not be equal")
+	}
+}
+
+func TestMulAddSmallKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := New(2, 2)
+	c.Fill(1)
+	MulAdd(c, a, b)
+	want := FromRows([][]float64{{20, 23}, {44, 51}})
+	if c.MaxAbsDiff(want) != 0 {
+		t.Fatalf("got %v", c)
+	}
+}
+
+func TestMulAddKahanMatchesMulAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, b := New(7, 5), New(5, 9)
+	a.FillRand(rng)
+	b.FillRand(rng)
+	c1, c2 := New(7, 9), New(7, 9)
+	MulAdd(c1, a, b)
+	MulAddKahan(c2, a, b)
+	if c1.MaxAbsDiff(c2) > 1e-12 {
+		t.Fatalf("diff %g", c1.MaxAbsDiff(c2))
+	}
+}
+
+func TestMulAddDimPanic(t *testing.T) {
+	defer expectPanic(t, "mul dims")
+	MulAdd(New(2, 2), New(2, 3), New(2, 2))
+}
+
+// Property: (A+B)C == AC + BC under the reference multiply.
+func TestMulAddLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(8), 1+r.Intn(8), 1+r.Intn(8)
+		a1, a2, b := New(m, k), New(m, k), New(k, n)
+		a1.FillRand(r)
+		a2.FillRand(r)
+		b.FillRand(r)
+		sum := a1.Clone()
+		sum.AddScaled(1, a2)
+		c1 := New(m, n)
+		MulAdd(c1, sum, b)
+		c2 := New(m, n)
+		MulAdd(c2, a1, b)
+		MulAdd(c2, a2, b)
+		return c1.MaxAbsDiff(c2) < 1e-12
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: views tile the matrix exactly (Block covers all elements once).
+func TestBlockTilingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rb, cb := 1+r.Intn(4), 1+r.Intn(4)
+		br, bc := 1+r.Intn(5), 1+r.Intn(5)
+		m := New(rb*br, cb*bc)
+		for bi := 0; bi < rb; bi++ {
+			for bj := 0; bj < cb; bj++ {
+				m.Block(bi, bj, rb, cb).Fill(float64(bi*cb + bj))
+			}
+		}
+		for i := 0; i < m.Rows; i++ {
+			for j := 0; j < m.Cols; j++ {
+				if m.At(i, j) != float64((i/br)*cb+(j/bc)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func expectPanic(t *testing.T, what string) {
+	t.Helper()
+	if recover() == nil {
+		t.Fatalf("expected panic: %s", what)
+	}
+}
+
+// Property: nested views compose like offset addition.
+func TestNestedViewCompositionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := New(20, 20)
+		m.FillRand(r)
+		i1, j1 := r.Intn(8), r.Intn(8)
+		r1, c1 := 1+r.Intn(12-max(i1, j1)), 1+r.Intn(12-max(i1, j1))
+		i2, j2 := r.Intn(r1), r.Intn(c1)
+		r2, c2 := 1+r.Intn(r1-i2), 1+r.Intn(c1-j2)
+		direct := m.View(i1+i2, j1+j2, r2, c2)
+		nested := m.View(i1, j1, r1, c1).View(i2, j2, r2, c2)
+		return direct.MaxAbsDiff(nested.Clone()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := New(7, 11)
+	m.FillRand(rng)
+	if m.Transpose().Transpose().MaxAbsDiff(m) != 0 {
+		t.Fatal("transpose² != identity")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,279 @@
+// Package model implements the paper's performance model (Figures 4 and 5):
+// an analytic prediction of the execution time T = Ta + Tm of plain GEMM and
+// of every generated FMM implementation (Naive/AB/ABC, any level count, any
+// per-level ⟦U,V,W⟧), used to select implementations without exhaustive
+// search (§4.2–§4.4). Times are decomposed exactly as in Figure 5:
+//
+//	Ta = N×a·T×a + N^{A+}a·T^{A+}a + N^{B+}a·T^{B+}a + N^{C+}a·T^{C+}a
+//	Tm = N^{A×}m·T^{A×}m + N^{B×}m·T^{B×}m + N^{C×}m·T^{C×}m
+//	   + N^{A+}m·T^{A+}m + N^{B+}m·T^{B+}m + N^{C+}m·T^{C+}m
+//
+// with the per-variant coefficient tables from the bottom of Figure 5.
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"fmmfam/internal/core"
+	"fmmfam/internal/fmmexec"
+	"fmmfam/internal/gemm"
+	"fmmfam/internal/matrix"
+)
+
+// Arch holds the architecture parameters of the model (Figure 4): τa is the
+// reciprocal of peak flops/s, τb the amortized seconds per 8-byte element
+// moved from DRAM, λ ∈ [0.5,1] the prefetch efficiency of the C micro-tile
+// traffic, and {MC,KC,NC} the cache blocking of Figure 1.
+type Arch struct {
+	TauA   float64
+	TauB   float64
+	Lambda float64
+	MC     int
+	KC     int
+	NC     int
+}
+
+// PaperIvyBridge returns the machine of §5.1: one core of a Xeon E5-2680 v2
+// at 3.54 GHz (28.32 GFLOPS peak) with 59.7 GB/s peak bandwidth and the BLIS
+// blocking kC=256, nC=4096 (mC=96). λ defaults to 0.7, mid-range of the
+// paper's [0.5, 1].
+func PaperIvyBridge() Arch {
+	return Arch{
+		TauA:   1 / 28.32e9,
+		TauB:   8 / 59.7e9,
+		Lambda: 0.7,
+		MC:     96,
+		KC:     256,
+		NC:     4096,
+	}
+}
+
+// Stats are the composite quantities of an L-level algorithm that the model
+// consumes: M̃L = Πm̃l, K̃L, ÑL, RL = ΠRl, and nnz(⊗U), nnz(⊗V), nnz(⊗W).
+type Stats struct {
+	MT, KT, NT       int
+	R                int
+	NnzU, NnzV, NnzW int
+}
+
+// StatsOf computes composite stats for a multi-level plan (nnz of a Kronecker
+// product is the product of the factors' nnz).
+func StatsOf(levels ...core.Algorithm) Stats {
+	s := Stats{MT: 1, KT: 1, NT: 1, R: 1, NnzU: 1, NnzV: 1, NnzW: 1}
+	for _, l := range levels {
+		u, v, w := l.NNZ()
+		s.MT *= l.M
+		s.KT *= l.K
+		s.NT *= l.N
+		s.R *= l.R
+		s.NnzU *= u
+		s.NnzV *= v
+		s.NnzW *= w
+	}
+	return s
+}
+
+// Breakdown is a predicted execution time split into arithmetic and memory
+// components.
+type Breakdown struct {
+	Ta, Tm float64
+}
+
+// Total is T = Ta + Tm in seconds.
+func (b Breakdown) Total() float64 { return b.Ta + b.Tm }
+
+// EffectiveGFLOPS is the paper's metric 2·m·n·k / T · 1e-9: classical flops
+// divided by wall time, so FMM implementations can exceed "peak".
+func EffectiveGFLOPS(m, k, n int, seconds float64) float64 {
+	return 2 * float64(m) * float64(n) * float64(k) / seconds * 1e-9
+}
+
+// PredictGEMM evaluates the model's gemm column for C(m×n) += A(m×k)·B(k×n).
+func PredictGEMM(arch Arch, m, k, n int) Breakdown {
+	fm, fk, fn := float64(m), float64(k), float64(n)
+	var b Breakdown
+	b.Ta = 2 * fm * fn * fk * arch.TauA
+	b.Tm = arch.TauB * (fm*fk*math.Ceil(fn/float64(arch.NC)) + // A packing reads
+		fn*fk + // B packing reads
+		2*arch.Lambda*fm*fn*math.Ceil(fk/float64(arch.KC))) // C micro-tile r/w
+	return b
+}
+
+// Predict evaluates the model for an L-level FMM implementation with
+// composite stats s and the given variant.
+func Predict(arch Arch, s Stats, v fmmexec.Variant, m, k, n int) Breakdown {
+	sm := float64(m) / float64(s.MT)
+	sk := float64(k) / float64(s.KT)
+	sn := float64(n) / float64(s.NT)
+	r := float64(s.R)
+	nnzU, nnzV, nnzW := float64(s.NnzU), float64(s.NnzV), float64(s.NnzW)
+
+	// Unit times (Figure 5, middle table, L-level column).
+	tXa := 2 * sm * sn * sk * arch.TauA
+	tAaddA := 2 * sm * sk * arch.TauA
+	tBaddA := 2 * sk * sn * arch.TauA
+	tCaddA := 2 * sm * sn * arch.TauA
+	tAXm := arch.TauB * sm * sk * math.Ceil(sn/float64(arch.NC))
+	tBXm := arch.TauB * sn * sk
+	tCXm := 2 * arch.Lambda * arch.TauB * sm * sn * math.Ceil(sk/float64(arch.KC))
+	tAaddM := arch.TauB * sm * sk
+	tBaddM := arch.TauB * sk * sn
+	tCaddM := arch.TauB * sm * sn
+
+	var b Breakdown
+	// Arithmetic counts are identical for all three variants.
+	b.Ta = r*tXa + (nnzU-r)*tAaddA + (nnzV-r)*tBaddA + nnzW*tCaddA
+
+	// Memory counts (Figure 5, bottom table).
+	switch v {
+	case fmmexec.ABC:
+		b.Tm = nnzU*tAXm + nnzV*tBXm + nnzW*tCXm
+	case fmmexec.AB:
+		b.Tm = nnzU*tAXm + nnzV*tBXm + r*tCXm + 3*nnzW*tCaddM
+	case fmmexec.Naive:
+		b.Tm = r*tAXm + r*tBXm + r*tCXm +
+			(nnzU+r)*tAaddM + (nnzV+r)*tBaddM + 3*nnzW*tCaddM
+	default:
+		panic(fmt.Sprintf("model: unknown variant %v", v))
+	}
+	return b
+}
+
+// Candidate is one generated implementation considered by the selector.
+type Candidate struct {
+	Levels  []core.Algorithm
+	Variant fmmexec.Variant
+}
+
+// Name renders the candidate like the paper's legends, e.g. "<2,2,2>+<3,3,3> ABC".
+func (c Candidate) Name() string {
+	s := ""
+	for i, l := range c.Levels {
+		if i > 0 {
+			s += "+"
+		}
+		s += l.ShapeString()
+	}
+	return s + " " + c.Variant.String()
+}
+
+// Stats returns the candidate's composite model stats.
+func (c Candidate) Stats() Stats { return StatsOf(c.Levels...) }
+
+// Ranked pairs a candidate with its predicted time.
+type Ranked struct {
+	Candidate Candidate
+	Predicted float64 // seconds
+}
+
+// Rank predicts every candidate for problem size (m,k,n) and returns them
+// sorted by predicted time, fastest first.
+func Rank(arch Arch, cands []Candidate, m, k, n int) []Ranked {
+	out := make([]Ranked, len(cands))
+	for i, c := range cands {
+		out[i] = Ranked{Candidate: c, Predicted: Predict(arch, c.Stats(), c.Variant, m, k, n).Total()}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Predicted < out[j].Predicted })
+	return out
+}
+
+// Select implements §4.4: take the top two candidates by predicted time,
+// measure both with the supplied measurement function (seconds), and return
+// the faster. With fewer than two candidates the best prediction wins
+// unmeasured.
+func Select(arch Arch, cands []Candidate, m, k, n int, measure func(Candidate) float64) (Candidate, error) {
+	if len(cands) == 0 {
+		return Candidate{}, fmt.Errorf("model: no candidates")
+	}
+	ranked := Rank(arch, cands, m, k, n)
+	if len(ranked) == 1 || measure == nil {
+		return ranked[0].Candidate, nil
+	}
+	a, b := ranked[0].Candidate, ranked[1].Candidate
+	if measure(a) <= measure(b) {
+		return a, nil
+	}
+	return b, nil
+}
+
+// DefaultCandidates enumerates the implementation family the paper's
+// experiments sweep: every Figure-2 catalog shape at one and two
+// (homogeneous) levels in all three variants, plus the Figure-9 hybrids.
+func DefaultCandidates() []Candidate {
+	var out []Candidate
+	cat := core.Catalog()
+	for _, e := range cat {
+		for _, v := range fmmexec.Variants {
+			out = append(out, Candidate{Levels: []core.Algorithm{e.Algorithm}, Variant: v})
+			out = append(out, Candidate{Levels: []core.Algorithm{e.Algorithm, e.Algorithm}, Variant: v})
+		}
+	}
+	s := core.Generate(2, 2, 2)
+	for _, second := range [][3]int{{2, 3, 2}, {3, 3, 3}} {
+		h := core.Generate(second[0], second[1], second[2])
+		for _, v := range fmmexec.Variants {
+			out = append(out, Candidate{Levels: []core.Algorithm{s, h}, Variant: v})
+		}
+	}
+	return out
+}
+
+// FitLambda solves for the prefetch-efficiency parameter λ so that the
+// model's GEMM prediction matches a measured execution time at (m,k,n) —
+// the paper's "λ is adapted to match gemm performance". The result is
+// clamped to the model's admissible range [0.5, 1].
+func FitLambda(arch Arch, m, k, n int, measuredSeconds float64) Arch {
+	fm, fk, fn := float64(m), float64(k), float64(n)
+	ta := 2 * fm * fn * fk * arch.TauA
+	fixed := arch.TauB * (fm*fk*math.Ceil(fn/float64(arch.NC)) + fn*fk)
+	cTerm := 2 * arch.TauB * fm * fn * math.Ceil(fk/float64(arch.KC))
+	lambda := (measuredSeconds - ta - fixed) / cTerm
+	if lambda < 0.5 {
+		lambda = 0.5
+	} else if lambda > 1 {
+		lambda = 1
+	}
+	arch.Lambda = lambda
+	return arch
+}
+
+// Calibrate measures this machine's τa and τb for the given gemm
+// configuration: τa from the effective flop rate of a square GEMM of size
+// probe (which bakes the pure-Go kernel's efficiency into the model, as the
+// paper bakes in its assembly kernel's), τb from a large strided
+// read-modify-write sweep. λ is left at 0.7.
+func Calibrate(cfg gemm.Config, probe int) (Arch, error) {
+	if probe < 64 {
+		return Arch{}, fmt.Errorf("model: probe %d too small", probe)
+	}
+	ctx, err := gemm.NewContext(cfg)
+	if err != nil {
+		return Arch{}, err
+	}
+	a, b, c := matrix.New(probe, probe), matrix.New(probe, probe), matrix.New(probe, probe)
+	a.Fill(1.0 / 3)
+	b.Fill(2.0 / 3)
+	ctx.MulAdd(c, a, b) // warm up
+	c.Zero()
+	start := time.Now()
+	ctx.MulAdd(c, a, b)
+	el := time.Since(start).Seconds()
+	flops := 2 * float64(probe) * float64(probe) * float64(probe)
+	tauA := el / flops
+
+	// Bandwidth probe: stream-add over a buffer far larger than cache.
+	buf := make([]float64, 1<<24) // 128 MiB
+	start = time.Now()
+	for i := range buf {
+		buf[i] += 1
+	}
+	el = time.Since(start).Seconds()
+	tauB := el / float64(len(buf)) // read+write amortized per element
+	if buf[0] != 1 {
+		return Arch{}, fmt.Errorf("model: unreachable")
+	}
+	return Arch{TauA: tauA, TauB: tauB, Lambda: 0.7, MC: cfg.MC, KC: cfg.KC, NC: cfg.NC}, nil
+}

@@ -1,0 +1,125 @@
+// Package morton implements the recursive block storage indexing
+// (Morton-like ordering) of Figure 3 of the paper and the mixed-radix index
+// arithmetic that connects the Kronecker-product coefficient order of
+// multi-level FMM algorithms to flat row-major block coordinates.
+//
+// For L levels with per-level grid (r_l × c_l), a block is addressed either
+//   - recursively: index i = Σ_l i_l · Π_{l'>l}(r_{l'}·c_{l'}) with
+//     i_l = row_l·c_l + col_l (this is the order in which Kronecker-product
+//     coefficient rows are laid out), or
+//   - flatly: (row, col) in the Π r_l × Π c_l grid obtained by fully
+//     subdividing the matrix, with row = Σ row_l · Π_{l'>l} r_{l'} and
+//     likewise for col.
+package morton
+
+import "fmt"
+
+// Grid is one level's partitioning: R rows by C columns of blocks.
+type Grid struct{ R, C int }
+
+// Total returns the total block count Π r_l·c_l across levels.
+func Total(levels []Grid) int {
+	n := 1
+	for _, g := range levels {
+		n *= g.R * g.C
+	}
+	return n
+}
+
+// Dims returns the flat grid dimensions (Π r_l, Π c_l).
+func Dims(levels []Grid) (rows, cols int) {
+	rows, cols = 1, 1
+	for _, g := range levels {
+		rows *= g.R
+		cols *= g.C
+	}
+	return rows, cols
+}
+
+// Decode splits a recursive index into per-level (row, col) digits, outermost
+// level first.
+func Decode(levels []Grid, idx int) (rows, cols []int) {
+	n := Total(levels)
+	if idx < 0 || idx >= n {
+		panic(fmt.Sprintf("morton: index %d out of range [0,%d)", idx, n))
+	}
+	rows = make([]int, len(levels))
+	cols = make([]int, len(levels))
+	for l := len(levels) - 1; l >= 0; l-- {
+		g := levels[l]
+		d := idx % (g.R * g.C)
+		idx /= g.R * g.C
+		rows[l], cols[l] = d/g.C, d%g.C
+	}
+	return rows, cols
+}
+
+// Encode is the inverse of Decode.
+func Encode(levels []Grid, rows, cols []int) int {
+	if len(rows) != len(levels) || len(cols) != len(levels) {
+		panic("morton: digit count mismatch")
+	}
+	idx := 0
+	for l, g := range levels {
+		r, c := rows[l], cols[l]
+		if r < 0 || r >= g.R || c < 0 || c >= g.C {
+			panic(fmt.Sprintf("morton: digit (%d,%d) out of %d×%d at level %d", r, c, g.R, g.C, l))
+		}
+		idx = idx*(g.R*g.C) + r*g.C + c
+	}
+	return idx
+}
+
+// ToFlat converts a recursive index to flat row-major grid coordinates.
+func ToFlat(levels []Grid, idx int) (row, col int) {
+	rows, cols := Decode(levels, idx)
+	for l, g := range levels {
+		row = row*g.R + rows[l]
+		col = col*g.C + cols[l]
+	}
+	return row, col
+}
+
+// FromFlat converts flat grid coordinates to the recursive index.
+func FromFlat(levels []Grid, row, col int) int {
+	tr, tc := Dims(levels)
+	if row < 0 || row >= tr || col < 0 || col >= tc {
+		panic(fmt.Sprintf("morton: flat (%d,%d) out of %d×%d", row, col, tr, tc))
+	}
+	rows := make([]int, len(levels))
+	cols := make([]int, len(levels))
+	for l := len(levels) - 1; l >= 0; l-- {
+		g := levels[l]
+		rows[l], row = row%g.R, row/g.R
+		cols[l], col = col%g.C, col/g.C
+	}
+	return Encode(levels, rows, cols)
+}
+
+// Permutation returns p where p[recursiveIndex] = flatRowMajorIndex, i.e. the
+// row permutation that converts Kronecker-ordered coefficient rows to flat
+// block order.
+func Permutation(levels []Grid) []int {
+	n := Total(levels)
+	_, tc := Dims(levels)
+	p := make([]int, n)
+	for i := 0; i < n; i++ {
+		r, c := ToFlat(levels, i)
+		p[i] = r*tc + c
+	}
+	return p
+}
+
+// Table renders the recursive index of every flat block position as a grid of
+// integers, reproducing Figure 3 of the paper for levels = three ⟨2,2⟩ grids.
+func Table(levels []Grid) [][]int {
+	tr, tc := Dims(levels)
+	out := make([][]int, tr)
+	for r := 0; r < tr; r++ {
+		out[r] = make([]int, tc)
+		for c := 0; c < tc; c++ {
+			out[r][c] = FromFlat(levels, r, c)
+		}
+	}
+	return out
+}

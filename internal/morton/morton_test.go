@@ -1,0 +1,150 @@
+package morton
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func lv(pairs ...int) []Grid {
+	g := make([]Grid, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		g = append(g, Grid{pairs[i], pairs[i+1]})
+	}
+	return g
+}
+
+func TestTotalDims(t *testing.T) {
+	levels := lv(2, 3, 4, 5)
+	if Total(levels) != 120 {
+		t.Fatalf("total %d", Total(levels))
+	}
+	r, c := Dims(levels)
+	if r != 8 || c != 15 {
+		t.Fatalf("dims %d×%d", r, c)
+	}
+}
+
+// Figure 3 of the paper: three levels of 2×2 splitting of an 8-row grid.
+// The first two rows of the figure read 0 1 4 5 16 17 20 21 / 2 3 6 7 ...
+func TestFigure3Reproduction(t *testing.T) {
+	tab := Table(lv(2, 2, 2, 2, 2, 2))
+	wantRow0 := []int{0, 1, 4, 5, 16, 17, 20, 21}
+	wantRow1 := []int{2, 3, 6, 7, 18, 19, 22, 23}
+	wantRow7 := []int{42, 43, 46, 47, 58, 59, 62, 63}
+	for j := range wantRow0 {
+		if tab[0][j] != wantRow0[j] || tab[1][j] != wantRow1[j] || tab[7][j] != wantRow7[j] {
+			t.Fatalf("figure 3 mismatch:\nrow0 %v\nrow1 %v\nrow7 %v", tab[0], tab[1], tab[7])
+		}
+	}
+}
+
+func TestSingleLevelIsRowMajor(t *testing.T) {
+	levels := lv(3, 4)
+	for i := 0; i < 12; i++ {
+		r, c := ToFlat(levels, i)
+		if r != i/4 || c != i%4 {
+			t.Fatalf("idx %d → (%d,%d)", i, r, c)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	levels := lv(2, 3, 3, 2)
+	for i := 0; i < Total(levels); i++ {
+		rs, cs := Decode(levels, i)
+		if Encode(levels, rs, cs) != i {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+}
+
+func TestToFromFlatBijection(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := 1 + rng.Intn(3)
+		levels := make([]Grid, nl)
+		for l := range levels {
+			levels[l] = Grid{1 + rng.Intn(3), 1 + rng.Intn(3)}
+		}
+		seen := map[[2]int]bool{}
+		for i := 0; i < Total(levels); i++ {
+			r, c := ToFlat(levels, i)
+			if seen[[2]int{r, c}] {
+				return false // not injective
+			}
+			seen[[2]int{r, c}] = true
+			if FromFlat(levels, r, c) != i {
+				return false
+			}
+		}
+		tr, tc := Dims(levels)
+		return len(seen) == tr*tc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermutationIsPermutation(t *testing.T) {
+	levels := lv(2, 2, 3, 2)
+	p := Permutation(levels)
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDecodeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Decode(lv(2, 2), 4)
+}
+
+func TestFromFlatOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromFlat(lv(2, 2), 2, 0)
+}
+
+func TestEncodeBadDigitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Encode(lv(2, 2), []int{2}, []int{0})
+}
+
+// Hand-checked rectangular grid: one level 2×3 is plain row-major; two
+// levels (2×1, 1×3) index rows-then-columns.
+func TestRectangularGrids(t *testing.T) {
+	tab := Table(lv(2, 1, 1, 3))
+	want := [][]int{{0, 1, 2}, {3, 4, 5}}
+	for r := range want {
+		for c := range want[r] {
+			if tab[r][c] != want[r][c] {
+				t.Fatalf("got %v", tab)
+			}
+		}
+	}
+	tab2 := Table(lv(1, 3, 2, 1))
+	// Outer splits into 3 column strips; inner splits each into 2 rows.
+	want2 := [][]int{{0, 2, 4}, {1, 3, 5}}
+	for r := range want2 {
+		for c := range want2[r] {
+			if tab2[r][c] != want2[r][c] {
+				t.Fatalf("got %v", tab2)
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package stability measures the forward error of FMM implementations
+// against a compensated-summation reference, quantifying the numerical
+// degradation the paper cites as the reason only a few recursion levels are
+// used in practice (§2.2, refs [8,9,10]).
+package stability
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fmmfam/internal/core"
+	"fmmfam/internal/fmmexec"
+	"fmmfam/internal/gemm"
+	"fmmfam/internal/matrix"
+)
+
+// Result is one error measurement.
+type Result struct {
+	Plan    string
+	M, K, N int
+	MaxErr  float64 // max elementwise |FMM − Kahan reference|
+	RelErr  float64 // MaxErr normalized by max |reference|
+	GemmErr float64 // same metric for the plain blocked GEMM, as a floor
+}
+
+// Measure runs plan and the plain GEMM baseline on random uniform [-1,1)
+// inputs of the given size and reports both errors against the Kahan oracle.
+func Measure(p *fmmexec.Plan, m, k, n int, seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	a, b := matrix.New(m, k), matrix.New(k, n)
+	a.FillRand(rng)
+	b.FillRand(rng)
+
+	ref := matrix.New(m, n)
+	matrix.MulAddKahan(ref, a, b)
+	scale := ref.MaxAbs()
+	if scale == 0 {
+		scale = 1
+	}
+
+	cf := matrix.New(m, n)
+	p.MulAdd(cf, a, b)
+
+	cg := matrix.New(m, n)
+	p.Context().MulAdd(cg, a, b)
+
+	return Result{
+		Plan: p.String(),
+		M:    m, K: k, N: n,
+		MaxErr:  cf.MaxAbsDiff(ref),
+		RelErr:  cf.MaxAbsDiff(ref) / scale,
+		GemmErr: cg.MaxAbsDiff(ref),
+	}
+}
+
+// LevelSweep measures the error growth of repeated self-composition of algo
+// (1..maxLevels levels), the experiment behind the observation that FMM
+// "becomes more numerically unstable particularly when more than two levels
+// of recursion are employed".
+func LevelSweep(cfg gemm.Config, algo core.Algorithm, variant fmmexec.Variant, maxLevels, size int, seed int64) ([]Result, error) {
+	if maxLevels < 1 {
+		return nil, fmt.Errorf("stability: maxLevels %d", maxLevels)
+	}
+	var out []Result
+	levels := []core.Algorithm{}
+	for l := 1; l <= maxLevels; l++ {
+		levels = append(levels, algo)
+		p, err := fmmexec.NewPlan(cfg, variant, levels...)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Measure(p, size, size, size, seed))
+	}
+	return out, nil
+}

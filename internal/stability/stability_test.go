@@ -1,0 +1,58 @@
+package stability
+
+import (
+	"testing"
+
+	"fmmfam/internal/core"
+	"fmmfam/internal/fmmexec"
+	"fmmfam/internal/gemm"
+)
+
+func cfg() gemm.Config { return gemm.Config{MC: 16, KC: 16, NC: 32, Threads: 1} }
+
+func TestMeasureErrorsAreTiny(t *testing.T) {
+	p := fmmexec.MustNewPlan(cfg(), fmmexec.ABC, core.Strassen())
+	r := Measure(p, 48, 48, 48, 1)
+	if r.MaxErr <= 0 || r.MaxErr > 1e-11 {
+		t.Fatalf("Strassen error %g out of expected range", r.MaxErr)
+	}
+	if r.GemmErr <= 0 || r.GemmErr > 1e-12 {
+		t.Fatalf("GEMM error %g out of expected range", r.GemmErr)
+	}
+	if r.RelErr <= 0 || r.RelErr > 1e-10 {
+		t.Fatalf("relative error %g", r.RelErr)
+	}
+	if r.Plan != "<2,2,2> ABC" {
+		t.Fatalf("plan name %q", r.Plan)
+	}
+}
+
+func TestFMMLessAccurateThanGemm(t *testing.T) {
+	// The paper's stability caveat: Strassen's error exceeds classical GEMM's.
+	p := fmmexec.MustNewPlan(cfg(), fmmexec.ABC, core.Strassen(), core.Strassen())
+	r := Measure(p, 64, 64, 64, 2)
+	if r.MaxErr <= r.GemmErr {
+		t.Fatalf("expected FMM err %g > gemm err %g", r.MaxErr, r.GemmErr)
+	}
+}
+
+func TestLevelSweepErrorGrows(t *testing.T) {
+	rs, err := LevelSweep(cfg(), core.Strassen(), fmmexec.ABC, 3, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	// Error is expected to grow (not necessarily strictly) with levels;
+	// require three levels to be worse than one.
+	if rs[2].MaxErr <= rs[0].MaxErr {
+		t.Fatalf("3-level error %g not above 1-level %g", rs[2].MaxErr, rs[0].MaxErr)
+	}
+}
+
+func TestLevelSweepValidates(t *testing.T) {
+	if _, err := LevelSweep(cfg(), core.Strassen(), fmmexec.ABC, 0, 16, 1); err == nil {
+		t.Fatal("maxLevels 0 accepted")
+	}
+}

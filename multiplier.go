@@ -1,0 +1,104 @@
+package fmmfam
+
+import (
+	"fmt"
+	"sync"
+
+	"fmmfam/internal/model"
+)
+
+// Multiplier is the library-integration entry point the paper's conclusion
+// argues for ("Strassen-like fast matrix multiplication can be incorporated
+// into libraries for practical use"): a reusable multiplier that selects an
+// implementation per problem shape with the performance model and caches the
+// constructed plans, so steady-state calls pay no selection or setup cost.
+//
+// A Multiplier is safe for concurrent construction of plans but, like the
+// underlying plans, must not execute two multiplications concurrently.
+type Multiplier struct {
+	cfg  Config
+	arch Arch
+
+	mu    sync.Mutex
+	plans map[string]*Plan
+}
+
+// NewMultiplier returns a Multiplier using the given blocking/threads and
+// machine parameters for selection. Use PaperArch() when no calibration is
+// available; relative rankings transfer well across machines.
+func NewMultiplier(cfg Config, arch Arch) *Multiplier {
+	return &Multiplier{cfg: cfg, arch: arch, plans: map[string]*Plan{}}
+}
+
+// MulAdd computes c += a·b, choosing and caching an implementation for the
+// problem's shape class.
+func (mu *Multiplier) MulAdd(c, a, b Matrix) error {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		return fmt.Errorf("fmmfam: dims C(%d×%d) += A(%d×%d)·B(%d×%d)",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if a.Rows == 0 || a.Cols == 0 || b.Cols == 0 {
+		return nil
+	}
+	p, err := mu.planFor(a.Rows, a.Cols, b.Cols)
+	if err != nil {
+		return err
+	}
+	p.MulAdd(c, a, b)
+	return nil
+}
+
+// PlanFor exposes the plan the multiplier would use for a problem size
+// (useful for inspection and testing).
+func (mu *Multiplier) PlanFor(m, k, n int) (*Plan, error) { return mu.planFor(m, k, n) }
+
+func (mu *Multiplier) planFor(m, k, n int) (*Plan, error) {
+	key := shapeClass(m, k, n)
+	mu.mu.Lock()
+	defer mu.mu.Unlock()
+	if p, ok := mu.plans[key]; ok {
+		return p, nil
+	}
+	cand := Recommend(mu.arch, m, k, n)
+	p, err := NewPlan(mu.cfg, cand.Variant, cand.Levels...)
+	if err != nil {
+		return nil, err
+	}
+	mu.plans[key] = p
+	return p, nil
+}
+
+// CachedPlans reports how many distinct shape classes have been planned.
+func (mu *Multiplier) CachedPlans() int {
+	mu.mu.Lock()
+	defer mu.mu.Unlock()
+	return len(mu.plans)
+}
+
+// shapeClass buckets problem sizes so that nearby sizes share a plan: each
+// dimension is rounded to its power-of-two bucket. The model's selection is
+// stable well beyond this granularity.
+func shapeClass(m, k, n int) string {
+	return fmt.Sprintf("%d/%d/%d", bucket(m), bucket(k), bucket(n))
+}
+
+func bucket(x int) int {
+	b := 1
+	for b < x {
+		b <<= 1
+	}
+	return b
+}
+
+// recommendLocked avoids re-enumerating candidates on every planFor call.
+var defaultCandidatesOnce struct {
+	sync.Once
+	cands []Candidate
+}
+
+func defaultCandidates() []Candidate {
+	defaultCandidatesOnce.Do(func() {
+		defaultCandidatesOnce.cands = model.DefaultCandidates()
+	})
+	return defaultCandidatesOnce.cands
+}

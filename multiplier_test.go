@@ -1,0 +1,76 @@
+package fmmfam
+
+import (
+	"math/rand"
+	"testing"
+
+	"fmmfam/internal/matrix"
+)
+
+func TestMultiplierCorrectAcrossShapes(t *testing.T) {
+	mu := NewMultiplier(Config{MC: 16, KC: 16, NC: 32, Threads: 2}, PaperArch())
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range [][3]int{{64, 64, 64}, {100, 30, 100}, {33, 77, 51}, {64, 64, 64}} {
+		a, b := NewMatrix(s[0], s[1]), NewMatrix(s[1], s[2])
+		a.FillRand(rng)
+		b.FillRand(rng)
+		c := NewMatrix(s[0], s[2])
+		want := NewMatrix(s[0], s[2])
+		matrix.MulAdd(want, a, b)
+		if err := mu.MulAdd(c, a, b); err != nil {
+			t.Fatal(err)
+		}
+		if d := c.MaxAbsDiff(want); d > 1e-9 {
+			t.Fatalf("shape %v: diff %g", s, d)
+		}
+	}
+}
+
+func TestMultiplierCachesPlans(t *testing.T) {
+	mu := NewMultiplier(Config{MC: 16, KC: 16, NC: 32, Threads: 1}, PaperArch())
+	p1, err := mu.PlanFor(100, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := mu.PlanFor(101, 99, 100) // same power-of-two bucket
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("nearby sizes should share a cached plan")
+	}
+	if _, err := mu.PlanFor(1000, 100, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if mu.CachedPlans() != 2 {
+		t.Fatalf("cached %d plans, want 2", mu.CachedPlans())
+	}
+}
+
+func TestMultiplierDimError(t *testing.T) {
+	mu := NewMultiplier(DefaultConfig(), PaperArch())
+	if err := mu.MulAdd(NewMatrix(2, 2), NewMatrix(2, 3), NewMatrix(2, 2)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMultiplierZeroSizeNoop(t *testing.T) {
+	mu := NewMultiplier(DefaultConfig(), PaperArch())
+	c := NewMatrix(3, 3)
+	c.Fill(1)
+	if err := mu.MulAdd(c, NewMatrix(3, 0), NewMatrix(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if c.At(0, 0) != 1 {
+		t.Fatal("k=0 must not touch C")
+	}
+}
+
+func TestBucketPowersOfTwo(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 64: 64, 65: 128, 1000: 1024}
+	for x, want := range cases {
+		if got := bucket(x); got != want {
+			t.Fatalf("bucket(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
