@@ -176,6 +176,80 @@ func BenchmarkFigure10(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelThroughput measures serving throughput: many concurrent
+// callers hammering one shared Multiplier via b.RunParallel, the scenario
+// the pooled-workspace engine exists for. Aggregate effGFLOPS across all
+// callers is the serving metric future PRs track (vs the single-call
+// latency of the figure benchmarks); it must scale with callers rather than
+// serialize on plan workspace. Plans run single-threaded here so the
+// parallelism measured is across calls, not within one.
+func BenchmarkParallelThroughput(b *testing.B) {
+	const size = 192
+	mu := NewMultiplier(DefaultConfig(), PaperArch())
+	a, bm := matrix.New(size, size), matrix.New(size, size)
+	a.Fill(1.0 / 3)
+	bm.Fill(-2.0 / 3)
+	if _, err := mu.PlanFor(size, size, size); err != nil {
+		b.Fatal(err) // plan once so the measurement is steady-state
+	}
+	b.Run("callers=1", func(b *testing.B) {
+		c := matrix.New(size, size)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := mu.MulAdd(c, a, bm); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		secs := b.Elapsed().Seconds() / float64(b.N)
+		b.ReportMetric(model.EffectiveGFLOPS(size, size, size, secs), "aggGFLOPS")
+	})
+	b.Run(fmt.Sprintf("parallel_callers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			c := matrix.New(size, size)
+			for pb.Next() {
+				if err := mu.MulAdd(c, a, bm); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		secs := b.Elapsed().Seconds() / float64(b.N)
+		b.ReportMetric(model.EffectiveGFLOPS(size, size, size, secs), "aggGFLOPS")
+	})
+}
+
+// BenchmarkBatchThroughput measures MulAddBatch on a mixed-shape batch — the
+// bulk-scheduling path (e.g. blocked algorithms issuing many independent
+// block products).
+func BenchmarkBatchThroughput(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Threads = runtime.GOMAXPROCS(0)
+	mu := NewMultiplier(cfg, PaperArch())
+	shapes := [][3]int{{192, 192, 192}, {192, 64, 192}, {128, 128, 128}}
+	var jobs []BatchJob
+	var flops float64
+	for rep := 0; rep < 4; rep++ {
+		for _, s := range shapes {
+			a, bm := matrix.New(s[0], s[1]), matrix.New(s[1], s[2])
+			a.Fill(1.0 / 3)
+			bm.Fill(-2.0 / 3)
+			jobs = append(jobs, BatchJob{C: matrix.New(s[0], s[2]), A: a, B: bm})
+			flops += 2 * float64(s[0]) * float64(s[1]) * float64(s[2])
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mu.MulAddBatch(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	secs := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(flops/secs*1e-9, "aggGFLOPS")
+}
+
 // BenchmarkAblationPeeling measures the dynamic-peeling overhead: divisible
 // size vs worst-case fringe (every dimension off by one).
 func BenchmarkAblationPeeling(b *testing.B) {

@@ -1,0 +1,192 @@
+package fmmfam
+
+// Concurrency tests for the execution engine's contract: immutable
+// Plans/Multipliers, all mutable state pooled per call. Run with -race;
+// the CI workflow always does.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fmmfam/internal/matrix"
+)
+
+// concurrencyShapes mixes divisible, fringed, and rank-k problems so
+// concurrent callers exercise different plans, exec-state pools, and the
+// peeling paths at once.
+var concurrencyShapes = [][3]int{
+	{64, 64, 64}, {48, 16, 48}, {33, 77, 51}, {100, 30, 100}, {31, 29, 37},
+}
+
+// refProduct precomputes the naive reference C = A·B for one shape.
+type refProduct struct {
+	a, b, want Matrix
+}
+
+func makeRefProducts(seed int64) []refProduct {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]refProduct, len(concurrencyShapes))
+	for i, s := range concurrencyShapes {
+		a, b := NewMatrix(s[0], s[1]), NewMatrix(s[1], s[2])
+		a.FillRand(rng)
+		b.FillRand(rng)
+		want := NewMatrix(s[0], s[2])
+		matrix.MulAdd(want, a, b)
+		out[i] = refProduct{a: a, b: b, want: want}
+	}
+	return out
+}
+
+// TestMultiplierConcurrentMixedShapes hammers one Multiplier from many
+// goroutines with mixed shapes and checks every result against the naive
+// reference. Under -race this proves MulAdd shares no mutable state across
+// callers (plan cache, packing workspaces, exec-state pools).
+func TestMultiplierConcurrentMixedShapes(t *testing.T) {
+	mu := NewMultiplier(Config{MC: 16, KC: 16, NC: 32, Threads: 2}, PaperArch())
+	refs := makeRefProducts(1)
+	const goroutines = 8
+	const iters = 6
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				r := refs[(g+it)%len(refs)]
+				c := NewMatrix(r.want.Rows, r.want.Cols)
+				if err := mu.MulAdd(c, r.a, r.b); err != nil {
+					errc <- err
+					return
+				}
+				if d := c.MaxAbsDiff(r.want); d > 1e-9 {
+					t.Errorf("goroutine %d iter %d: diff %g", g, it, d)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanConcurrentCallersShareOnePlan drives a single cached Plan (not
+// just a shared Multiplier) from many goroutines on different sizes within
+// its shape class — the case the old plan-owned asum/bsum/mtmp buffers made
+// impossible.
+func TestPlanConcurrentCallersShareOnePlan(t *testing.T) {
+	mu := NewMultiplier(Config{MC: 16, KC: 16, NC: 32, Threads: 2}, PaperArch())
+	p, err := mu.PlanFor(60, 60, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	sizes := [][3]int{{60, 60, 60}, {57, 61, 59}, {64, 50, 64}}
+	type job struct{ a, b, want Matrix }
+	jobs := make([]job, len(sizes))
+	for i, s := range sizes {
+		a, b := NewMatrix(s[0], s[1]), NewMatrix(s[1], s[2])
+		a.FillRand(rng)
+		b.FillRand(rng)
+		want := NewMatrix(s[0], s[2])
+		matrix.MulAdd(want, a, b)
+		jobs[i] = job{a, b, want}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 4; it++ {
+				j := jobs[(g+it)%len(jobs)]
+				c := NewMatrix(j.want.Rows, j.want.Cols)
+				p.MulAdd(c, j.a, j.b)
+				if d := c.MaxAbsDiff(j.want); d > 1e-9 {
+					t.Errorf("goroutine %d: diff %g", g, d)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestMulAddBatch checks the batch API: results match the reference, and a
+// bad job reports an error without poisoning the rest of the batch.
+func TestMulAddBatch(t *testing.T) {
+	mu := NewMultiplier(Config{MC: 16, KC: 16, NC: 32, Threads: 4}, PaperArch())
+	refs := makeRefProducts(3)
+	jobs := make([]BatchJob, 0, 3*len(refs))
+	wants := make([]Matrix, 0, 3*len(refs))
+	for rep := 0; rep < 3; rep++ {
+		for _, r := range refs {
+			c := NewMatrix(r.want.Rows, r.want.Cols)
+			jobs = append(jobs, BatchJob{C: c, A: r.a, B: r.b})
+			wants = append(wants, r.want)
+		}
+	}
+	if err := mu.MulAddBatch(jobs); err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		if d := j.C.MaxAbsDiff(wants[i]); d > 1e-9 {
+			t.Fatalf("job %d: diff %g", i, d)
+		}
+	}
+
+	// One mismatched job errors; the good job beside it still runs.
+	good := refs[0]
+	c := NewMatrix(good.want.Rows, good.want.Cols)
+	err := mu.MulAddBatch([]BatchJob{
+		{C: NewMatrix(2, 2), A: NewMatrix(2, 3), B: NewMatrix(2, 2)},
+		{C: c, A: good.a, B: good.b},
+	})
+	if err == nil {
+		t.Fatal("expected dim error from bad job")
+	}
+	if d := c.MaxAbsDiff(good.want); d > 1e-9 {
+		t.Fatalf("good job skipped after bad job: diff %g", d)
+	}
+}
+
+// TestDefaultMultiplierReusesPlans verifies package-level Multiply routes
+// through the shared default Multiplier (the old implementation rebuilt a
+// full plan — buffers and all — on every call).
+func TestDefaultMultiplierReusesPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a, b := NewMatrix(40, 40), NewMatrix(40, 40)
+	a.FillRand(rng)
+	b.FillRand(rng)
+	want := NewMatrix(40, 40)
+	matrix.MulAdd(want, a, b)
+	c := NewMatrix(40, 40)
+	if err := Multiply(c, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.MaxAbsDiff(want); d > 1e-9 {
+		t.Fatalf("diff %g", d)
+	}
+	before := defaultMultiplier().CachedPlans()
+	c.Zero()
+	if err := Multiply(c, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if after := defaultMultiplier().CachedPlans(); after != before {
+		t.Fatalf("second Multiply built a new plan: %d → %d", before, after)
+	}
+	p1, err := defaultMultiplier().PlanFor(40, 40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := defaultMultiplier().PlanFor(40, 40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("default multiplier did not cache the plan")
+	}
+}

@@ -25,11 +25,16 @@
 //	// ... fill a and b ...
 //	c := fmmfam.NewMatrix(1024, 1024)
 //	fmmfam.Multiply(c, a, b) // c += a·b with a model-selected FMM plan
+//
+// Concurrency contract: Plans and Multipliers are immutable descriptions;
+// all mutable per-call state (packing buffers, variant temporaries) is
+// rented from bounded pools per call. Multiply, Multiplier.MulAdd,
+// Multiplier.MulAddBatch, and Plan.MulAdd are all safe for unlimited
+// concurrent callers, and each call also parallelizes internally across the
+// configured worker count.
 package fmmfam
 
 import (
-	"fmt"
-
 	"fmmfam/internal/core"
 	"fmmfam/internal/discover"
 	"fmmfam/internal/fmmexec"
@@ -109,20 +114,18 @@ func Recommend(arch Arch, m, k, n int) Candidate {
 }
 
 // Multiply computes c += a·b using a model-recommended FMM plan with default
-// blocking and all available CPUs. For repeated multiplications of similar
-// sizes, build a Plan once and reuse it.
+// blocking and all available CPUs. It delegates to a lazily-initialized
+// package-level Multiplier, so repeated calls of similar sizes reuse cached
+// plans instead of rebuilding one per call. Safe for concurrent callers; for
+// custom blocking or machine models, build your own Multiplier.
 func Multiply(c, a, b Matrix) error {
-	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
-		return fmt.Errorf("fmmfam: dims C(%d×%d) += A(%d×%d)·B(%d×%d)",
-			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
-	}
-	cand := Recommend(PaperArch(), a.Rows, a.Cols, b.Cols)
-	plan, err := NewPlan(DefaultConfig().Parallel(), cand.Variant, cand.Levels...)
-	if err != nil {
-		return err
-	}
-	plan.MulAdd(c, a, b)
-	return nil
+	return defaultMultiplier().MulAdd(c, a, b)
+}
+
+// MultiplyBatch runs many independent multiplications through the shared
+// default Multiplier's worker pool; see Multiplier.MulAddBatch.
+func MultiplyBatch(jobs []BatchJob) error {
+	return defaultMultiplier().MulAddBatch(jobs)
 }
 
 // DiscoverProblem specifies a numerical search target; see Discover.

@@ -1,0 +1,3 @@
+module fmmfam
+
+go 1.21

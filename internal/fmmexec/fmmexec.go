@@ -56,9 +56,16 @@ type coefIdx struct {
 }
 
 // Plan is a ready-to-run FMM implementation: per-level algorithms composed
-// into a flat algorithm, a variant, and reusable workspace. Create with
-// NewPlan; a Plan is not safe for concurrent use (it parallelizes
-// internally via its gemm.Context).
+// into a flat algorithm, a variant, and the precomputed non-zero column
+// lists of ⟦U,V,W⟧. Create with NewPlan.
+//
+// Concurrency contract: a Plan is immutable after construction and safe for
+// unlimited concurrent callers. The mutable scratch of the Naive and AB
+// variants (operand sums and the explicit product Mr) is rented per call
+// from a pool keyed by problem shape, and the underlying gemm.Context rents
+// its packing workspaces the same way, so concurrent MulAdd calls never
+// share state. Each call additionally parallelizes internally across the
+// configured worker count.
 type Plan struct {
 	Levels  []core.Algorithm
 	Flat    core.Algorithm
@@ -68,7 +75,35 @@ type Plan struct {
 
 	uCols, vCols, wCols [][]coefIdx
 
+	// states maps stateKey → *sync.Pool of *execState: per-call scratch for
+	// the Naive and AB variants, keyed by block shape so a pooled state's
+	// backing arrays always fit exactly and mixed-shape callers do not
+	// thrash one another's buffers.
+	states sync.Map
+}
+
+// execState is the mutable per-call scratch of the Naive and AB variants:
+// the explicit operand sums ΣuᵢAᵢ, ΣvⱼBⱼ and the product temporary Mr. The
+// ABC variant fuses all three away and needs no state.
+type execState struct {
 	asum, bsum, mtmp matrix.Mat
+}
+
+// stateKey identifies the submatrix-block shape (sm×sk)·(sk×sn) an execState
+// was sized for.
+type stateKey struct{ sm, sk, sn int }
+
+// stateFor rents an execState for block shape (sm, sk, sn); release returns
+// it to the shape's pool.
+func (p *Plan) stateFor(sm, sk, sn int) (st *execState, release func()) {
+	key := stateKey{sm, sk, sn}
+	v, ok := p.states.Load(key)
+	if !ok {
+		v, _ = p.states.LoadOrStore(key, &sync.Pool{New: func() any { return new(execState) }})
+	}
+	pool := v.(*sync.Pool)
+	st = pool.Get().(*execState)
+	return st, func() { pool.Put(st) }
 }
 
 // NewPlan composes the given per-level algorithms (outermost first) into an
@@ -149,32 +184,37 @@ func (p *Plan) MulAdd(c, a, b matrix.Mat) {
 	if m == 0 || n == 0 || k == 0 {
 		return
 	}
+	// One packing workspace serves the whole call: the per-term loop and the
+	// peeling fringes run sequentially, so renting once avoids hitting the
+	// pool (or allocating, under heavy concurrency) once per recursion term.
+	ws := p.ctx.GetWorkspace()
+	defer p.ctx.PutWorkspace(ws)
 	mt, kt, nt := p.Flat.M, p.Flat.K, p.Flat.N
 	sm, sk, sn := m/mt, k/kt, n/nt
 	if sm == 0 || sk == 0 || sn == 0 {
-		p.ctx.MulAdd(c, a, b) // partition larger than the problem
+		p.ctx.MulAddWS(ws, c, a, b) // partition larger than the problem
 		return
 	}
 	m1, k1, n1 := sm*mt, sk*kt, sn*nt
-	p.mulCore(c.View(0, 0, m1, n1), a.View(0, 0, m1, k1), b.View(0, 0, k1, n1))
+	p.mulCore(ws, c.View(0, 0, m1, n1), a.View(0, 0, m1, k1), b.View(0, 0, k1, n1))
 	// Dynamic peeling fringes (plain GEMM, no extra workspace).
 	if k1 < k {
-		p.ctx.FusedMulAdd(
+		p.ctx.FusedMulAddWS(ws,
 			gemm.SingleTerm(c.View(0, 0, m1, n1)),
 			gemm.SingleTerm(a.View(0, k1, m1, k-k1)),
 			gemm.SingleTerm(b.View(k1, 0, k-k1, n1)))
 	}
 	if n1 < n {
-		p.ctx.MulAdd(c.View(0, n1, m1, n-n1), a.View(0, 0, m1, k), b.View(0, n1, k, n-n1))
+		p.ctx.MulAddWS(ws, c.View(0, n1, m1, n-n1), a.View(0, 0, m1, k), b.View(0, n1, k, n-n1))
 	}
 	if m1 < m {
-		p.ctx.MulAdd(c.View(m1, 0, m-m1, n), a.View(m1, 0, m-m1, k), b)
+		p.ctx.MulAddWS(ws, c.View(m1, 0, m-m1, n), a.View(m1, 0, m-m1, k), b)
 	}
 }
 
 // mulCore runs the iterative FMM of (5) on a region whose dimensions divide
 // evenly by the composite partition.
-func (p *Plan) mulCore(c, a, b matrix.Mat) {
+func (p *Plan) mulCore(ws *gemm.Workspace, c, a, b matrix.Mat) {
 	mt, kt, nt := p.Flat.M, p.Flat.K, p.Flat.N
 	sm, sk, sn := a.Rows/mt, a.Cols/kt, b.Cols/nt
 	switch p.Variant {
@@ -195,10 +235,12 @@ func (p *Plan) mulCore(c, a, b matrix.Mat) {
 			for _, ci := range p.wCols[r] {
 				cTerms = append(cTerms, gemm.Term{Coef: ci.coef, M: c.Block(ci.idx/nt, ci.idx%nt, mt, nt)})
 			}
-			p.ctx.FusedMulAdd(cTerms, aTerms, bTerms)
+			p.ctx.FusedMulAddWS(ws, cTerms, aTerms, bTerms)
 		}
 	case AB:
-		p.mtmp = grow(p.mtmp, sm, sn)
+		st, release := p.stateFor(sm, sk, sn)
+		defer release()
+		st.mtmp = grow(st.mtmp, sm, sn)
 		aTerms := make([]gemm.Term, 0, 8)
 		bTerms := make([]gemm.Term, 0, 8)
 		for r := 0; r < p.Flat.R; r++ {
@@ -210,29 +252,31 @@ func (p *Plan) mulCore(c, a, b matrix.Mat) {
 			for _, ci := range p.vCols[r] {
 				bTerms = append(bTerms, gemm.Term{Coef: ci.coef, M: b.Block(ci.idx/nt, ci.idx%nt, kt, nt)})
 			}
-			p.mtmp.Zero()
-			p.ctx.FusedMulAdd(gemm.SingleTerm(p.mtmp), aTerms, bTerms)
+			st.mtmp.Zero()
+			p.ctx.FusedMulAddWS(ws, gemm.SingleTerm(st.mtmp), aTerms, bTerms)
 			for _, ci := range p.wCols[r] {
-				p.addScaled(c.Block(ci.idx/nt, ci.idx%nt, mt, nt), ci.coef, p.mtmp)
+				p.addScaled(c.Block(ci.idx/nt, ci.idx%nt, mt, nt), ci.coef, st.mtmp)
 			}
 		}
 	case Naive:
-		p.asum = grow(p.asum, sm, sk)
-		p.bsum = grow(p.bsum, sk, sn)
-		p.mtmp = grow(p.mtmp, sm, sn)
+		st, release := p.stateFor(sm, sk, sn)
+		defer release()
+		st.asum = grow(st.asum, sm, sk)
+		st.bsum = grow(st.bsum, sk, sn)
+		st.mtmp = grow(st.mtmp, sm, sn)
 		for r := 0; r < p.Flat.R; r++ {
-			p.asum.Zero()
+			st.asum.Zero()
 			for _, ci := range p.uCols[r] {
-				p.addScaled(p.asum, ci.coef, a.Block(ci.idx/kt, ci.idx%kt, mt, kt))
+				p.addScaled(st.asum, ci.coef, a.Block(ci.idx/kt, ci.idx%kt, mt, kt))
 			}
-			p.bsum.Zero()
+			st.bsum.Zero()
 			for _, ci := range p.vCols[r] {
-				p.addScaled(p.bsum, ci.coef, b.Block(ci.idx/nt, ci.idx%nt, kt, nt))
+				p.addScaled(st.bsum, ci.coef, b.Block(ci.idx/nt, ci.idx%nt, kt, nt))
 			}
-			p.mtmp.Zero()
-			p.ctx.MulAdd(p.mtmp, p.asum, p.bsum)
+			st.mtmp.Zero()
+			p.ctx.MulAddWS(ws, st.mtmp, st.asum, st.bsum)
 			for _, ci := range p.wCols[r] {
-				p.addScaled(c.Block(ci.idx/nt, ci.idx%nt, mt, nt), ci.coef, p.mtmp)
+				p.addScaled(c.Block(ci.idx/nt, ci.idx%nt, mt, nt), ci.coef, st.mtmp)
 			}
 		}
 	}

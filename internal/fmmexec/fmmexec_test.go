@@ -2,6 +2,7 @@ package fmmexec
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -142,6 +143,49 @@ func TestAccumulatesIntoC(t *testing.T) {
 	matrix.MulAdd(want, a, b)
 	if d := c.MaxAbsDiff(want); d > 1e-10 {
 		t.Fatalf("C := C + AB semantics violated: %g", d)
+	}
+}
+
+// TestPlanConcurrentMulAdd drives one Plan per variant from many goroutines
+// on mixed (including fringed) sizes. Under -race this checks the pooled
+// exec-state contract: the Naive/AB temporaries must not be shared between
+// concurrent calls.
+func TestPlanConcurrentMulAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	type job struct{ a, b, want matrix.Mat }
+	sizes := [][3]int{{16, 16, 16}, {24, 20, 28}, {15, 17, 13}, {32, 8, 32}}
+	jobs := make([]job, len(sizes))
+	for i, s := range sizes {
+		a, b := matrix.New(s[0], s[1]), matrix.New(s[1], s[2])
+		a.FillRand(rng)
+		b.FillRand(rng)
+		want := matrix.New(s[0], s[2])
+		matrix.MulAdd(want, a, b)
+		jobs[i] = job{a, b, want}
+	}
+	for _, v := range Variants {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			t.Parallel()
+			p := MustNewPlan(gemm.Config{MC: 8, KC: 8, NC: 16, Threads: 2}, v, core.Strassen())
+			var wg sync.WaitGroup
+			for g := 0; g < 6; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for it := 0; it < 4; it++ {
+						j := jobs[(g+it)%len(jobs)]
+						c := matrix.New(j.want.Rows, j.want.Cols)
+						p.MulAdd(c, j.a, j.b)
+						if d := c.MaxAbsDiff(j.want); d > 1e-9 {
+							t.Errorf("goroutine %d: diff %g", g, d)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
 	}
 }
 

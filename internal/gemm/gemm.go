@@ -12,6 +12,11 @@
 // Parallelism mirrors the paper (§5.1): the third loop around the
 // micro-kernel (the ic loop over mC-sized row panels of A) is divided among
 // goroutines, the Go analogue of the OpenMP data parallelism of [20].
+//
+// Concurrency contract: a Context is immutable after construction and safe
+// for unlimited concurrent callers. All mutable state (the Ã/B̃ packing
+// buffers) lives in per-call Workspaces rented from a bounded pool, so
+// concurrent multiplications never contend on shared buffers.
 package gemm
 
 import (
@@ -55,26 +60,24 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Context owns the packing buffers so repeated multiplications do not
-// allocate. A Context is not safe for concurrent use by multiple goroutines;
-// it exploits parallelism internally.
+// Context is the immutable kernel driver: a validated Config plus a bounded
+// pool of packing Workspaces. It is safe for any number of concurrent
+// callers — every MulAdd/FusedMulAdd rents a Workspace from the pool for the
+// duration of the call, so calls never share mutable state — and each call
+// additionally exploits parallelism internally (Config.Threads workers).
 type Context struct {
-	cfg   Config
-	bbuf  []float64
-	abufs [][]float64 // one Ã per worker
+	cfg  Config
+	pool *workspacePool
 }
 
-// NewContext validates cfg and allocates packing buffers for it.
+// NewContext validates cfg and prepares the workspace pool (one workspace is
+// pre-allocated so the first call does not pay the allocation).
 func NewContext(cfg Config) (*Context, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	ctx := &Context{cfg: cfg}
-	ctx.bbuf = make([]float64, kernel.PackBBufLen(cfg.KC, cfg.NC))
-	ctx.abufs = make([][]float64, cfg.Threads)
-	for i := range ctx.abufs {
-		ctx.abufs[i] = make([]float64, kernel.PackABufLen(cfg.MC, cfg.KC))
-	}
+	ctx := &Context{cfg: cfg, pool: newWorkspacePool(cfg)}
+	ctx.pool.put(NewWorkspace(cfg))
 	return ctx, nil
 }
 
@@ -90,14 +93,38 @@ func MustNewContext(cfg Config) *Context {
 // Config returns the context's configuration.
 func (ctx *Context) Config() Config { return ctx.cfg }
 
-// MulAdd computes c += a·b (plain GEMM through the fused path).
+// MulAdd computes c += a·b (plain GEMM through the fused path). Safe for
+// concurrent callers.
 func (ctx *Context) MulAdd(c, a, b matrix.Mat) {
 	ctx.FusedMulAdd(kernel.SingleTerm(c), kernel.SingleTerm(a), kernel.SingleTerm(b))
 }
 
+// MulAddWS is MulAdd with a caller-managed Workspace; see FusedMulAddWS.
+func (ctx *Context) MulAddWS(ws *Workspace, c, a, b matrix.Mat) {
+	ctx.FusedMulAddWS(ws, kernel.SingleTerm(c), kernel.SingleTerm(a), kernel.SingleTerm(b))
+}
+
+// GetWorkspace rents a workspace from the context's pool; return it with
+// PutWorkspace. Callers issuing many back-to-back operations (e.g. the FMM
+// executor's per-term loop) rent once and use the *WS entry points so the
+// pool is not hit once per operation.
+func (ctx *Context) GetWorkspace() *Workspace { return ctx.pool.get() }
+
+// PutWorkspace returns a rented workspace to the pool.
+func (ctx *Context) PutWorkspace(ws *Workspace) { ctx.pool.put(ws) }
+
 // FusedMulAdd executes the generalized operation. All A-side terms must have
-// equal dimensions m×k, B-side k×n, C-side m×n.
+// equal dimensions m×k, B-side k×n, C-side m×n. Safe for concurrent callers.
 func (ctx *Context) FusedMulAdd(cTerms, aTerms, bTerms []Term) {
+	ws := ctx.pool.get()
+	defer ctx.pool.put(ws)
+	ctx.FusedMulAddWS(ws, cTerms, aTerms, bTerms)
+}
+
+// FusedMulAddWS is FusedMulAdd with a caller-managed Workspace (see
+// NewWorkspace). The workspace must have been sized for this context's
+// Config and must not be used by another call concurrently.
+func (ctx *Context) FusedMulAddWS(ws *Workspace, cTerms, aTerms, bTerms []Term) {
 	m, k := dims(aTerms, "A")
 	k2, n := dims(bTerms, "B")
 	mc, nc2 := dims(cTerms, "C")
@@ -112,8 +139,8 @@ func (ctx *Context) FusedMulAdd(cTerms, aTerms, bTerms []Term) {
 		ncur := min(cfg.NC, n-jc)
 		for pc := 0; pc < k; pc += cfg.KC {
 			kcur := min(cfg.KC, k-pc)
-			ctx.packB(bTerms, pc, jc, kcur, ncur)
-			ctx.icLoop(cTerms, aTerms, pc, jc, m, kcur, ncur)
+			ctx.packB(ws, bTerms, pc, jc, kcur, ncur)
+			ctx.icLoop(ws, cTerms, aTerms, pc, jc, m, kcur, ncur)
 		}
 	}
 }
@@ -121,11 +148,11 @@ func (ctx *Context) FusedMulAdd(cTerms, aTerms, bTerms []Term) {
 // packB fills the B̃ buffer, splitting the column-panel range across workers
 // when parallel (packing is memory-bound and, for FMM term lists, a large
 // serial fraction otherwise — BLIS likewise packs in parallel).
-func (ctx *Context) packB(bTerms []Term, pc, jc, kcur, ncur int) {
+func (ctx *Context) packB(ws *Workspace, bTerms []Term, pc, jc, kcur, ncur int) {
 	panels := (ncur + kernel.NR - 1) / kernel.NR
 	workers := min(ctx.cfg.Threads, panels)
 	if workers <= 1 {
-		kernel.PackB(ctx.bbuf, bTerms, pc, jc, kcur, ncur)
+		kernel.PackB(ws.bbuf, bTerms, pc, jc, kcur, ncur)
 		return
 	}
 	var wg sync.WaitGroup
@@ -135,7 +162,7 @@ func (ctx *Context) packB(bTerms []Term, pc, jc, kcur, ncur int) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			kernel.PackBRange(ctx.bbuf, bTerms, pc, jc, kcur, ncur, lo, hi)
+			kernel.PackBRange(ws.bbuf, bTerms, pc, jc, kcur, ncur, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -143,13 +170,13 @@ func (ctx *Context) packB(bTerms []Term, pc, jc, kcur, ncur int) {
 
 // icLoop runs the third loop around the micro-kernel, parallelized over
 // mC-sized row panels.
-func (ctx *Context) icLoop(cTerms, aTerms []Term, pc, jc, m, kcur, ncur int) {
+func (ctx *Context) icLoop(ws *Workspace, cTerms, aTerms []Term, pc, jc, m, kcur, ncur int) {
 	cfg := ctx.cfg
 	nBlocks := (m + cfg.MC - 1) / cfg.MC
 	workers := min(cfg.Threads, nBlocks)
 	if workers <= 1 {
 		for ic := 0; ic < m; ic += cfg.MC {
-			ctx.macroKernel(ctx.abufs[0], cTerms, aTerms, ic, pc, jc, min(cfg.MC, m-ic), kcur, ncur)
+			ctx.macroKernel(ws, ws.abufs[0], cTerms, aTerms, ic, pc, jc, min(cfg.MC, m-ic), kcur, ncur)
 		}
 		return
 	}
@@ -165,21 +192,21 @@ func (ctx *Context) icLoop(cTerms, aTerms []Term, pc, jc, m, kcur, ncur int) {
 			defer wg.Done()
 			for b := range next {
 				ic := b * cfg.MC
-				ctx.macroKernel(abuf, cTerms, aTerms, ic, pc, jc, min(cfg.MC, m-ic), kcur, ncur)
+				ctx.macroKernel(ws, abuf, cTerms, aTerms, ic, pc, jc, min(cfg.MC, m-ic), kcur, ncur)
 			}
-		}(ctx.abufs[w])
+		}(ws.abufs[w])
 	}
 	wg.Wait()
 }
 
 // macroKernel packs one Ã block and sweeps the second and first loops around
 // the micro-kernel, scattering each register tile into every C-side term.
-func (ctx *Context) macroKernel(abuf []float64, cTerms, aTerms []Term, ic, pc, jc, mcur, kcur, ncur int) {
+func (ctx *Context) macroKernel(ws *Workspace, abuf []float64, cTerms, aTerms []Term, ic, pc, jc, mcur, kcur, ncur int) {
 	kernel.PackA(abuf, aTerms, ic, pc, mcur, kcur)
 	var acc [kernel.MR * kernel.NR]float64
 	for jr := 0; jr < ncur; jr += kernel.NR {
 		nr := min(kernel.NR, ncur-jr)
-		bp := ctx.bbuf[(jr/kernel.NR)*kcur*kernel.NR:]
+		bp := ws.bbuf[(jr/kernel.NR)*kcur*kernel.NR:]
 		for ir := 0; ir < mcur; ir += kernel.MR {
 			mr := min(kernel.MR, mcur-ir)
 			ap := abuf[(ir/kernel.MR)*kernel.MR*kcur:]

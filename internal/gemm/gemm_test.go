@@ -2,6 +2,7 @@ package gemm
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -227,6 +228,59 @@ func TestExtremeBlockingKC1(t *testing.T) {
 	ctx.MulAdd(c, a, b)
 	if d := c.MaxAbsDiff(want); d > 1e-10 {
 		t.Fatalf("KC=1 diff %g", d)
+	}
+}
+
+// TestContextConcurrentCallers drives one Context from many goroutines (each
+// itself running internally parallel) and checks results against the
+// reference — the workspace-pool contract, meaningful under -race.
+func TestContextConcurrentCallers(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ctx := MustNewContext(Config{MC: 8, KC: 8, NC: 16, Threads: 2})
+	type job struct{ a, b, want matrix.Mat }
+	shapes := [][3]int{{20, 14, 18}, {33, 9, 25}, {8, 8, 8}, {17, 40, 5}}
+	jobs := make([]job, len(shapes))
+	for i, s := range shapes {
+		a, b := randMat(rng, s[0], s[1]), randMat(rng, s[1], s[2])
+		want := matrix.New(s[0], s[2])
+		matrix.MulAdd(want, a, b)
+		jobs[i] = job{a, b, want}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 5; it++ {
+				j := jobs[(g+it)%len(jobs)]
+				c := matrix.New(j.want.Rows, j.want.Cols)
+				ctx.MulAdd(c, j.a, j.b)
+				if d := c.MaxAbsDiff(j.want); d > 1e-10 {
+					t.Errorf("goroutine %d: diff %g", g, d)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestWorkspacePoolBounded checks the pool's rent/return discipline: returns
+// beyond the bound are dropped rather than queued or blocking.
+func TestWorkspacePoolBounded(t *testing.T) {
+	cfg := smallCfg()
+	p := newWorkspacePool(cfg)
+	bound := workspacePoolBound(cfg)
+	for i := 0; i < bound+3; i++ {
+		p.put(NewWorkspace(cfg)) // must not block past the bound
+	}
+	if got := len(p.free); got != bound {
+		t.Fatalf("pool retained %d workspaces, bound is %d", got, bound)
+	}
+	for i := 0; i < bound+3; i++ {
+		if p.get() == nil { // empties the pool, then falls back to fresh allocs
+			t.Fatal("nil workspace")
+		}
 	}
 }
 

@@ -1,0 +1,85 @@
+package gemm
+
+import "fmmfam/internal/kernel"
+
+// Workspace holds the mutable per-call state of one FusedMulAdd execution:
+// the shared B̃ packing buffer and one Ã packing buffer per worker. A
+// Workspace is rented from the Context's pool at the start of every
+// multiplication and returned when it finishes, so a single Context can
+// serve any number of concurrent callers while steady-state calls still
+// allocate nothing.
+type Workspace struct {
+	bbuf  []float64
+	abufs [][]float64 // one Ã per worker
+}
+
+// NewWorkspace allocates packing buffers sized for cfg. Most callers never
+// need this — Context rents workspaces internally — but it is exposed for
+// callers that want to manage workspace lifetime themselves (e.g. arena-style
+// reuse in tight custom loops).
+func NewWorkspace(cfg Config) *Workspace {
+	ws := &Workspace{
+		bbuf:  make([]float64, kernel.PackBBufLen(cfg.KC, cfg.NC)),
+		abufs: make([][]float64, cfg.Threads),
+	}
+	for i := range ws.abufs {
+		ws.abufs[i] = make([]float64, kernel.PackABufLen(cfg.MC, cfg.KC))
+	}
+	return ws
+}
+
+// workspacePool is a bounded free list of Workspaces for one Context. Get
+// falls back to allocating a fresh Workspace when the pool is empty, and Put
+// drops the workspace (leaving it to the GC) when the pool already retains
+// its bound — so concurrency is never limited by the pool, only the idle
+// memory kept warm is.
+//
+// A plain sync.Pool would also work, but its retention policy is opaque
+// (cleared on every GC cycle) and unbounded between cycles; a fixed-capacity
+// channel gives a hard cap on retained packing memory, which matters because
+// one Workspace is O(KC·NC + Threads·MC·KC) floats.
+type workspacePool struct {
+	cfg  Config
+	free chan *Workspace
+}
+
+// maxRetainedFloats caps the idle packing memory one Context keeps warm
+// (≈64 MiB of float64s). Without it the retained memory would scale as
+// O(Threads²): 2·Threads pooled workspaces, each holding Threads Ã buffers.
+const maxRetainedFloats = 1 << 23
+
+// workspacePoolBound returns how many idle workspaces a context retains:
+// enough that a steady stream of Threads-wide concurrent callers recycles
+// buffers instead of allocating, bounded so total retained packing memory
+// stays capped on many-core machines.
+func workspacePoolBound(cfg Config) int {
+	per := kernel.PackBBufLen(cfg.KC, cfg.NC) + cfg.Threads*kernel.PackABufLen(cfg.MC, cfg.KC)
+	n := 2 * cfg.Threads
+	if lim := maxRetainedFloats / per; n > lim {
+		n = lim
+	}
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+func newWorkspacePool(cfg Config) *workspacePool {
+	return &workspacePool{cfg: cfg, free: make(chan *Workspace, workspacePoolBound(cfg))}
+}
+
+func (p *workspacePool) get() *Workspace {
+	select {
+	case ws := <-p.free:
+		return ws
+	default:
+		return NewWorkspace(p.cfg)
+	}
+}
+
+func (p *workspacePool) put(ws *Workspace) {
+	select {
+	case p.free <- ws:
+	default: // pool full: drop, the GC reclaims it
+	}
+}

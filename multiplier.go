@@ -1,6 +1,7 @@
 package fmmfam
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -13,14 +14,23 @@ import (
 // implementation per problem shape with the performance model and caches the
 // constructed plans, so steady-state calls pay no selection or setup cost.
 //
-// A Multiplier is safe for concurrent construction of plans but, like the
-// underlying plans, must not execute two multiplications concurrently.
+// Concurrency contract: a Multiplier is safe for unlimited concurrent
+// callers. Plans are immutable and shared across callers of the same shape
+// class; all mutable per-call state (packing buffers, variant temporaries)
+// is rented from bounded pools inside the execution layers, so concurrent
+// MulAdd calls never serialize on workspace.
 type Multiplier struct {
 	cfg  Config
 	arch Arch
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	plans map[string]*Plan
+
+	// serial is a lazily-built Threads=1 twin used by MulAddBatch: batch
+	// throughput comes from parallelism across jobs, so running each job
+	// single-threaded keeps total goroutines ≈ Threads instead of Threads².
+	serialOnce sync.Once
+	serial     *Multiplier
 }
 
 // NewMultiplier returns a Multiplier using the given blocking/threads and
@@ -31,7 +41,7 @@ func NewMultiplier(cfg Config, arch Arch) *Multiplier {
 }
 
 // MulAdd computes c += a·b, choosing and caching an implementation for the
-// problem's shape class.
+// problem's shape class. Safe for concurrent callers.
 func (mu *Multiplier) MulAdd(c, a, b Matrix) error {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		return fmt.Errorf("fmmfam: dims C(%d×%d) += A(%d×%d)·B(%d×%d)",
@@ -48,12 +58,80 @@ func (mu *Multiplier) MulAdd(c, a, b Matrix) error {
 	return nil
 }
 
+// BatchJob is one independent multiplication C += A·B of a batch.
+type BatchJob struct {
+	C, A, B Matrix
+}
+
+// MulAddBatch schedules the jobs across a worker pool sized by the
+// multiplier's configured thread count. Each job runs with single-threaded
+// plan execution — the parallelism is across jobs, not within one, so the
+// machine is never oversubscribed beyond the configured worker count. Jobs
+// must be independent (no C aliases another job's operands). It returns the
+// join of all per-job errors; jobs after a failed one still run.
+func (mu *Multiplier) MulAddBatch(jobs []BatchJob) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	workers := mu.cfg.Threads
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	errs := make([]error, len(jobs))
+	if workers == 1 {
+		// No cross-job parallelism: run jobs through the fully-parallel plans.
+		for i, j := range jobs {
+			errs[i] = mu.MulAdd(j.C, j.A, j.B)
+		}
+		return errors.Join(errs...)
+	}
+	exec := mu.serialMultiplier()
+	next := make(chan int, len(jobs))
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				j := jobs[i]
+				errs[i] = exec.MulAdd(j.C, j.A, j.B)
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// serialMultiplier returns the Threads=1 twin backing MulAddBatch, sharing
+// this multiplier's arch and blocking but with its own plan cache.
+func (mu *Multiplier) serialMultiplier() *Multiplier {
+	mu.serialOnce.Do(func() {
+		cfg := mu.cfg
+		cfg.Threads = 1
+		mu.serial = NewMultiplier(cfg, mu.arch)
+	})
+	return mu.serial
+}
+
 // PlanFor exposes the plan the multiplier would use for a problem size
 // (useful for inspection and testing).
 func (mu *Multiplier) PlanFor(m, k, n int) (*Plan, error) { return mu.planFor(m, k, n) }
 
 func (mu *Multiplier) planFor(m, k, n int) (*Plan, error) {
 	key := shapeClass(m, k, n)
+	mu.mu.RLock()
+	p, ok := mu.plans[key]
+	mu.mu.RUnlock()
+	if ok {
+		return p, nil
+	}
 	mu.mu.Lock()
 	defer mu.mu.Unlock()
 	if p, ok := mu.plans[key]; ok {
@@ -70,8 +148,8 @@ func (mu *Multiplier) planFor(m, k, n int) (*Plan, error) {
 
 // CachedPlans reports how many distinct shape classes have been planned.
 func (mu *Multiplier) CachedPlans() int {
-	mu.mu.Lock()
-	defer mu.mu.Unlock()
+	mu.mu.RLock()
+	defer mu.mu.RUnlock()
 	return len(mu.plans)
 }
 
@@ -90,7 +168,7 @@ func bucket(x int) int {
 	return b
 }
 
-// recommendLocked avoids re-enumerating candidates on every planFor call.
+// defaultCandidates avoids re-enumerating candidates on every planFor call.
 var defaultCandidatesOnce struct {
 	sync.Once
 	cands []Candidate
@@ -101,4 +179,20 @@ func defaultCandidates() []Candidate {
 		defaultCandidatesOnce.cands = model.DefaultCandidates()
 	})
 	return defaultCandidatesOnce.cands
+}
+
+// defaultMultiplier backs the package-level Multiply/MultiplyBatch: one
+// lazily-initialized Multiplier with default parallel blocking and the
+// paper's machine model, shared by all callers so repeated package-level
+// calls hit the plan cache instead of rebuilding a plan per call.
+var defaultMultiplierOnce struct {
+	sync.Once
+	mu *Multiplier
+}
+
+func defaultMultiplier() *Multiplier {
+	defaultMultiplierOnce.Do(func() {
+		defaultMultiplierOnce.mu = NewMultiplier(DefaultConfig().Parallel(), PaperArch())
+	})
+	return defaultMultiplierOnce.mu
 }
