@@ -1,0 +1,125 @@
+package fmmfam
+
+// Async serving: MulAddAsync submits one C += A·B to a bounded queue drained
+// by a fixed worker pool and returns a Future immediately, so
+// latency-insensitive callers submit many products and collect results when
+// they need them. The queue bound is the backpressure: when QueueDepth jobs
+// are waiting, submitters block until a worker frees a slot, so a burst of
+// traffic cannot queue unbounded work. Jobs execute single-threaded through
+// the multiplier's serial twin — the same contract as MulAddBatch — so the
+// machine never runs more than QueueWorkers concurrent products.
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is reported by futures submitted after Close.
+var ErrClosed = errors.New("fmmfam: multiplier closed")
+
+// Future is the handle to one in-flight MulAddAsync submission. The zero
+// Future is invalid; futures are created by MulAddAsync only.
+type Future struct {
+	done chan struct{}
+	err  error // written once by the executing worker before done is closed
+}
+
+// Wait blocks until the submission has executed and returns its error.
+// Wait may be called any number of times and from any goroutine.
+func (f *Future) Wait() error {
+	<-f.done
+	return f.err
+}
+
+// Done returns a channel closed when the submission has executed, for use
+// in select loops. After Done is closed, Wait returns without blocking.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+func resolvedFuture(err error) *Future {
+	f := &Future{done: make(chan struct{}), err: err}
+	close(f.done)
+	return f
+}
+
+// asyncJob is one queued submission.
+type asyncJob struct {
+	c, a, b Matrix
+	f       *Future
+}
+
+// asyncPool is the lazily-started queue + worker pool behind MulAddAsync.
+// The RWMutex orders submissions against Close: submitters hold the read
+// lock across the channel send, Close takes the write lock to flip closed
+// and close the queue, so a send never races a close.
+type asyncPool struct {
+	q  chan asyncJob
+	wg sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// asyncState lazily starts the pool: QueueWorkers goroutines draining a
+// QueueDepth-bounded channel, executing through the serial twin.
+func (mu *Multiplier) asyncState() *asyncPool {
+	mu.asyncOnce.Do(func() {
+		p := &asyncPool{q: make(chan asyncJob, mu.cfg.queueDepth())}
+		exec := mu.serialMultiplier()
+		workers := mu.cfg.queueWorkers()
+		p.wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer p.wg.Done()
+				for j := range p.q {
+					j.f.err = exec.MulAdd(j.c, j.a, j.b)
+					close(j.f.done)
+				}
+			}()
+		}
+		mu.async = p
+	})
+	return mu.async
+}
+
+// MulAddAsync submits c += a·b to the multiplier's bounded queue and returns
+// a Future immediately; call Wait (or select on Done) to collect the result.
+// Submissions block when the queue is full — that bound is the serving
+// layer's backpressure. Dimension errors resolve the returned Future
+// immediately without occupying a queue slot. The caller must not touch c
+// (nor mutate a or b) until the Future completes. Safe for concurrent
+// submitters.
+func (mu *Multiplier) MulAddAsync(c, a, b Matrix) *Future {
+	if err := checkMulDims(c, a, b); err != nil {
+		return resolvedFuture(err)
+	}
+	p := mu.asyncState()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return resolvedFuture(ErrClosed)
+	}
+	f := &Future{done: make(chan struct{})}
+	p.q <- asyncJob{c: c, a: a, b: b, f: f}
+	return f
+}
+
+// Close drains the async queue and stops its workers: it waits for every
+// already-submitted Future to complete, then returns. Submissions after
+// Close resolve immediately with ErrClosed — including on a Multiplier
+// whose async path was never used, since Close materializes the pool just
+// to mark it closed (its workers exit immediately). Close is idempotent.
+// Close must not be called concurrently with in-flight MulAddAsync
+// submitters (a submitter observed before Close may still be enqueued; its
+// Future is still honored). The synchronous MulAdd/MulAddBatch paths are
+// unaffected and remain usable after Close.
+func (mu *Multiplier) Close() error {
+	p := mu.asyncState()
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.q)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return nil
+}

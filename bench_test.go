@@ -10,7 +10,9 @@ package fmmfam
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"strconv"
 	"testing"
 
 	"fmmfam/internal/core"
@@ -243,6 +245,91 @@ func BenchmarkBatchThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := mu.MulAddBatch(jobs); err != nil {
 			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	secs := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(flops/secs*1e-9, "aggGFLOPS")
+}
+
+// BenchmarkShardedLarge compares auto-sharded MulAdd against the unsharded
+// parallel path on one large square problem — the serving-layer bet that
+// scheduling independent block products across the pool beats parallelizing
+// one product's loops (Benson–Ballard). The default 1024³ keeps CI fast with
+// the pure-Go kernel; set FMMFAM_BENCH_LARGE=4096 for a paper-scale run.
+func BenchmarkShardedLarge(b *testing.B) {
+	size := 1024
+	if s := os.Getenv("FMMFAM_BENCH_LARGE"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			b.Fatalf("FMMFAM_BENCH_LARGE=%q: %v", s, err)
+		}
+		size = v
+	}
+	threads := runtime.GOMAXPROCS(0)
+	if threads < 2 {
+		threads = 2 // sharding needs a pool; keep the comparison fair on 1 CPU
+	}
+	a, bm := matrix.New(size, size), matrix.New(size, size)
+	a.Fill(1.0 / 3)
+	bm.Fill(-2.0 / 3)
+	run := func(b *testing.B, cfg Config) {
+		mu := NewMultiplier(cfg, PaperArch())
+		c := matrix.New(size, size)
+		if err := mu.MulAdd(c, a, bm); err != nil { // warm the plan caches
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := mu.MulAdd(c, a, bm); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		secs := b.Elapsed().Seconds() / float64(b.N)
+		b.ReportMetric(model.EffectiveGFLOPS(size, size, size, secs), "effGFLOPS")
+	}
+	unsharded := DefaultConfig()
+	unsharded.Threads = threads
+	unsharded.ShardThreshold = -1
+	b.Run("unsharded", func(b *testing.B) { run(b, unsharded) })
+	sharded := DefaultConfig()
+	sharded.Threads = threads
+	sharded.ShardThreshold = size // force the sharded path at this size
+	b.Run("sharded", func(b *testing.B) { run(b, sharded) })
+}
+
+// BenchmarkAsyncThroughput measures the submit-and-collect serving flow: a
+// stream of mixed-shape products submitted through the bounded MulAddAsync
+// queue, all futures collected per iteration. Aggregate effGFLOPS across the
+// stream is the serving metric.
+func BenchmarkAsyncThroughput(b *testing.B) {
+	cfg := DefaultConfig().Parallel()
+	mu := NewMultiplier(cfg, PaperArch())
+	defer mu.Close()
+	shapes := [][3]int{{192, 192, 192}, {192, 64, 192}, {128, 128, 128}}
+	type job struct{ c, a, b matrix.Mat }
+	var jobs []job
+	var flops float64
+	for rep := 0; rep < 8; rep++ {
+		for _, s := range shapes {
+			a, bm := matrix.New(s[0], s[1]), matrix.New(s[1], s[2])
+			a.Fill(1.0 / 3)
+			bm.Fill(-2.0 / 3)
+			jobs = append(jobs, job{c: matrix.New(s[0], s[2]), a: a, b: bm})
+			flops += 2 * float64(s[0]) * float64(s[1]) * float64(s[2])
+		}
+	}
+	futures := make([]*Future, len(jobs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, jb := range jobs {
+			futures[j] = mu.MulAddAsync(jb.c, jb.a, jb.b)
+		}
+		for _, f := range futures {
+			if err := f.Wait(); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 	b.StopTimer()

@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench` text output (read from stdin)
+// into a stable JSON document, so CI can archive benchmark runs as machine-
+// readable artifacts and the performance trajectory accumulates across PRs:
+//
+//	go test -run '^$' -bench . -benchmem -count=5 . | benchjson -o BENCH.json
+//
+// Every benchmark line becomes one entry — repeated -count samples stay
+// separate entries under the same name, preserving run-to-run variance for
+// later statistics. All reported metrics are kept, including custom ones
+// like the effGFLOPS/aggGFLOPS metrics the fmmfam benchmarks emit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one measured sample: a benchmark name, its iteration count,
+// and every metric the line reported (unit → value), e.g. "ns/op", "B/op",
+// "allocs/op", "effGFLOPS".
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the artifact layout: the run's context lines (goos, goarch, pkg,
+// cpu) plus all samples in input order.
+type Doc struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+// contextKeys are the `key: value` header lines `go test -bench` prints.
+var contextKeys = []string{"goos", "goarch", "pkg", "cpu"}
+
+func parse(r io.Reader) (Doc, error) {
+	doc := Doc{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+scan:
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range contextKeys {
+			if v, ok := strings.CutPrefix(line, key+":"); ok {
+				doc.Context[key] = strings.TrimSpace(v)
+				continue scan
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		runs, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		fields := strings.Fields(m[3])
+		metrics := make(map[string]float64, len(fields)/2)
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) == 0 {
+			continue
+		}
+		doc.Benchmarks = append(doc.Benchmarks, Benchmark{Name: m[1], Runs: runs, Metrics: metrics})
+	}
+	return doc, sc.Err()
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

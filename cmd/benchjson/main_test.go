@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: fmmfam
+cpu: Intel(R) Xeon(R) CPU @ 2.20GHz
+BenchmarkGEMMBaseline/k=160-4         	      38	  31415926 ns/op	        12.34 effGFLOPS	    2048 B/op	       3 allocs/op
+BenchmarkShardedLarge/sharded-4       	       2	 512000000 ns/op	         8.50 effGFLOPS
+BenchmarkShardedLarge/sharded-4       	       2	 498000000 ns/op	         8.74 effGFLOPS
+PASS
+ok  	fmmfam	42.000s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]string{
+		"goos": "linux", "goarch": "amd64", "pkg": "fmmfam",
+		"cpu": "Intel(R) Xeon(R) CPU @ 2.20GHz",
+	} {
+		if got := doc.Context[key]; got != want {
+			t.Fatalf("context[%s] = %q, want %q", key, got, want)
+		}
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	first := doc.Benchmarks[0]
+	if first.Name != "BenchmarkGEMMBaseline/k=160-4" || first.Runs != 38 {
+		t.Fatalf("first sample: %+v", first)
+	}
+	wantMetrics := map[string]float64{
+		"ns/op": 31415926, "effGFLOPS": 12.34, "B/op": 2048, "allocs/op": 3,
+	}
+	for unit, want := range wantMetrics {
+		if got := first.Metrics[unit]; got != want {
+			t.Fatalf("metric %s = %v, want %v", unit, got, want)
+		}
+	}
+	// -count repetitions stay separate samples under one name.
+	if doc.Benchmarks[1].Name != doc.Benchmarks[2].Name {
+		t.Fatal("repeated samples should keep the same name")
+	}
+	if doc.Benchmarks[1].Metrics["ns/op"] == doc.Benchmarks[2].Metrics["ns/op"] {
+		t.Fatal("repeated samples should keep distinct values")
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	doc, err := parse(strings.NewReader("=== RUN TestFoo\n--- PASS: TestFoo\nPASS\nok  \tfmmfam\t1.0s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from non-bench output", len(doc.Benchmarks))
+	}
+}

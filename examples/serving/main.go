@@ -1,0 +1,62 @@
+// Serving walkthrough: one process-wide Multiplier absorbing a stream of
+// independent products through the bounded async queue (submit-and-collect
+// futures), while large problems are automatically sharded into independent
+// block products scheduled across the same pool.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"fmmfam"
+)
+
+func main() {
+	cfg := fmmfam.DefaultConfig().Parallel()
+	mu := fmmfam.NewMultiplier(cfg, fmmfam.PaperArch())
+	defer mu.Close()
+
+	// Submit a burst of independent products; the bounded queue applies
+	// backpressure, the pool drains it, each Future resolves independently.
+	rng := rand.New(rand.NewSource(1))
+	const requests = 16
+	futures := make([]*fmmfam.Future, requests)
+	outputs := make([]fmmfam.Matrix, requests)
+	start := time.Now()
+	for i := range futures {
+		m, k, n := 96+16*(i%4), 64+32*(i%3), 96+16*(i%5)
+		a, b := fmmfam.NewMatrix(m, k), fmmfam.NewMatrix(k, n)
+		a.FillRand(rng)
+		b.FillRand(rng)
+		outputs[i] = fmmfam.NewMatrix(m, n)
+		futures[i] = mu.MulAddAsync(outputs[i], a, b)
+	}
+	for i, f := range futures {
+		if err := f.Wait(); err != nil {
+			log.Fatalf("request %d: %v", i, err)
+		}
+	}
+	fmt.Printf("served %d async products in %v\n", requests, time.Since(start).Round(time.Millisecond))
+
+	// A single large call: above Config.ShardThreshold (and with a pool to
+	// feed, Threads ≥ 2) the multiplier splits it into independent full-K
+	// block products and schedules those across the same pool instead of
+	// parallelizing one product's loops.
+	const big = 1536
+	a, b := fmmfam.NewMatrix(big, big), fmmfam.NewMatrix(big, big)
+	a.FillRand(rng)
+	b.FillRand(rng)
+	c := fmmfam.NewMatrix(big, big)
+	start = time.Now()
+	if err := mu.MulAdd(c, a, b); err != nil {
+		log.Fatal(err)
+	}
+	label := "auto-sharded"
+	if cfg.Threads < 2 {
+		label = "unsharded (needs Threads ≥ 2)"
+	}
+	fmt.Printf("%s %d³ MulAdd in %v (‖C‖_F = %.3f)\n",
+		label, big, time.Since(start).Round(time.Millisecond), c.FrobNorm())
+}

@@ -29,12 +29,19 @@
 // Concurrency contract: Plans and Multipliers are immutable descriptions;
 // all mutable per-call state (packing buffers, variant temporaries) is
 // rented from bounded pools per call. Multiply, Multiplier.MulAdd,
-// Multiplier.MulAddBatch, and Plan.MulAdd are all safe for unlimited
-// concurrent callers, and each call also parallelizes internally across the
-// configured worker count.
+// Multiplier.MulAddBatch, Multiplier.MulAddAsync, and Plan.MulAdd are all
+// safe for unlimited concurrent callers, and each call also parallelizes
+// internally across the configured worker count.
+//
+// Serving layer: above Config.ShardThreshold a MulAdd is automatically split
+// into independent block products scheduled across the pool (internal/shard);
+// MulAddAsync submits work to a bounded queue and returns a Future; the plan
+// cache is LRU-bounded so servers with diverse shapes stay bounded.
 package fmmfam
 
 import (
+	"runtime"
+
 	"fmmfam/internal/core"
 	"fmmfam/internal/discover"
 	"fmmfam/internal/fmmexec"
@@ -62,11 +69,110 @@ const (
 	ABC   = fmmexec.ABC   // AB plus fused multi-C micro-kernel updates
 )
 
-// Config carries the cache blocking {mC,kC,nC} and worker count.
-type Config = gemm.Config
+// Config configures a Multiplier or Plan: the GEMM driver's cache blocking
+// {MC,KC,NC} and worker count, plus the serving-layer knobs (sharding,
+// async queue, plan-cache bound). The zero value of every serving knob
+// selects a sensible default; the blocking fields must be set (use
+// DefaultConfig).
+type Config struct {
+	// MC, KC, NC are the cache blocking parameters of Figure 1.
+	MC, KC, NC int
+	// Threads is the worker count: within one MulAdd it parallelizes the
+	// driver's ic loop; for MulAddBatch and sharded calls it is the width of
+	// the cross-job pool.
+	Threads int
 
-// DefaultConfig returns the single-threaded default blocking.
-func DefaultConfig() Config { return gemm.DefaultConfig() }
+	// ShardThreshold is the problem size max(m,n) at or above which MulAdd
+	// automatically splits into independent block products scheduled across
+	// the pool (Threads ≥ 2 required). 0 means DefaultShardThreshold;
+	// negative disables sharding.
+	ShardThreshold int
+	// ShardMinTile floors every shard tile's rows and cols. 0 derives the
+	// floor from the performance model's fast-algorithm break-even on this
+	// multiplier's Arch, so each shard still clears the size where an FMM
+	// plan beats plain GEMM.
+	ShardMinTile int
+
+	// QueueWorkers is the MulAddAsync worker-pool size. 0 means Threads.
+	QueueWorkers int
+	// QueueDepth bounds the MulAddAsync submission queue; submitters block
+	// when it is full (backpressure). 0 means 4×QueueWorkers.
+	QueueDepth int
+
+	// PlanCacheCap bounds the number of cached plans per Multiplier,
+	// evicting least-recently-used shape classes, so long-running servers
+	// seeing diverse shapes stay bounded. 0 means DefaultPlanCacheCap;
+	// negative means unbounded.
+	PlanCacheCap int
+}
+
+// Serving-layer defaults for the zero Config knobs.
+const (
+	// DefaultShardThreshold is the max(m,n) at which MulAdd starts
+	// auto-sharding; large enough that sub-threshold problems are better
+	// served by in-call loop parallelism.
+	DefaultShardThreshold = 1024
+	// DefaultPlanCacheCap bounds the plan cache; each plan is a few KiB of
+	// coefficient lists (workspace pools are attached but drain when idle).
+	DefaultPlanCacheCap = 64
+)
+
+// DefaultConfig returns the single-threaded default blocking with default
+// serving knobs.
+func DefaultConfig() Config {
+	g := gemm.DefaultConfig()
+	return Config{MC: g.MC, KC: g.KC, NC: g.NC, Threads: g.Threads}
+}
+
+// Parallel returns c with Threads set to the machine's logical CPU count.
+func (c Config) Parallel() Config {
+	c.Threads = runtime.GOMAXPROCS(0)
+	return c
+}
+
+// gemmConfig projects the driver-facing fields for the execution layers.
+func (c Config) gemmConfig() gemm.Config {
+	return gemm.Config{MC: c.MC, KC: c.KC, NC: c.NC, Threads: c.Threads}
+}
+
+func (c Config) shardThreshold() int {
+	switch {
+	case c.ShardThreshold < 0:
+		return 0 // disabled
+	case c.ShardThreshold == 0:
+		return DefaultShardThreshold
+	default:
+		return c.ShardThreshold
+	}
+}
+
+func (c Config) queueWorkers() int {
+	if c.QueueWorkers > 0 {
+		return c.QueueWorkers
+	}
+	if c.Threads > 1 {
+		return c.Threads
+	}
+	return 1
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 4 * c.queueWorkers()
+}
+
+func (c Config) planCacheCap() int {
+	switch {
+	case c.PlanCacheCap < 0:
+		return 0 // unbounded
+	case c.PlanCacheCap == 0:
+		return DefaultPlanCacheCap
+	default:
+		return c.PlanCacheCap
+	}
+}
 
 // Plan is a ready-to-run FMM implementation; see NewPlan.
 type Plan = fmmexec.Plan
@@ -87,7 +193,7 @@ func Catalog() []CatalogEntry { return core.Catalog() }
 // NewPlan builds an executable multi-level FMM plan. Levels are outermost
 // first; hybrid partitions simply pass different algorithms per level.
 func NewPlan(cfg Config, v Variant, levels ...Algorithm) (*Plan, error) {
-	return fmmexec.NewPlan(cfg, v, levels...)
+	return fmmexec.NewPlan(cfg.gemmConfig(), v, levels...)
 }
 
 // Arch holds performance-model machine parameters.
@@ -126,6 +232,12 @@ func Multiply(c, a, b Matrix) error {
 // default Multiplier's worker pool; see Multiplier.MulAddBatch.
 func MultiplyBatch(jobs []BatchJob) error {
 	return defaultMultiplier().MulAddBatch(jobs)
+}
+
+// MultiplyAsync submits c += a·b to the shared default Multiplier's bounded
+// async queue and returns a Future immediately; see Multiplier.MulAddAsync.
+func MultiplyAsync(c, a, b Matrix) *Future {
+	return defaultMultiplier().MulAddAsync(c, a, b)
 }
 
 // DiscoverProblem specifies a numerical search target; see Discover.

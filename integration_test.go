@@ -116,7 +116,7 @@ func TestModelAgreesWithMeasurementOrdering(t *testing.T) {
 	// The model's core promise (§4.4): its *relative* ordering of ABC vs
 	// Naive for a rank-k update matches measurement. Calibrate to this
 	// machine, predict both, measure both.
-	cfg := gemm.DefaultConfig()
+	cfg := DefaultConfig()
 	arch, err := model.Calibrate(gemm.Config{MC: cfg.MC, KC: cfg.KC, NC: cfg.NC, Threads: 1}, 256)
 	if err != nil {
 		t.Fatal(err)

@@ -221,6 +221,59 @@ func DefaultCandidates() []Candidate {
 	return out
 }
 
+// Break-even probe bounds: the smallest problem worth asking about and a
+// ceiling past which the answer stops mattering (callers treat the ceiling
+// as "never breaks even in practice").
+const (
+	breakEvenLo = 64
+	breakEvenHi = 1 << 15
+)
+
+// BreakEvenSquare returns the smallest square problem size s in
+// [64, 32768] at which the predicted-fastest of cands beats the plain-GEMM
+// prediction on arch — the size below which a fast plan is not worth
+// dispatching. The sharding layer uses it as the tile floor so every shard
+// still clears the fast-algorithm pay-off. If no probed size wins, the
+// ceiling 32768 is returned.
+//
+// The probe doubles s until the fast family first wins, then bisects the
+// bracketing octave; the model is smooth enough in s that this resolves the
+// crossover exactly.
+func BreakEvenSquare(arch Arch, cands []Candidate) int {
+	if len(cands) == 0 {
+		return breakEvenHi
+	}
+	fastWins := func(s int) bool {
+		best := Rank(arch, cands, s, s, s)[0].Predicted
+		return best < PredictGEMM(arch, s, s, s).Total()
+	}
+	lo := breakEvenLo
+	if fastWins(lo) {
+		return lo
+	}
+	hi := lo
+	for {
+		hi *= 2
+		if hi > breakEvenHi {
+			return breakEvenHi
+		}
+		if fastWins(hi) {
+			break
+		}
+		lo = hi
+	}
+	// Invariant: fast loses at lo, wins at hi.
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if fastWins(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
 // FitLambda solves for the prefetch-efficiency parameter λ so that the
 // model's GEMM prediction matches a measured execution time at (m,k,n) —
 // the paper's "λ is adapted to match gemm performance". The result is

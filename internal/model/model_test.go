@@ -273,3 +273,20 @@ func TestModelKSweetSpotAtKtimesKC(t *testing.T) {
 func modelEff(arch Arch, s Stats, k int) float64 {
 	return EffectiveGFLOPS(14400, k, 14400, Predict(arch, s, fmmexec.ABC, 14400, k, 14400).Total())
 }
+
+func TestBreakEvenSquare(t *testing.T) {
+	arch := PaperIvyBridge()
+	cands := DefaultCandidates()
+	be := BreakEvenSquare(arch, cands)
+	t.Logf("break-even square size: %d", be)
+	if be < 64 || be > 1<<15 {
+		t.Fatalf("break-even %d outside probe range", be)
+	}
+	best := Rank(arch, cands, be, be, be)[0].Predicted
+	if gemm := PredictGEMM(arch, be, be, be).Total(); be < 1<<15 && best >= gemm {
+		t.Fatalf("at break-even %d fast (%g) does not beat gemm (%g)", be, best, gemm)
+	}
+	if BreakEvenSquare(arch, nil) != 1<<15 {
+		t.Fatal("no candidates must return the ceiling")
+	}
+}

@@ -1,0 +1,177 @@
+// Package shard splits one large C += A·B into independent block products
+// that can be scheduled through a worker pool — the Benson–Ballard
+// observation (1409.2908) that for large problems the parallel win comes
+// from running independent sub-products concurrently rather than from
+// parallelizing the loops of a single product.
+//
+// The decomposition is two-dimensional over the M×N output: C is cut into a
+// GridM×GridN grid of tiles and each tile's full-K product
+//
+//	C[i0:i1, j0:j1] += A[i0:i1, :] · B[:, j0:j1]
+//
+// is one shard. Keeping K whole means the shards write disjoint regions of C
+// — no reduction, no synchronization, bit-identical results regardless of
+// scheduling order — and each shard keeps the largest possible inner
+// dimension, which is where fast-algorithm speedups live.
+//
+// The grid is chosen by minimizing the modelled makespan of scheduling the
+// tiles on Workers equal workers — ⌈tiles/Workers⌉ rounds of the largest
+// tile's area — subject to every tile's M and N staying at or above a
+// caller-given floor (the performance model's fast-algorithm break-even, so
+// each shard still clears the size at which an FMM plan beats plain GEMM).
+// Ties go to the grid with the largest minimum tile side, then the fewest
+// tiles: bigger tiles keep per-tile plan selection in the multi-level
+// regime and amortize packing, and worker-aligned tile counts avoid the
+// straggler round a 9-tiles-on-4-workers schedule pays.
+package shard
+
+import "fmt"
+
+// DefaultOversub bounds the grid search at Workers×Oversub tiles. Grids
+// beyond one tile per worker only win on ragged shapes where uneven tiles
+// make an extra round cheaper; a small factor is enough headroom to find
+// those without searching absurd grids.
+const DefaultOversub = 2
+
+// Options controls Split.
+type Options struct {
+	// Workers is the scheduling width the shards will be fed to (≥1).
+	Workers int
+	// MinTile is the floor for every tile's rows and cols — typically the
+	// model's fast-algorithm break-even size (≥1).
+	MinTile int
+	// Oversub bounds the search at Workers×Oversub tiles; 0 means
+	// DefaultOversub.
+	Oversub int
+}
+
+// Tile is one shard: the block product
+// C[I:I+Rows, J:J+Cols] += A[I:I+Rows, :] · B[:, J:J+Cols].
+type Tile struct {
+	I, J       int
+	Rows, Cols int
+}
+
+// Spec is a chosen decomposition of C(M×N) += A(M×K)·B(K×N) into a
+// GridM×GridN grid of full-K tiles.
+type Spec struct {
+	M, K, N      int
+	GridM, GridN int
+}
+
+// Split chooses a decomposition for C(m×n) += A(m×k)·B(k×n) under o. The
+// second return is false when the problem should not be sharded: fewer than
+// two tiles fit above the MinTile floor (or the Workers×Oversub bound
+// forbids even two tiles).
+//
+// Every admissible grid up to Workers×Oversub tiles is scored by modelled
+// makespan — the schedule length of tiles on Workers equal workers,
+// ⌈gm·gn/Workers⌉ rounds of the largest tile's area (K is common to all
+// grids and drops out) — and the minimum wins. Ties prefer the larger
+// minimum tile side, then fewer tiles; see the package comment for why.
+func Split(m, k, n int, o Options) (Spec, bool) {
+	if m < 1 || k < 1 || n < 1 {
+		return Spec{}, false
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.MinTile < 1 {
+		o.MinTile = 1
+	}
+	oversub := o.Oversub
+	if oversub < 1 {
+		oversub = DefaultOversub
+	}
+	gmMax := m / o.MinTile
+	if gmMax < 1 {
+		gmMax = 1
+	}
+	gnMax := n / o.MinTile
+	if gnMax < 1 {
+		gnMax = 1
+	}
+	maxTiles := o.Workers * oversub
+	var (
+		found                        bool
+		bestM, bestN                 int
+		bestCost, bestSide, bestTile int64
+	)
+	for gm := 1; gm <= gmMax && gm <= maxTiles; gm++ {
+		for gn := 1; gn <= gnMax; gn++ {
+			tiles := gm * gn
+			if tiles > maxTiles {
+				break
+			}
+			if tiles < 2 {
+				continue
+			}
+			// Largest tile sides under balanced cuts.
+			tr := int64(ceilDiv(m, gm))
+			tc := int64(ceilDiv(n, gn))
+			rounds := int64(ceilDiv(tiles, o.Workers))
+			cost := rounds * tr * tc
+			side := tr
+			if tc < side {
+				side = tc
+			}
+			better := !found ||
+				cost < bestCost ||
+				(cost == bestCost && (side > bestSide ||
+					(side == bestSide && int64(tiles) < bestTile)))
+			if better {
+				found = true
+				bestM, bestN = gm, gn
+				bestCost, bestSide, bestTile = cost, side, int64(tiles)
+			}
+		}
+	}
+	if !found {
+		return Spec{}, false
+	}
+	return Spec{M: m, K: k, N: n, GridM: bestM, GridN: bestN}, true
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// NumTiles is the shard count GridM×GridN.
+func (s Spec) NumTiles() int { return s.GridM * s.GridN }
+
+// Tiles enumerates the decomposition row-major. Tile sides are balanced:
+// within a dimension, sizes differ by at most one, with the larger tiles
+// first. The tiles exactly partition the M×N output.
+func (s Spec) Tiles() []Tile {
+	rows := cuts(s.M, s.GridM)
+	cols := cuts(s.N, s.GridN)
+	out := make([]Tile, 0, s.GridM*s.GridN)
+	i := 0
+	for _, r := range rows {
+		j := 0
+		for _, c := range cols {
+			out = append(out, Tile{I: i, J: j, Rows: r, Cols: c})
+			j += c
+		}
+		i += r
+	}
+	return out
+}
+
+// cuts splits extent into g balanced parts (sizes differ by ≤1, larger
+// parts first).
+func cuts(extent, g int) []int {
+	base, rem := extent/g, extent%g
+	out := make([]int, g)
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// String renders the decomposition for logs and errors.
+func (s Spec) String() string {
+	return fmt.Sprintf("shard %d×%d×%d into %d×%d tiles (%d shards, ~%d×%d each)",
+		s.M, s.K, s.N, s.GridM, s.GridN, s.NumTiles(), s.M/s.GridM, s.N/s.GridN)
+}

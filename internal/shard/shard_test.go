@@ -1,0 +1,129 @@
+package shard
+
+import "testing"
+
+// TestTilesPartitionExactly verifies that for a sweep of problem shapes and
+// options, the tiles cover every (i, j) of the M×N output exactly once and
+// never stray out of bounds — the property that makes sharded execution
+// bit-identical to sequential execution of the same tiles.
+func TestTilesPartitionExactly(t *testing.T) {
+	cases := []struct {
+		m, k, n int
+		o       Options
+	}{
+		{256, 256, 256, Options{Workers: 4, MinTile: 64}},
+		{1024, 64, 96, Options{Workers: 8, MinTile: 32}},  // tall
+		{96, 64, 1024, Options{Workers: 8, MinTile: 32}},  // wide
+		{333, 177, 257, Options{Workers: 3, MinTile: 40}}, // non-power-of-two
+		{4096, 4096, 4096, Options{Workers: 16, MinTile: 148}},
+		{130, 10, 130, Options{Workers: 2, MinTile: 64}}, // barely shardable
+		{1 << 14, 8, 1 << 14, Options{Workers: 64, MinTile: 100, Oversub: 3}},
+	}
+	for _, tc := range cases {
+		spec, ok := Split(tc.m, tc.k, tc.n, tc.o)
+		if !ok {
+			t.Fatalf("Split(%d,%d,%d,%+v) refused to shard", tc.m, tc.k, tc.n, tc.o)
+		}
+		tiles := spec.Tiles()
+		if len(tiles) != spec.NumTiles() || len(tiles) < 2 {
+			t.Fatalf("%v: %d tiles, want %d ≥ 2", spec, len(tiles), spec.NumTiles())
+		}
+		seen := make([]bool, tc.m*tc.n)
+		for _, tl := range tiles {
+			if tl.Rows < tc.o.MinTile || tl.Cols < tc.o.MinTile {
+				t.Fatalf("%v: tile %+v under MinTile %d", spec, tl, tc.o.MinTile)
+			}
+			if tl.I < 0 || tl.J < 0 || tl.I+tl.Rows > tc.m || tl.J+tl.Cols > tc.n {
+				t.Fatalf("%v: tile %+v out of bounds", spec, tl)
+			}
+			for i := tl.I; i < tl.I+tl.Rows; i++ {
+				for j := tl.J; j < tl.J+tl.Cols; j++ {
+					if seen[i*tc.n+j] {
+						t.Fatalf("%v: cell (%d,%d) covered twice", spec, i, j)
+					}
+					seen[i*tc.n+j] = true
+				}
+			}
+		}
+		for idx, s := range seen {
+			if !s {
+				t.Fatalf("%v: cell (%d,%d) uncovered", spec, idx/tc.n, idx%tc.n)
+			}
+		}
+	}
+}
+
+// TestTilesBalanced: within each dimension tile sides differ by at most one,
+// so no worker inherits a straggler tile much larger than the rest.
+func TestTilesBalanced(t *testing.T) {
+	spec, ok := Split(1000, 300, 700, Options{Workers: 5, MinTile: 50})
+	if !ok {
+		t.Fatal("refused to shard")
+	}
+	minR, maxR := 1<<30, 0
+	minC, maxC := 1<<30, 0
+	for _, tl := range spec.Tiles() {
+		if tl.Rows < minR {
+			minR = tl.Rows
+		}
+		if tl.Rows > maxR {
+			maxR = tl.Rows
+		}
+		if tl.Cols < minC {
+			minC = tl.Cols
+		}
+		if tl.Cols > maxC {
+			maxC = tl.Cols
+		}
+	}
+	if maxR-minR > 1 || maxC-minC > 1 {
+		t.Fatalf("%v: unbalanced tiles rows[%d,%d] cols[%d,%d]", spec, minR, maxR, minC, maxC)
+	}
+}
+
+// TestSplitRefusals: problems with no room for two above-floor tiles, or
+// degenerate dimensions, must not shard.
+func TestSplitRefusals(t *testing.T) {
+	cases := []struct {
+		m, k, n int
+		o       Options
+	}{
+		{100, 100, 100, Options{Workers: 8, MinTile: 64}}, // < 2 tiles fit
+		{64, 64, 64, Options{Workers: 4, MinTile: 64}},
+		{0, 10, 10, Options{Workers: 4, MinTile: 1}},
+		{10, 0, 10, Options{Workers: 4, MinTile: 1}},
+	}
+	for _, tc := range cases {
+		if spec, ok := Split(tc.m, tc.k, tc.n, tc.o); ok {
+			t.Fatalf("Split(%d,%d,%d,%+v) sharded as %v, want refusal", tc.m, tc.k, tc.n, tc.o, spec)
+		}
+	}
+}
+
+// TestSplitShapeAffinity: a tall problem shards along M, a wide one along N,
+// and a square problem with room to spare lands on a worker-aligned grid of
+// the largest possible near-square tiles (minimum modelled makespan).
+func TestSplitShapeAffinity(t *testing.T) {
+	tall, ok := Split(4096, 256, 200, Options{Workers: 4, MinTile: 100})
+	if !ok || tall.GridN != 1 || tall.GridM != 4 {
+		t.Fatalf("tall split: %v ok=%v, want 4×1 (one tile per worker, cuts along M)", tall, ok)
+	}
+	wide, ok := Split(200, 256, 4096, Options{Workers: 4, MinTile: 100})
+	if !ok || wide.GridM != 1 || wide.GridN != 4 {
+		t.Fatalf("wide split: %v ok=%v, want 1×4 (one tile per worker, cuts along N)", wide, ok)
+	}
+	sq, ok := Split(4096, 4096, 4096, Options{Workers: 8, MinTile: 148})
+	if !ok || sq.NumTiles() != 8 || sq.NumTiles()%8 != 0 {
+		t.Fatalf("square split: %v ok=%v, want exactly one tile per worker", sq, ok)
+	}
+	for _, tl := range sq.Tiles() {
+		if tl.Rows < 1024 || tl.Cols < 1024 {
+			t.Fatalf("square split %v produced a tile %+v smaller than the best achievable", sq, tl)
+		}
+	}
+	// Determinism: the same inputs always produce the same spec.
+	sq2, _ := Split(4096, 4096, 4096, Options{Workers: 8, MinTile: 148})
+	if sq != sq2 {
+		t.Fatalf("split not deterministic: %v vs %v", sq, sq2)
+	}
+}

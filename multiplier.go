@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"fmmfam/internal/model"
+	"fmmfam/internal/shard"
 )
 
 // Multiplier is the library-integration entry point the paper's conclusion
@@ -19,36 +21,65 @@ import (
 // class; all mutable per-call state (packing buffers, variant temporaries)
 // is rented from bounded pools inside the execution layers, so concurrent
 // MulAdd calls never serialize on workspace.
+//
+// Serving behavior: problems at or above Config.ShardThreshold (with
+// Threads ≥ 2) are split into independent block products and scheduled
+// through the batch pool; MulAddAsync submits work to a bounded queue and
+// returns a Future; the plan cache is LRU-bounded by Config.PlanCacheCap.
 type Multiplier struct {
 	cfg  Config
 	arch Arch
 
-	mu    sync.RWMutex
-	plans map[string]*Plan
+	plans *planCache
 
-	// serial is a lazily-built Threads=1 twin used by MulAddBatch: batch
-	// throughput comes from parallelism across jobs, so running each job
-	// single-threaded keeps total goroutines ≈ Threads instead of Threads².
+	// serial is a lazily-built Threads=1 twin that executes every batch,
+	// sharded, and async job: cross-job parallelism comes from the pool, so
+	// running each job single-threaded keeps total goroutines ≈ Threads
+	// instead of Threads², and makes job results independent of the parent's
+	// Threads setting.
 	serialOnce sync.Once
 	serial     *Multiplier
+
+	// minTile is the lazily-computed shard tile floor (model break-even).
+	minTileOnce sync.Once
+	minTile     int
+
+	// async is the lazily-started MulAddAsync queue + worker pool; written
+	// only inside asyncOnce, so all access goes through asyncState.
+	asyncOnce sync.Once
+	async     *asyncPool
 }
 
 // NewMultiplier returns a Multiplier using the given blocking/threads and
 // machine parameters for selection. Use PaperArch() when no calibration is
 // available; relative rankings transfer well across machines.
 func NewMultiplier(cfg Config, arch Arch) *Multiplier {
-	return &Multiplier{cfg: cfg, arch: arch, plans: map[string]*Plan{}}
+	return &Multiplier{cfg: cfg, arch: arch, plans: newPlanCache(cfg.planCacheCap())}
 }
 
-// MulAdd computes c += a·b, choosing and caching an implementation for the
-// problem's shape class. Safe for concurrent callers.
-func (mu *Multiplier) MulAdd(c, a, b Matrix) error {
+// checkMulDims validates C(m×n) += A(m×k)·B(k×n) dimensions.
+func checkMulDims(c, a, b Matrix) error {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		return fmt.Errorf("fmmfam: dims C(%d×%d) += A(%d×%d)·B(%d×%d)",
 			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
 	}
+	return nil
+}
+
+// MulAdd computes c += a·b, choosing and caching an implementation for the
+// problem's shape class. Problems at or above the configured shard threshold
+// are split into independent block products and scheduled across the worker
+// pool instead of parallelizing one product's loops. Safe for concurrent
+// callers.
+func (mu *Multiplier) MulAdd(c, a, b Matrix) error {
+	if err := checkMulDims(c, a, b); err != nil {
+		return err
+	}
 	if a.Rows == 0 || a.Cols == 0 || b.Cols == 0 {
 		return nil
+	}
+	if spec, ok := mu.shardSpec(a.Rows, a.Cols, b.Cols); ok {
+		return mu.mulAddSharded(spec, c, a, b)
 	}
 	p, err := mu.planFor(a.Rows, a.Cols, b.Cols)
 	if err != nil {
@@ -64,11 +95,14 @@ type BatchJob struct {
 }
 
 // MulAddBatch schedules the jobs across a worker pool sized by the
-// multiplier's configured thread count. Each job runs with single-threaded
-// plan execution — the parallelism is across jobs, not within one, so the
-// machine is never oversubscribed beyond the configured worker count. Jobs
-// must be independent (no C aliases another job's operands). It returns the
-// join of all per-job errors; jobs after a failed one still run.
+// multiplier's configured thread count. Batch contract: every job executes
+// with single-threaded plan execution through the multiplier's serial twin,
+// regardless of worker count — the parallelism is across jobs, not within
+// one — so results and plan selection are identical whether the pool runs
+// with one worker or many, and the machine is never oversubscribed beyond
+// the configured worker count. Jobs must be independent (no C aliases
+// another job's operands). It returns the join of all per-job errors; jobs
+// after a failed one still run.
 func (mu *Multiplier) MulAddBatch(jobs []BatchJob) error {
 	if len(jobs) == 0 {
 		return nil
@@ -80,15 +114,14 @@ func (mu *Multiplier) MulAddBatch(jobs []BatchJob) error {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	exec := mu.serialMultiplier()
 	errs := make([]error, len(jobs))
 	if workers == 1 {
-		// No cross-job parallelism: run jobs through the fully-parallel plans.
 		for i, j := range jobs {
-			errs[i] = mu.MulAdd(j.C, j.A, j.B)
+			errs[i] = exec.MulAdd(j.C, j.A, j.B)
 		}
 		return errors.Join(errs...)
 	}
-	exec := mu.serialMultiplier()
 	next := make(chan int, len(jobs))
 	for i := range jobs {
 		next <- i
@@ -109,8 +142,10 @@ func (mu *Multiplier) MulAddBatch(jobs []BatchJob) error {
 	return errors.Join(errs...)
 }
 
-// serialMultiplier returns the Threads=1 twin backing MulAddBatch, sharing
-// this multiplier's arch and blocking but with its own plan cache.
+// serialMultiplier returns the Threads=1 twin executing batch, sharded, and
+// async jobs, sharing this multiplier's arch and blocking but with its own
+// plan cache. Threads=1 also disables sharding on the twin, so pool jobs
+// never recursively re-shard.
 func (mu *Multiplier) serialMultiplier() *Multiplier {
 	mu.serialOnce.Do(func() {
 		cfg := mu.cfg
@@ -120,21 +155,63 @@ func (mu *Multiplier) serialMultiplier() *Multiplier {
 	return mu.serial
 }
 
+// shardMinTile resolves the shard tile floor: the configured override, or
+// the model's fast-algorithm break-even for this multiplier's arch.
+func (mu *Multiplier) shardMinTile() int {
+	if mu.cfg.ShardMinTile > 0 {
+		return mu.cfg.ShardMinTile
+	}
+	mu.minTileOnce.Do(func() {
+		mu.minTile = model.BreakEvenSquare(mu.arch, defaultCandidates())
+	})
+	return mu.minTile
+}
+
+// shardSpec decides whether C(m×n) += A(m×k)·B(k×n) should be sharded and,
+// if so, how. Sharding needs a pool to feed (Threads ≥ 2), a problem at or
+// above the threshold, and room for at least two tiles above the break-even
+// floor.
+func (mu *Multiplier) shardSpec(m, k, n int) (shard.Spec, bool) {
+	if mu.cfg.Threads < 2 {
+		return shard.Spec{}, false
+	}
+	thr := mu.cfg.shardThreshold()
+	if thr == 0 || (m < thr && n < thr) {
+		return shard.Spec{}, false
+	}
+	return shard.Split(m, k, n, shard.Options{
+		Workers: mu.cfg.Threads,
+		MinTile: mu.shardMinTile(),
+	})
+}
+
+// mulAddSharded executes a sharded MulAdd: each tile is the full-K block
+// product C[ti, tj] += A[ti, :]·B[:, tj] on views of the operands, scheduled
+// through MulAddBatch. Tiles write disjoint regions of C, so the result is
+// bit-identical however the pool interleaves them.
+func (mu *Multiplier) mulAddSharded(spec shard.Spec, c, a, b Matrix) error {
+	tiles := spec.Tiles()
+	jobs := make([]BatchJob, len(tiles))
+	for i, t := range tiles {
+		jobs[i] = BatchJob{
+			C: c.View(t.I, t.J, t.Rows, t.Cols),
+			A: a.View(t.I, 0, t.Rows, a.Cols),
+			B: b.View(0, t.J, b.Rows, t.Cols),
+		}
+	}
+	if err := mu.MulAddBatch(jobs); err != nil {
+		return fmt.Errorf("%v: %w", spec, err)
+	}
+	return nil
+}
+
 // PlanFor exposes the plan the multiplier would use for a problem size
 // (useful for inspection and testing).
 func (mu *Multiplier) PlanFor(m, k, n int) (*Plan, error) { return mu.planFor(m, k, n) }
 
 func (mu *Multiplier) planFor(m, k, n int) (*Plan, error) {
 	key := shapeClass(m, k, n)
-	mu.mu.RLock()
-	p, ok := mu.plans[key]
-	mu.mu.RUnlock()
-	if ok {
-		return p, nil
-	}
-	mu.mu.Lock()
-	defer mu.mu.Unlock()
-	if p, ok := mu.plans[key]; ok {
+	if p, ok := mu.plans.get(key); ok {
 		return p, nil
 	}
 	cand := Recommend(mu.arch, m, k, n)
@@ -142,15 +219,76 @@ func (mu *Multiplier) planFor(m, k, n int) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	mu.plans[key] = p
-	return p, nil
+	return mu.plans.add(key, p), nil
 }
 
-// CachedPlans reports how many distinct shape classes have been planned.
-func (mu *Multiplier) CachedPlans() int {
-	mu.mu.RLock()
-	defer mu.mu.RUnlock()
-	return len(mu.plans)
+// CachedPlans reports how many distinct shape classes are currently cached.
+func (mu *Multiplier) CachedPlans() int { return mu.plans.len() }
+
+// planCache is the Multiplier's bounded plan cache: a map guarded by an
+// RWMutex for the hot read path, with least-recently-used eviction driven by
+// per-entry atomic timestamps so cache hits never take the write lock.
+type planCache struct {
+	cap  int // ≤0 means unbounded
+	tick atomic.Int64
+
+	mu sync.RWMutex
+	m  map[string]*planEntry
+}
+
+type planEntry struct {
+	p    *Plan
+	last atomic.Int64 // logical timestamp of the most recent use
+}
+
+func newPlanCache(cap int) *planCache {
+	return &planCache{cap: cap, m: make(map[string]*planEntry)}
+}
+
+func (pc *planCache) get(key string) (*Plan, bool) {
+	pc.mu.RLock()
+	e := pc.m[key]
+	pc.mu.RUnlock()
+	if e == nil {
+		return nil, false
+	}
+	e.last.Store(pc.tick.Add(1))
+	return e.p, true
+}
+
+// add inserts p under key unless another caller won the race, in which case
+// the incumbent is returned — callers of the same shape class always share
+// one plan. When the cache is over capacity the least-recently-used entry is
+// evicted.
+func (pc *planCache) add(key string, p *Plan) *Plan {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if e, ok := pc.m[key]; ok {
+		e.last.Store(pc.tick.Add(1))
+		return e.p
+	}
+	e := &planEntry{p: p}
+	e.last.Store(pc.tick.Add(1))
+	pc.m[key] = e
+	if pc.cap > 0 {
+		for len(pc.m) > pc.cap {
+			var oldestKey string
+			oldest := int64(1<<63 - 1)
+			for k, v := range pc.m {
+				if last := v.last.Load(); last < oldest {
+					oldest, oldestKey = last, k
+				}
+			}
+			delete(pc.m, oldestKey)
+		}
+	}
+	return p
+}
+
+func (pc *planCache) len() int {
+	pc.mu.RLock()
+	defer pc.mu.RUnlock()
+	return len(pc.m)
 }
 
 // shapeClass buckets problem sizes so that nearby sizes share a plan: each
@@ -181,10 +319,11 @@ func defaultCandidates() []Candidate {
 	return defaultCandidatesOnce.cands
 }
 
-// defaultMultiplier backs the package-level Multiply/MultiplyBatch: one
-// lazily-initialized Multiplier with default parallel blocking and the
-// paper's machine model, shared by all callers so repeated package-level
-// calls hit the plan cache instead of rebuilding a plan per call.
+// defaultMultiplier backs the package-level Multiply/MultiplyBatch/
+// MultiplyAsync: one lazily-initialized Multiplier with default parallel
+// blocking and the paper's machine model, shared by all callers so repeated
+// package-level calls hit the plan cache instead of rebuilding a plan per
+// call.
 var defaultMultiplierOnce struct {
 	sync.Once
 	mu *Multiplier

@@ -66,6 +66,55 @@ func TestMultiplierZeroSizeNoop(t *testing.T) {
 	}
 }
 
+// TestPlanCacheLRUEviction pins the bounded-cache contract for long-running
+// servers: with PlanCacheCap distinct shape classes in flight the cache
+// never exceeds its cap, the least-recently-used class is the one evicted,
+// and recently-touched plans keep their identity (callers of a live shape
+// class always share one plan).
+func TestPlanCacheLRUEviction(t *testing.T) {
+	cfg := Config{MC: 16, KC: 16, NC: 32, Threads: 1, PlanCacheCap: 2}
+	mu := NewMultiplier(cfg, PaperArch())
+	pA, err := mu.PlanFor(64, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pB, err := mu.PlanFor(128, 128, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, _ := mu.PlanFor(64, 64, 64); again != pA {
+		t.Fatal("cache hit must return the shared plan")
+	}
+	// Inserting a third class evicts the LRU class — B, since A was just
+	// touched.
+	if _, err := mu.PlanFor(256, 64, 256); err != nil {
+		t.Fatal(err)
+	}
+	if got := mu.CachedPlans(); got != 2 {
+		t.Fatalf("cache holds %d plans, cap is 2", got)
+	}
+	if pA2, _ := mu.PlanFor(64, 64, 64); pA2 != pA {
+		t.Fatal("recently-used plan was evicted")
+	}
+	if pB2, _ := mu.PlanFor(128, 128, 128); pB2 == pB {
+		t.Fatal("LRU plan should have been evicted and rebuilt")
+	}
+	if got := mu.CachedPlans(); got != 2 {
+		t.Fatalf("cache holds %d plans after refill, cap is 2", got)
+	}
+
+	// Negative cap means unbounded.
+	unb := NewMultiplier(Config{MC: 16, KC: 16, NC: 32, Threads: 1, PlanCacheCap: -1}, PaperArch())
+	for _, s := range [][3]int{{64, 64, 64}, {128, 64, 64}, {256, 64, 64}, {512, 64, 64}} {
+		if _, err := unb.PlanFor(s[0], s[1], s[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := unb.CachedPlans(); got != 4 {
+		t.Fatalf("unbounded cache holds %d plans, want 4", got)
+	}
+}
+
 func TestBucketPowersOfTwo(t *testing.T) {
 	cases := map[int]int{1: 1, 2: 2, 3: 4, 64: 64, 65: 128, 1000: 1024}
 	for x, want := range cases {

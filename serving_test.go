@@ -1,0 +1,307 @@
+package fmmfam
+
+// Tests for the serving layer: automatic sharding of large MulAdds, the
+// Future-based async queue, and their interaction with the batch pool. Run
+// with -race; the CI workflow always does.
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fmmfam/internal/matrix"
+)
+
+// servingCfg is a small-blocking config that shards aggressively so the
+// tests cover the sharded path at test-sized problems: any max(m,n) ≥ 128
+// with tiles ≥ 48 splits.
+func servingCfg() Config {
+	return Config{
+		MC: 16, KC: 16, NC: 32, Threads: 4,
+		ShardThreshold: 128, ShardMinTile: 48,
+	}
+}
+
+// TestShardedMatchesUnsharded drives the auto-sharding MulAdd path over
+// square, tall, wide, and non-power-of-two shapes and checks, per shape:
+//
+//  1. the sharded result is bit-identical to executing the same tile
+//     decomposition sequentially through the serial twin — sharding is pure
+//     scheduling, so pool interleaving must not perturb a single bit;
+//  2. repeated sharded runs are bit-identical (deterministic serving);
+//  3. the sharded result matches the unsharded plan path within a tight
+//     tolerance — the two paths group the additions of the exact same real
+//     product differently (full-size plan vs per-tile plans), so equality is
+//     up to roundoff, not bitwise;
+//  4. the sharded result matches the naive triple-loop reference.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	shapes := [][3]int{
+		{256, 256, 256}, // square
+		{512, 96, 64},   // tall: shards along M only
+		{64, 96, 512},   // wide: shards along N only
+		{257, 129, 193}, // non-power-of-two everywhere
+		{300, 40, 200},  // shallow K below the tile floor
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		mu := NewMultiplier(servingCfg(), PaperArch())
+		spec, ok := mu.shardSpec(m, k, n)
+		if !ok {
+			t.Fatalf("shape %v: expected the serving config to shard", s)
+		}
+		a, b := NewMatrix(m, k), NewMatrix(k, n)
+		a.FillRand(rng)
+		b.FillRand(rng)
+
+		sharded := NewMatrix(m, n)
+		if err := mu.MulAdd(sharded, a, b); err != nil {
+			t.Fatalf("shape %v: %v", s, err)
+		}
+
+		// (1) bit-identical to sequential execution of the same tiles.
+		seq := NewMatrix(m, n)
+		exec := mu.serialMultiplier()
+		for _, tl := range spec.Tiles() {
+			if err := exec.MulAdd(
+				seq.View(tl.I, tl.J, tl.Rows, tl.Cols),
+				a.View(tl.I, 0, tl.Rows, k),
+				b.View(0, tl.J, k, tl.Cols),
+			); err != nil {
+				t.Fatalf("shape %v tile %+v: %v", s, tl, err)
+			}
+		}
+		if d := sharded.MaxAbsDiff(seq); d != 0 {
+			t.Fatalf("shape %v: pool scheduling perturbed the result by %g", s, d)
+		}
+
+		// (2) deterministic across runs.
+		again := NewMatrix(m, n)
+		if err := mu.MulAdd(again, a, b); err != nil {
+			t.Fatalf("shape %v: %v", s, err)
+		}
+		if d := sharded.MaxAbsDiff(again); d != 0 {
+			t.Fatalf("shape %v: sharded MulAdd not deterministic, diff %g", s, d)
+		}
+
+		// (3) tolerance-equal to the unsharded plan path.
+		cfg := servingCfg()
+		cfg.ShardThreshold = -1 // disable sharding
+		unsharded := NewMatrix(m, n)
+		if err := NewMultiplier(cfg, PaperArch()).MulAdd(unsharded, a, b); err != nil {
+			t.Fatalf("shape %v: %v", s, err)
+		}
+		if d := sharded.MaxAbsDiff(unsharded); d > 1e-9 {
+			t.Fatalf("shape %v: sharded vs unsharded diff %g", s, d)
+		}
+
+		// (4) matches the naive reference.
+		want := NewMatrix(m, n)
+		matrix.MulAdd(want, a, b)
+		if d := sharded.MaxAbsDiff(want); d > 1e-9 {
+			t.Fatalf("shape %v: sharded vs reference diff %g", s, d)
+		}
+	}
+}
+
+// TestShardGating: sharding must stay off for single-threaded multipliers,
+// sub-threshold problems, and explicitly disabled configs — those calls take
+// the plain plan path.
+func TestShardGating(t *testing.T) {
+	single := servingCfg()
+	single.Threads = 1
+	if _, ok := NewMultiplier(single, PaperArch()).shardSpec(4096, 4096, 4096); ok {
+		t.Fatal("Threads=1 must not shard")
+	}
+	small := servingCfg()
+	if _, ok := NewMultiplier(small, PaperArch()).shardSpec(100, 100, 100); ok {
+		t.Fatal("sub-threshold problem must not shard")
+	}
+	off := servingCfg()
+	off.ShardThreshold = -1
+	if _, ok := NewMultiplier(off, PaperArch()).shardSpec(4096, 4096, 4096); ok {
+		t.Fatal("ShardThreshold<0 must disable sharding")
+	}
+	// Default knobs derive the tile floor from the model: a large problem on
+	// a parallel config shards out of the box.
+	def := DefaultConfig()
+	def.Threads = 8
+	mu := NewMultiplier(def, PaperArch())
+	spec, ok := mu.shardSpec(4096, 4096, 4096)
+	if !ok {
+		t.Fatal("default parallel config must shard a 4096³ problem")
+	}
+	floor := mu.shardMinTile()
+	if floor < 64 || floor > 1<<15 {
+		t.Fatalf("model-derived tile floor %d out of range", floor)
+	}
+	for _, tl := range spec.Tiles() {
+		if tl.Rows < floor || tl.Cols < floor {
+			t.Fatalf("tile %+v under model floor %d", tl, floor)
+		}
+	}
+}
+
+// TestMulAddBatchPlansInSerialTwin pins the unified batch contract: whatever
+// the worker count — including the workers==1 path that used to fall back to
+// the parent's fully-parallel plans — batch jobs plan and execute in the
+// serial twin, so batch results and cache behavior do not depend on Threads.
+func TestMulAddBatchPlansInSerialTwin(t *testing.T) {
+	run := func(threads int) (*Multiplier, Matrix) {
+		cfg := Config{MC: 16, KC: 16, NC: 32, Threads: threads}
+		mu := NewMultiplier(cfg, PaperArch())
+		rng := rand.New(rand.NewSource(11))
+		a, b := NewMatrix(96, 64), NewMatrix(64, 96)
+		a.FillRand(rng)
+		b.FillRand(rng)
+		c := NewMatrix(96, 96)
+		if err := mu.MulAddBatch([]BatchJob{{C: c, A: a, B: b}}); err != nil {
+			t.Fatal(err)
+		}
+		return mu, c
+	}
+	mu1, c1 := run(1)
+	mu4, c4 := run(4)
+	if d := c1.MaxAbsDiff(c4); d != 0 {
+		t.Fatalf("batch result depends on worker count: diff %g", d)
+	}
+	for _, mu := range []*Multiplier{mu1, mu4} {
+		if got := mu.CachedPlans(); got != 0 {
+			t.Fatalf("batch planned %d plans in the parent cache, want 0", got)
+		}
+		if got := mu.serialMultiplier().CachedPlans(); got == 0 {
+			t.Fatal("batch did not plan in the serial twin")
+		}
+	}
+}
+
+// TestMulAddAsyncConcurrentSubmitters hammers one multiplier's async queue
+// from many goroutines with mixed shapes through a deliberately tiny queue
+// (so submitters block on backpressure) and verifies every future resolves
+// with the right product. Under -race this proves the submission path shares
+// no unsynchronized state.
+func TestMulAddAsyncConcurrentSubmitters(t *testing.T) {
+	cfg := Config{MC: 16, KC: 16, NC: 32, Threads: 2, QueueWorkers: 3, QueueDepth: 2}
+	mu := NewMultiplier(cfg, PaperArch())
+	defer mu.Close()
+	refs := makeRefProducts(5)
+	const submitters = 6
+	const perSubmitter = 5
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			futures := make([]*Future, perSubmitter)
+			results := make([]Matrix, perSubmitter)
+			for it := 0; it < perSubmitter; it++ {
+				r := refs[(g+it)%len(refs)]
+				results[it] = NewMatrix(r.want.Rows, r.want.Cols)
+				futures[it] = mu.MulAddAsync(results[it], r.a, r.b)
+			}
+			for it, f := range futures {
+				if err := f.Wait(); err != nil {
+					t.Errorf("submitter %d future %d: %v", g, it, err)
+					return
+				}
+				r := refs[(g+it)%len(refs)]
+				if d := results[it].MaxAbsDiff(r.want); d > 1e-9 {
+					t.Errorf("submitter %d future %d: diff %g", g, it, d)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestMulAddAsyncErrorsAndClose covers the async lifecycle: dimension errors
+// resolve immediately without queueing, Close drains all submitted futures,
+// submissions after Close fail with ErrClosed, Close is idempotent, and an
+// unused multiplier closes trivially.
+func TestMulAddAsyncErrorsAndClose(t *testing.T) {
+	// Close before the async path was ever used must still stick: later
+	// submissions get ErrClosed rather than lazily reviving the pool.
+	unused := NewMultiplier(servingCfg(), PaperArch())
+	if err := unused.Close(); err != nil {
+		t.Fatalf("closing an unused multiplier: %v", err)
+	}
+	if err := unused.MulAddAsync(NewMatrix(4, 4), NewMatrix(4, 4), NewMatrix(4, 4)).Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submission after pre-use Close: err=%v, want ErrClosed", err)
+	}
+
+	mu := NewMultiplier(Config{MC: 16, KC: 16, NC: 32, Threads: 1, QueueWorkers: 2}, PaperArch())
+	bad := mu.MulAddAsync(NewMatrix(2, 2), NewMatrix(2, 3), NewMatrix(2, 2))
+	select {
+	case <-bad.Done():
+	default:
+		t.Fatal("dimension-error future must resolve immediately")
+	}
+	if bad.Wait() == nil {
+		t.Fatal("expected dimension error")
+	}
+
+	refs := makeRefProducts(6)
+	futures := make([]*Future, 0, len(refs))
+	results := make([]Matrix, 0, len(refs))
+	for _, r := range refs {
+		c := NewMatrix(r.want.Rows, r.want.Cols)
+		results = append(results, c)
+		futures = append(futures, mu.MulAddAsync(c, r.a, r.b))
+	}
+	if err := mu.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futures {
+		select {
+		case <-f.Done():
+		default:
+			t.Fatalf("future %d not resolved after Close", i)
+		}
+		if err := f.Wait(); err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+		if d := results[i].MaxAbsDiff(refs[i].want); d > 1e-9 {
+			t.Fatalf("future %d: diff %g", i, d)
+		}
+	}
+	if err := mu.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	good := refs[0]
+	late := mu.MulAddAsync(NewMatrix(good.want.Rows, good.want.Cols), good.a, good.b)
+	if err := late.Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submission after Close: err=%v, want ErrClosed", err)
+	}
+	// The synchronous paths outlive Close.
+	c := NewMatrix(good.want.Rows, good.want.Cols)
+	if err := mu.MulAdd(c, good.a, good.b); err != nil {
+		t.Fatalf("MulAdd after Close: %v", err)
+	}
+	if d := c.MaxAbsDiff(good.want); d > 1e-9 {
+		t.Fatalf("MulAdd after Close: diff %g", d)
+	}
+}
+
+// TestMulAddAsyncLargeJobSharded is the end-to-end serving flow: an async
+// submission whose problem is big enough to shard still returns the right
+// answer (the async worker executes it single-threaded through the twin, so
+// it must not recursively re-shard into a deadlock).
+func TestMulAddAsyncLargeJobSharded(t *testing.T) {
+	mu := NewMultiplier(servingCfg(), PaperArch())
+	defer mu.Close()
+	rng := rand.New(rand.NewSource(13))
+	a, b := NewMatrix(192, 64), NewMatrix(64, 192)
+	a.FillRand(rng)
+	b.FillRand(rng)
+	want := NewMatrix(192, 192)
+	matrix.MulAdd(want, a, b)
+	c := NewMatrix(192, 192)
+	if err := mu.MulAddAsync(c, a, b).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.MaxAbsDiff(want); d > 1e-9 {
+		t.Fatalf("diff %g", d)
+	}
+}
