@@ -299,6 +299,57 @@ func BenchmarkShardedLarge(b *testing.B) {
 	b.Run("sharded", func(b *testing.B) { run(b, sharded) })
 }
 
+// BenchmarkSharded3D compares auto-sharded MulAdd against the unsharded
+// parallel path on a K-dominant problem — small M×N output, huge inner
+// dimension, the inner-product shape of ML reduction workloads. The 2D
+// decomposition has no room for two above-floor output tiles here, so only
+// the K-split path (slab products into reduction buffers, folded into C in
+// slab order) can shard it; this benchmark is the serving-layer proof that
+// the fold overhead is worth the pool. The default 256×8192×256 keeps CI
+// fast with the pure-Go kernel; set FMMFAM_BENCH_K=32768 for the paper-scale
+// acceptance shape.
+func BenchmarkSharded3D(b *testing.B) {
+	const mn = 256
+	k := 8192
+	if s := os.Getenv("FMMFAM_BENCH_K"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			b.Fatalf("FMMFAM_BENCH_K=%q: %v", s, err)
+		}
+		k = v
+	}
+	threads := runtime.GOMAXPROCS(0)
+	if threads < 2 {
+		threads = 2 // sharding needs a pool; keep the comparison fair on 1 CPU
+	}
+	a, bm := matrix.New(mn, k), matrix.New(k, mn)
+	a.Fill(1.0 / 3)
+	bm.Fill(-2.0 / 3)
+	run := func(b *testing.B, cfg Config) {
+		mu := NewMultiplier(cfg, PaperArch())
+		c := matrix.New(mn, mn)
+		if err := mu.MulAdd(c, a, bm); err != nil { // warm the plan caches and pools
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := mu.MulAdd(c, a, bm); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		secs := b.Elapsed().Seconds() / float64(b.N)
+		b.ReportMetric(model.EffectiveGFLOPS(mn, k, mn, secs), "effGFLOPS")
+	}
+	unsharded := DefaultConfig()
+	unsharded.Threads = threads
+	unsharded.ShardThreshold = -1
+	b.Run("unsharded", func(b *testing.B) { run(b, unsharded) })
+	ksplit := DefaultConfig()
+	ksplit.Threads = threads // default knobs: k ≥ ShardThreshold triggers the K-split path
+	b.Run("ksplit", func(b *testing.B) { run(b, ksplit) })
+}
+
 // BenchmarkAsyncThroughput measures the submit-and-collect serving flow: a
 // stream of mixed-shape products submitted through the bounded MulAddAsync
 // queue, all futures collected per iteration. Aggregate effGFLOPS across the

@@ -8,6 +8,20 @@
 // separate entries under the same name, preserving run-to-run variance for
 // later statistics. All reported metrics are kept, including custom ones
 // like the effGFLOPS/aggGFLOPS metrics the fmmfam benchmarks emit.
+//
+// The compare subcommand diffs two archived documents and fails on
+// regressions, turning the accumulated artifacts into a CI gate:
+//
+//	benchjson compare [-metric ns/op] [-threshold 0.10] old.json new.json
+//
+// Per benchmark name present in both documents, the best sample of the
+// metric is compared — the least-noise estimate of what the machine can do:
+// the minimum for lower-is-better metrics like ns/op, or the maximum with
+// -higher-better for throughput metrics like effGFLOPS — and the exit
+// status is nonzero when any shared benchmark regressed by more than the
+// threshold (default 10%). Benchmarks present on only one side are reported
+// but never fail the comparison, so adding or retiring benchmarks doesn't
+// break the gate.
 package main
 
 import (
@@ -18,6 +32,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -81,7 +96,132 @@ scan:
 	return doc, sc.Err()
 }
 
+// bestByName reduces a document to the best sample of metric per benchmark
+// name — the minimum when lower is better (times, bytes), the maximum when
+// higher is better (throughput); names without that metric are skipped.
+func bestByName(doc Doc, metric string, higherBetter bool) map[string]float64 {
+	best := make(map[string]float64)
+	for _, b := range doc.Benchmarks {
+		v, ok := b.Metrics[metric]
+		if !ok {
+			continue
+		}
+		if cur, seen := best[b.Name]; !seen || (higherBetter && v > cur) || (!higherBetter && v < cur) {
+			best[b.Name] = v
+		}
+	}
+	return best
+}
+
+// comparison is the result of diffing one shared benchmark.
+type comparison struct {
+	Name     string
+	Old, New float64
+	Delta    float64 // relative: (new-old)/old
+}
+
+// compareDocs diffs the best samples of metric between two documents and
+// returns the shared-benchmark comparisons (sorted by name) plus the names
+// present on only one side. Delta is oriented so that positive always means
+// regression: (new-old)/old for lower-is-better metrics, negated for
+// higher-is-better ones.
+func compareDocs(oldDoc, newDoc Doc, metric string, higherBetter bool) (shared []comparison, onlyOld, onlyNew []string) {
+	oldBest := bestByName(oldDoc, metric, higherBetter)
+	newBest := bestByName(newDoc, metric, higherBetter)
+	for name, nv := range newBest {
+		ov, ok := oldBest[name]
+		if !ok {
+			onlyNew = append(onlyNew, name)
+			continue
+		}
+		delta := (nv - ov) / ov
+		if higherBetter {
+			delta = -delta
+		}
+		shared = append(shared, comparison{Name: name, Old: ov, New: nv, Delta: delta})
+	}
+	for name := range oldBest {
+		if _, ok := newBest[name]; !ok {
+			onlyOld = append(onlyOld, name)
+		}
+	}
+	sort.Slice(shared, func(i, j int) bool { return shared[i].Name < shared[j].Name })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return shared, onlyOld, onlyNew
+}
+
+func loadDoc(path string) (Doc, error) {
+	var doc Doc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// compareMain implements `benchjson compare old.json new.json` and returns
+// the process exit code: 0 when no shared benchmark regressed past the
+// threshold, 1 when one did, 2 on usage or I/O errors.
+func compareMain(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	metric := fs.String("metric", "ns/op", "metric to compare (best sample per name)")
+	threshold := fs.Float64("threshold", 0.10, "relative regression that fails the comparison")
+	higherBetter := fs.Bool("higher-better", false,
+		"treat the metric as higher-is-better (throughput like effGFLOPS): best sample is the max and a drop is the regression")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson compare [-metric ns/op] [-higher-better] [-threshold 0.10] old.json new.json")
+		return 2
+	}
+	oldDoc, err := loadDoc(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newDoc, err := loadDoc(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	shared, onlyOld, onlyNew := compareDocs(oldDoc, newDoc, *metric, *higherBetter)
+	if len(shared) == 0 {
+		fmt.Printf("no shared benchmarks with metric %q; nothing to compare\n", *metric)
+		return 0
+	}
+	var regressed []comparison
+	for _, c := range shared {
+		flag := ""
+		if c.Delta > *threshold {
+			flag = "  REGRESSION"
+			regressed = append(regressed, c)
+		}
+		fmt.Printf("%-60s %14.0f -> %14.0f  %+6.1f%%%s\n", c.Name, c.Old, c.New, 100*c.Delta, flag)
+	}
+	for _, name := range onlyOld {
+		fmt.Printf("%-60s only in old document\n", name)
+	}
+	for _, name := range onlyNew {
+		fmt.Printf("%-60s only in new document\n", name)
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% on %s\n",
+			len(regressed), 100**threshold, *metric)
+		return 1
+	}
+	fmt.Printf("OK: %d shared benchmark(s) within %.0f%% on %s\n", len(shared), 100**threshold, *metric)
+	return 0
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(compareMain(os.Args[2:]))
+	}
 	out := flag.String("o", "", "output path (default stdout)")
 	flag.Parse()
 	doc, err := parse(os.Stdin)

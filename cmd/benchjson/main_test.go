@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -50,6 +53,126 @@ func TestParse(t *testing.T) {
 	}
 	if doc.Benchmarks[1].Metrics["ns/op"] == doc.Benchmarks[2].Metrics["ns/op"] {
 		t.Fatal("repeated samples should keep distinct values")
+	}
+}
+
+func doc(entries map[string][]float64) Doc {
+	var d Doc
+	for name, samples := range entries {
+		for _, v := range samples {
+			d.Benchmarks = append(d.Benchmarks, Benchmark{
+				Name: name, Runs: 1, Metrics: map[string]float64{"ns/op": v},
+			})
+		}
+	}
+	return d
+}
+
+// TestCompareDocs: best-sample (minimum) aggregation, relative deltas, and
+// one-sided benchmarks reported separately without affecting the shared set.
+func TestCompareDocs(t *testing.T) {
+	oldDoc := doc(map[string][]float64{
+		"BenchmarkA":    {100, 110, 105}, // best 100
+		"BenchmarkB":    {200, 190},      // best 190
+		"BenchmarkGone": {50},
+	})
+	newDoc := doc(map[string][]float64{
+		"BenchmarkA":   {125, 112}, // best 112: +12% vs 100
+		"BenchmarkB":   {180, 185}, // best 180: ~-5.3% vs 190
+		"BenchmarkNew": {70},
+	})
+	shared, onlyOld, onlyNew := compareDocs(oldDoc, newDoc, "ns/op", false)
+	if len(shared) != 2 || shared[0].Name != "BenchmarkA" || shared[1].Name != "BenchmarkB" {
+		t.Fatalf("shared = %+v", shared)
+	}
+	if shared[0].Old != 100 || shared[0].New != 112 || shared[0].Delta != 0.12 {
+		t.Fatalf("BenchmarkA comparison %+v", shared[0])
+	}
+	if shared[1].Delta >= 0 {
+		t.Fatalf("BenchmarkB should improve, got %+v", shared[1])
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkGone" {
+		t.Fatalf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew" {
+		t.Fatalf("onlyNew = %v", onlyNew)
+	}
+}
+
+// TestCompareDocsHigherBetter: for throughput metrics the best sample is
+// the maximum and Delta stays regression-positive — a throughput drop is
+// the regression, a gain is an improvement.
+func TestCompareDocsHigherBetter(t *testing.T) {
+	mk := func(entries map[string][]float64) Doc {
+		var d Doc
+		for name, samples := range entries {
+			for _, v := range samples {
+				d.Benchmarks = append(d.Benchmarks, Benchmark{
+					Name: name, Runs: 1, Metrics: map[string]float64{"effGFLOPS": v},
+				})
+			}
+		}
+		return d
+	}
+	oldDoc := mk(map[string][]float64{
+		"BenchmarkUp":   {8, 10}, // best 10
+		"BenchmarkDown": {10, 9}, // best 10
+	})
+	newDoc := mk(map[string][]float64{
+		"BenchmarkUp":   {12, 11}, // best 12: +20% throughput = improvement
+		"BenchmarkDown": {8, 7.5}, // best 8: -20% throughput = regression
+	})
+	shared, _, _ := compareDocs(oldDoc, newDoc, "effGFLOPS", true)
+	if len(shared) != 2 {
+		t.Fatalf("shared = %+v", shared)
+	}
+	byName := map[string]comparison{}
+	for _, c := range shared {
+		byName[c.Name] = c
+	}
+	if c := byName["BenchmarkUp"]; c.Old != 10 || c.New != 12 || c.Delta >= 0 {
+		t.Fatalf("throughput gain misread as regression: %+v", c)
+	}
+	if c := byName["BenchmarkDown"]; c.Old != 10 || c.New != 8 || c.Delta <= 0.1 {
+		t.Fatalf("throughput drop not regression-positive: %+v", c)
+	}
+}
+
+// TestCompareMainExitCodes drives the subcommand end-to-end through JSON
+// files on disk: regressions past the threshold exit 1, within-threshold
+// runs exit 0, missing files exit 2.
+func TestCompareMainExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, d Doc) string {
+		data, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", doc(map[string][]float64{"BenchmarkA": {100}, "BenchmarkB": {100}}))
+	regressed := write("regressed.json", doc(map[string][]float64{"BenchmarkA": {125}, "BenchmarkB": {100}}))
+	fine := write("fine.json", doc(map[string][]float64{"BenchmarkA": {105}, "BenchmarkB": {92}}))
+
+	if code := compareMain([]string{oldPath, regressed}); code != 1 {
+		t.Fatalf("regression exit code %d, want 1", code)
+	}
+	if code := compareMain([]string{oldPath, fine}); code != 0 {
+		t.Fatalf("within-threshold exit code %d, want 0", code)
+	}
+	// A looser threshold lets the regression through.
+	if code := compareMain([]string{"-threshold", "0.5", oldPath, regressed}); code != 0 {
+		t.Fatalf("loose-threshold exit code %d, want 0", code)
+	}
+	if code := compareMain([]string{oldPath, filepath.Join(dir, "missing.json")}); code != 2 {
+		t.Fatalf("missing-file exit code %d, want 2", code)
+	}
+	if code := compareMain([]string{oldPath}); code != 2 {
+		t.Fatalf("bad-usage exit code %d, want 2", code)
 	}
 }
 

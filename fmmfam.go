@@ -34,9 +34,13 @@
 // internally across the configured worker count.
 //
 // Serving layer: above Config.ShardThreshold a MulAdd is automatically split
-// into independent block products scheduled across the pool (internal/shard);
-// MulAddAsync submits work to a bounded queue and returns a Future; the plan
-// cache is LRU-bounded so servers with diverse shapes stay bounded.
+// into independent block products scheduled across a work-stealing pool
+// (internal/shard + internal/sched) — cutting the M×N output into full-K
+// tiles (bit-identical results), or, for K-dominant problems with
+// Config.ShardKSplit enabled, the inner dimension into reduction slabs
+// (run-to-run deterministic results, fixed fold order); MulAddAsync submits
+// work to a bounded queue and returns a Future; the plan cache is
+// LRU-bounded so servers with diverse shapes stay bounded.
 package fmmfam
 
 import (
@@ -82,16 +86,26 @@ type Config struct {
 	// the cross-job pool.
 	Threads int
 
-	// ShardThreshold is the problem size max(m,n) at or above which MulAdd
+	// ShardThreshold is the problem size at or above which MulAdd
 	// automatically splits into independent block products scheduled across
-	// the pool (Threads ≥ 2 required). 0 means DefaultShardThreshold;
-	// negative disables sharding.
+	// the pool (Threads ≥ 2 required): max(m,n) — or k, when K-split is
+	// enabled — must reach it. 0 means DefaultShardThreshold; negative
+	// disables sharding.
 	ShardThreshold int
-	// ShardMinTile floors every shard tile's rows and cols. 0 derives the
-	// floor from the performance model's fast-algorithm break-even on this
-	// multiplier's Arch, so each shard still clears the size where an FMM
-	// plan beats plain GEMM.
+	// ShardMinTile floors every cut dimension of a shard tile — rows and
+	// cols, and slab depth when K is split. 0 derives the floor from the
+	// performance model's fast-algorithm break-even on this multiplier's
+	// Arch, so each shard still clears the size where an FMM plan beats
+	// plain GEMM.
 	ShardMinTile int
+	// ShardKSplit controls whether sharding may also cut the inner (K)
+	// dimension into slabs with per-tile reduction buffers — the path that
+	// lets K-dominant problems (small M×N output, huge inner dimension)
+	// shard at all. K-split results are run-to-run deterministic (fixed
+	// reduction fold order) but not bit-identical to the 2D path. 0 means
+	// enabled (the default); negative disables, restricting sharding to the
+	// 2D decomposition; positive also enables.
+	ShardKSplit int
 
 	// QueueWorkers is the MulAddAsync worker-pool size. 0 means Threads.
 	QueueWorkers int
@@ -108,9 +122,10 @@ type Config struct {
 
 // Serving-layer defaults for the zero Config knobs.
 const (
-	// DefaultShardThreshold is the max(m,n) at which MulAdd starts
-	// auto-sharding; large enough that sub-threshold problems are better
-	// served by in-call loop parallelism.
+	// DefaultShardThreshold is the problem size — max(m,n), or k when
+	// K-split is enabled — at which MulAdd starts auto-sharding; large
+	// enough that sub-threshold problems are better served by in-call loop
+	// parallelism.
 	DefaultShardThreshold = 1024
 	// DefaultPlanCacheCap bounds the plan cache; each plan is a few KiB of
 	// coefficient lists (workspace pools are attached but drain when idle).
@@ -145,6 +160,8 @@ func (c Config) shardThreshold() int {
 		return c.ShardThreshold
 	}
 }
+
+func (c Config) shardKSplit() bool { return c.ShardKSplit >= 0 }
 
 func (c Config) queueWorkers() int {
 	if c.QueueWorkers > 0 {

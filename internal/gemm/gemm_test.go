@@ -284,6 +284,36 @@ func TestWorkspacePoolBounded(t *testing.T) {
 	}
 }
 
+// TestWorkspacePoolBoundRespectsMemoryCap: when one workspace alone exceeds
+// maxRetainedFloats the bound must drop to 0 — retain nothing, allocate
+// fresh on every get — instead of the old floor of 2, which silently kept
+// two oversized workspaces (far past the documented cap) warm forever.
+func TestWorkspacePoolBoundRespectsMemoryCap(t *testing.T) {
+	huge := Config{MC: 1 << 10, KC: 1 << 10, NC: 1 << 14, Threads: 4}
+	per := kernel.PackBBufLen(huge.KC, huge.NC) + huge.Threads*kernel.PackABufLen(huge.MC, huge.KC)
+	if per <= maxRetainedFloats {
+		t.Fatalf("test config too small to exceed the cap: %d ≤ %d", per, maxRetainedFloats)
+	}
+	if got := workspacePoolBound(huge); got != 0 {
+		t.Fatalf("bound %d for an over-cap workspace, want 0", got)
+	}
+	// An empty pool must still serve gets (fresh allocations) and drop puts.
+	p := newWorkspacePool(huge)
+	ws := p.get()
+	if ws == nil {
+		t.Fatal("nil workspace from empty pool")
+	}
+	p.put(ws) // must not block
+	if len(p.free) != 0 {
+		t.Fatal("zero-bound pool retained a workspace")
+	}
+	// Small configs still retain 2×Threads.
+	small := smallCfg()
+	if got, want := workspacePoolBound(small), 2*small.Threads; got != want {
+		t.Fatalf("bound %d for small config, want %d", got, want)
+	}
+}
+
 func TestOperandsAsStridedViews(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	big := randMat(rng, 64, 64)

@@ -51,15 +51,15 @@ const maxRetainedFloats = 1 << 23
 // workspacePoolBound returns how many idle workspaces a context retains:
 // enough that a steady stream of Threads-wide concurrent callers recycles
 // buffers instead of allocating, bounded so total retained packing memory
-// stays capped on many-core machines.
+// stays under maxRetainedFloats on many-core machines. The bound may be 0 —
+// when a single workspace already exceeds the cap, nothing is retained and
+// every get allocates fresh (get and put handle an empty pool) — rather
+// than silently keeping oversized workspaces alive past the documented cap.
 func workspacePoolBound(cfg Config) int {
 	per := kernel.PackBBufLen(cfg.KC, cfg.NC) + cfg.Threads*kernel.PackABufLen(cfg.MC, cfg.KC)
 	n := 2 * cfg.Threads
 	if lim := maxRetainedFloats / per; n > lim {
 		n = lim
-	}
-	if n < 2 {
-		n = 2
 	}
 	return n
 }

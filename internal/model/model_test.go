@@ -274,6 +274,54 @@ func modelEff(arch Arch, s Stats, k int) float64 {
 	return EffectiveGFLOPS(14400, k, 14400, Predict(arch, s, fmmexec.ABC, 14400, k, 14400).Total())
 }
 
+// TestShardMakespanKDominant: for the K-dominant acceptance shape, a pure
+// K-split (one slab per worker) must beat both the unsharded schedule and
+// the best 2D cut — the slab products read far fewer packed operand
+// elements than full-K output tiles, which is what pays for the reduction.
+func TestShardMakespanKDominant(t *testing.T) {
+	arch := PaperIvyBridge()
+	m, k, n, w := 256, 32768, 256, 4
+	ksplit := ShardMakespan(arch, m, k, n, 1, 1, w, w)
+	whole := ShardMakespan(arch, m, k, n, 1, 1, 1, w)
+	grid2d := ShardMakespan(arch, m, k, n, 2, 2, 1, w)
+	if ksplit >= whole {
+		t.Fatalf("K-split %v !< unsharded %v", ksplit, whole)
+	}
+	if ksplit >= grid2d {
+		t.Fatalf("K-split %v !< 2×2 output cut %v", ksplit, grid2d)
+	}
+}
+
+// TestShardMakespanChargesReduction: the reduction term must grow with gk —
+// so the grid search cannot over-split K for free — and vanish at gk=1.
+func TestShardMakespanChargesReduction(t *testing.T) {
+	arch := PaperIvyBridge()
+	m, k, n := 128, 1<<20, 128
+	// With enough workers that rounds stays 1, the per-round tile time
+	// shrinks with gk but the reduction term grows linearly; past some gk
+	// the makespan must turn back up.
+	prev := ShardMakespan(arch, m, k, n, 1, 1, 1, 1<<20)
+	turned := false
+	for gk := 2; gk <= 1<<12; gk *= 2 {
+		cur := ShardMakespan(arch, m, k, n, 1, 1, gk, 1<<20)
+		if cur > prev {
+			turned = true
+			break
+		}
+		prev = cur
+	}
+	if !turned {
+		t.Fatal("makespan never turned up with gk: reduction cost not charged")
+	}
+	// The gk=1 column must be exactly the rounds × tile-time schedule with
+	// no reduction surcharge.
+	w := 4
+	want := 2 * PredictGEMM(arch, 16, 1<<20, 128).Total() // 8 tiles on 4 workers
+	if got := ShardMakespan(arch, 128, 1<<20, 128, 8, 1, 1, w); got != want {
+		t.Fatalf("gk=1 makespan %v, want pure schedule %v", got, want)
+	}
+}
+
 func TestBreakEvenSquare(t *testing.T) {
 	arch := PaperIvyBridge()
 	cands := DefaultCandidates()

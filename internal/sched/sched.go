@@ -1,0 +1,119 @@
+// Package sched runs a fixed batch of independent jobs on a small worker
+// pool with work stealing. It replaces static tile hand-outs in the
+// sharding and batch layers: jobs carry a modelled cost, the costliest are
+// seeded first, and idle workers steal from busy ones, so ragged grids and
+// heterogeneous job costs no longer pay the straggler round a
+// ⌈jobs/workers⌉ round-robin schedule models — the realized schedule tracks
+// LPT (longest processing time first) list scheduling instead.
+package sched
+
+import (
+	"sort"
+	"sync"
+)
+
+// Job is one unit of work. Run executes it; Cost orders the seeding
+// (largest first), so expensive jobs start as early as possible. Cost is a
+// relative weight — any consistent unit (flops, tile volume, bytes) works.
+type Job struct {
+	Cost int64
+	Run  func()
+}
+
+// Run executes every job exactly once on min(workers, len(jobs))
+// goroutines and returns when all jobs have finished. Jobs are sorted
+// costliest-first (stable, so equal costs keep submission order — Run is
+// deterministic in which worker deque each job lands in, though not in
+// execution interleaving) and seeded round-robin across per-worker deques;
+// each worker drains its own deque front to back (its costliest first) and,
+// when empty, steals from the back of the first non-empty victim. Jobs must
+// not enqueue further jobs; with a fixed job set, one empty-handed sweep of
+// every deque means no work remains and the worker exits.
+//
+// With workers ≤ 1 the jobs run serially on the calling goroutine in
+// submission order.
+func Run(workers int, jobs []Job) {
+	n := len(jobs)
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			jobs[i].Run()
+		}
+		return
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return jobs[order[a]].Cost > jobs[order[b]].Cost })
+	deques := make([]deque, workers)
+	for pos, idx := range order {
+		d := &deques[pos%workers]
+		d.jobs = append(d.jobs, idx)
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(self int) {
+			defer wg.Done()
+			for {
+				idx, ok := deques[self].popFront()
+				if !ok {
+					idx, ok = steal(deques, self)
+				}
+				if !ok {
+					return
+				}
+				jobs[idx].Run()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// deque is one worker's job queue: indices into the job slice, costliest
+// first. A mutex is plenty here — jobs are matrix products, so queue
+// operations are noise next to job runtimes.
+type deque struct {
+	mu   sync.Mutex
+	jobs []int
+}
+
+func (d *deque) popFront() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.jobs) == 0 {
+		return 0, false
+	}
+	idx := d.jobs[0]
+	d.jobs = d.jobs[1:]
+	return idx, true
+}
+
+func (d *deque) popBack() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.jobs) == 0 {
+		return 0, false
+	}
+	idx := d.jobs[len(d.jobs)-1]
+	d.jobs = d.jobs[:len(d.jobs)-1]
+	return idx, true
+}
+
+// steal scans the other workers' deques round-robin from self+1 and takes
+// the back of the first non-empty one — the victim's cheapest remaining
+// job, leaving its costliest (front) work undisturbed for the owner.
+func steal(deques []deque, self int) (int, bool) {
+	for off := 1; off < len(deques); off++ {
+		if idx, ok := deques[(self+off)%len(deques)].popBack(); ok {
+			return idx, true
+		}
+	}
+	return 0, false
+}

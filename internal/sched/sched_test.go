@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunExecutesAllJobsExactlyOnce sweeps worker and job counts, including
+// the degenerate corners (no jobs, one job, more workers than jobs), and
+// checks every job ran exactly once.
+func TestRunExecutesAllJobsExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, workers := range []int{0, 1, 2, 3, 8, 16} {
+		for _, n := range []int{0, 1, 2, 7, 64, 501} {
+			counts := make([]atomic.Int32, n)
+			jobs := make([]Job, n)
+			for i := range jobs {
+				i := i
+				jobs[i] = Job{
+					Cost: rng.Int63n(1000),
+					Run:  func() { counts[i].Add(1) },
+				}
+			}
+			Run(workers, jobs)
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: job %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestRunActuallyOverlapsJobs: with sleeping jobs, the pool must reach a
+// concurrency level above one — the static serial fallback would not.
+func TestRunActuallyOverlapsJobs(t *testing.T) {
+	var inFlight, highWater atomic.Int32
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		jobs[i] = Job{Cost: 1, Run: func() {
+			cur := inFlight.Add(1)
+			for {
+				hw := highWater.Load()
+				if cur <= hw || highWater.CompareAndSwap(hw, cur) {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+			inFlight.Add(-1)
+		}}
+	}
+	Run(4, jobs)
+	if hw := highWater.Load(); hw < 2 {
+		t.Fatalf("high-water concurrency %d, want ≥ 2", hw)
+	}
+}
+
+// TestRunStealsFromStragglers: seed one worker with a long job and pile the
+// rest of the work behind it; thieves must drain the straggler's deque, so
+// total wall time stays near the long job instead of serializing behind it.
+func TestRunStealsFromStragglers(t *testing.T) {
+	const workers = 4
+	// Costs are descending, so job 0 (the long one) seeds worker 0's front
+	// and jobs 4, 8, 12, … queue behind it in the same deque.
+	var ran atomic.Int32
+	jobs := make([]Job, 16)
+	jobs[0] = Job{Cost: 1000, Run: func() {
+		time.Sleep(60 * time.Millisecond)
+		ran.Add(1)
+	}}
+	for i := 1; i < len(jobs); i++ {
+		jobs[i] = Job{Cost: int64(1000 - i), Run: func() {
+			time.Sleep(time.Millisecond)
+			ran.Add(1)
+		}}
+	}
+	start := time.Now()
+	Run(workers, jobs)
+	elapsed := time.Since(start)
+	if got := ran.Load(); got != 16 {
+		t.Fatalf("ran %d jobs, want 16", got)
+	}
+	// Serial drain of worker 0's deque would take ≥ 60ms + 3×1ms after the
+	// long job; stealing lets the other workers take those jobs while the
+	// long one runs. Generous bound to stay robust on loaded CI machines.
+	if elapsed > 55*time.Millisecond*4 {
+		t.Fatalf("elapsed %v suggests no overlap at all", elapsed)
+	}
+}
+
+// TestRunRace is the -race fodder: many concurrent Run calls sharing
+// nothing, each hammering its own counter set.
+func TestRunRace(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var total atomic.Int64
+			jobs := make([]Job, 100)
+			for i := range jobs {
+				i := i
+				jobs[i] = Job{Cost: int64(i % 7), Run: func() { total.Add(int64(i)) }}
+			}
+			Run(3, jobs)
+			if total.Load() != 99*100/2 {
+				t.Errorf("sum %d, want %d", total.Load(), 99*100/2)
+			}
+		}()
+	}
+	wg.Wait()
+}

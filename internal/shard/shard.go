@@ -4,25 +4,36 @@
 // from running independent sub-products concurrently rather than from
 // parallelizing the loops of a single product.
 //
-// The decomposition is two-dimensional over the M×N output: C is cut into a
-// GridM×GridN grid of tiles and each tile's full-K product
+// The decomposition is three-dimensional: C is cut into a GridM×GridN grid
+// of output tiles, and — when Options.KSplit permits — the inner dimension
+// is cut into GridK slabs, so tile (i, j, p) is the block product
 //
-//	C[i0:i1, j0:j1] += A[i0:i1, :] · B[:, j0:j1]
+//	C[i0:i1, j0:j1] += A[i0:i1, p0:p1] · B[p0:p1, j0:j1].
 //
-// is one shard. Keeping K whole means the shards write disjoint regions of C
-// — no reduction, no synchronization, bit-identical results regardless of
+// With GridK == 1 (K kept whole) the shards write disjoint regions of C —
+// no reduction, no synchronization, bit-identical results regardless of
 // scheduling order — and each shard keeps the largest possible inner
-// dimension, which is where fast-algorithm speedups live.
+// dimension, which is where fast-algorithm speedups live. Splitting K is
+// the escape hatch for K-dominant problems (small M×N output, huge inner
+// dimension — the ML reduction shape) that otherwise have no room for two
+// above-floor output tiles and would run on a single worker: the GridK slab
+// products of one output tile accumulate into per-slab reduction buffers
+// that the executor folds into C in ascending slab order, so results stay
+// run-to-run deterministic even though scheduling is not.
 //
-// The grid is chosen by minimizing the modelled makespan of scheduling the
-// tiles on Workers equal workers — ⌈tiles/Workers⌉ rounds of the largest
-// tile's area — subject to every tile's M and N staying at or above a
+// The grid is chosen by minimizing a modelled makespan of scheduling the
+// tiles on Workers equal workers — by default ⌈tiles/Workers⌉ rounds of the
+// largest tile's volume plus a reduction surcharge of M·N·(GridK−1) element
+// folds for K-split grids, or the caller's Options.Cost hook (typically the
+// performance model's ShardMakespan, which prices the same schedule in
+// seconds) — subject to every cut dimension staying at or above a
 // caller-given floor (the performance model's fast-algorithm break-even, so
 // each shard still clears the size at which an FMM plan beats plain GEMM).
-// Ties go to the grid with the largest minimum tile side, then the fewest
-// tiles: bigger tiles keep per-tile plan selection in the multi-level
-// regime and amortize packing, and worker-aligned tile counts avoid the
-// straggler round a 9-tiles-on-4-workers schedule pays.
+// Ties go to the grid with the largest minimum output-tile side, then the
+// fewest tiles, then the fewest K slabs: bigger tiles keep per-tile plan
+// selection in the multi-level regime and amortize packing, worker-aligned
+// tile counts avoid the straggler round a 9-tiles-on-4-workers schedule
+// pays, and K stays whole unless splitting it actually wins.
 package shard
 
 import "fmt"
@@ -33,30 +44,52 @@ import "fmt"
 // those without searching absurd grids.
 const DefaultOversub = 2
 
+// defaultReduceCost weighs one reduction-fold element (read slab buffer,
+// read C, write C — bandwidth bound) against one unit of tile volume (a
+// fused multiply-add — compute bound) in the built-in makespan score:
+// roughly 3·τb / (2·τa) on the paper's machine.
+const defaultReduceCost = 6
+
 // Options controls Split.
 type Options struct {
 	// Workers is the scheduling width the shards will be fed to (≥1).
 	Workers int
-	// MinTile is the floor for every tile's rows and cols — typically the
-	// model's fast-algorithm break-even size (≥1).
+	// MinTile is the floor for every cut dimension — tile rows and cols,
+	// and slab depth when K is split — typically the model's fast-algorithm
+	// break-even size (≥1). An uncut dimension may stay below the floor.
 	MinTile int
 	// Oversub bounds the search at Workers×Oversub tiles; 0 means
 	// DefaultOversub.
 	Oversub int
+	// KSplit permits cutting the K dimension into GridK slabs. The executor
+	// then needs per-slab reduction buffers, and results are run-to-run
+	// deterministic rather than bit-identical to the 2D path, so the score
+	// charges K-split grids for the extra reduction traffic and K stays
+	// whole unless splitting it wins.
+	KSplit bool
+	// Cost, when non-nil, scores a candidate GridM×GridN×GridK grid (lower
+	// is better; typically the performance model's ShardMakespan in
+	// seconds). Nil selects the built-in volume-based score. The hook must
+	// be deterministic — Split's choice is part of the determinism contract.
+	Cost func(gm, gn, gk int) float64
 }
 
 // Tile is one shard: the block product
-// C[I:I+Rows, J:J+Cols] += A[I:I+Rows, :] · B[:, J:J+Cols].
+// C[I:I+Rows, J:J+Cols] += A[I:I+Rows, P:P+Depth] · B[P:P+Depth, J:J+Cols].
+// P is the offset along the inner dimension; with an unsplit K every tile
+// has P == 0 and Depth == K.
 type Tile struct {
-	I, J       int
-	Rows, Cols int
+	I, J, P           int
+	Rows, Cols, Depth int
 }
 
 // Spec is a chosen decomposition of C(M×N) += A(M×K)·B(K×N) into a
-// GridM×GridN grid of full-K tiles.
+// GridM×GridN grid of output tiles, each cut into GridK K-slabs. Split
+// always sets GridK ≥ 1; a hand-built Spec with GridK == 0 is treated as
+// GridK == 1 (the pre-K-split layout).
 type Spec struct {
-	M, K, N      int
-	GridM, GridN int
+	M, K, N             int
+	GridM, GridN, GridK int
 }
 
 // Split chooses a decomposition for C(m×n) += A(m×k)·B(k×n) under o. The
@@ -64,11 +97,12 @@ type Spec struct {
 // two tiles fit above the MinTile floor (or the Workers×Oversub bound
 // forbids even two tiles).
 //
-// Every admissible grid up to Workers×Oversub tiles is scored by modelled
-// makespan — the schedule length of tiles on Workers equal workers,
-// ⌈gm·gn/Workers⌉ rounds of the largest tile's area (K is common to all
-// grids and drops out) — and the minimum wins. Ties prefer the larger
-// minimum tile side, then fewer tiles; see the package comment for why.
+// Every admissible grid up to Workers×Oversub tiles is scored by o.Cost (or
+// the built-in volume-based makespan — ⌈tiles/Workers⌉ rounds of the
+// largest tile's volume, plus m·n·(gk−1) weighted reduction folds for
+// K-split grids) and the minimum wins. Ties prefer the larger minimum
+// output-tile side, then fewer tiles, then fewer K slabs; see the package
+// comment for why.
 func Split(m, k, n int, o Options) (Spec, bool) {
 	if m < 1 || k < 1 || n < 1 {
 		return Spec{}, false
@@ -83,6 +117,10 @@ func Split(m, k, n int, o Options) (Spec, bool) {
 	if oversub < 1 {
 		oversub = DefaultOversub
 	}
+	cost := o.Cost
+	if cost == nil {
+		cost = func(gm, gn, gk int) float64 { return defaultCost(m, k, n, gm, gn, gk, o.Workers) }
+	}
 	gmMax := m / o.MinTile
 	if gmMax < 1 {
 		gmMax = 1
@@ -91,64 +129,101 @@ func Split(m, k, n int, o Options) (Spec, bool) {
 	if gnMax < 1 {
 		gnMax = 1
 	}
+	gkMax := 1
+	if o.KSplit {
+		if gkMax = k / o.MinTile; gkMax < 1 {
+			gkMax = 1
+		}
+	}
 	maxTiles := o.Workers * oversub
 	var (
-		found                        bool
-		bestM, bestN                 int
-		bestCost, bestSide, bestTile int64
+		found               bool
+		bestM, bestN, bestK int
+		bestCost            float64
+		bestSide, bestTile  int64
 	)
 	for gm := 1; gm <= gmMax && gm <= maxTiles; gm++ {
-		for gn := 1; gn <= gnMax; gn++ {
-			tiles := gm * gn
-			if tiles > maxTiles {
-				break
-			}
-			if tiles < 2 {
-				continue
-			}
-			// Largest tile sides under balanced cuts.
-			tr := int64(ceilDiv(m, gm))
-			tc := int64(ceilDiv(n, gn))
-			rounds := int64(ceilDiv(tiles, o.Workers))
-			cost := rounds * tr * tc
-			side := tr
-			if tc < side {
-				side = tc
-			}
-			better := !found ||
-				cost < bestCost ||
-				(cost == bestCost && (side > bestSide ||
-					(side == bestSide && int64(tiles) < bestTile)))
-			if better {
-				found = true
-				bestM, bestN = gm, gn
-				bestCost, bestSide, bestTile = cost, side, int64(tiles)
+		for gn := 1; gn <= gnMax && gm*gn <= maxTiles; gn++ {
+			for gk := 1; gk <= gkMax; gk++ {
+				tiles := gm * gn * gk
+				if tiles > maxTiles {
+					break
+				}
+				if tiles < 2 {
+					continue
+				}
+				c := cost(gm, gn, gk)
+				// Smallest output-tile side under balanced cuts.
+				side := int64(ceilDiv(m, gm))
+				if tc := int64(ceilDiv(n, gn)); tc < side {
+					side = tc
+				}
+				better := !found ||
+					c < bestCost ||
+					(c == bestCost && (side > bestSide ||
+						(side == bestSide && (int64(tiles) < bestTile ||
+							(int64(tiles) == bestTile && gk < bestK)))))
+				if better {
+					found = true
+					bestM, bestN, bestK = gm, gn, gk
+					bestCost, bestSide, bestTile = c, side, int64(tiles)
+				}
 			}
 		}
 	}
 	if !found {
 		return Spec{}, false
 	}
-	return Spec{M: m, K: k, N: n, GridM: bestM, GridN: bestN}, true
+	return Spec{M: m, K: k, N: n, GridM: bestM, GridN: bestN, GridK: bestK}, true
+}
+
+// defaultCost is the built-in makespan score: ⌈tiles/workers⌉ rounds of the
+// largest tile's volume, plus — for K-split grids — the reduction surcharge
+// of folding the gk−1 extra slab buffers into C, m·n·(gk−1) element folds
+// at defaultReduceCost volume units each. All quantities stay well under
+// 2^53, so the float comparisons in Split are exact.
+func defaultCost(m, k, n, gm, gn, gk, workers int) float64 {
+	vol := int64(ceilDiv(m, gm)) * int64(ceilDiv(n, gn)) * int64(ceilDiv(k, gk))
+	c := float64(int64(ceilDiv(gm*gn*gk, workers)) * vol)
+	if gk > 1 {
+		c += defaultReduceCost * float64(m) * float64(n) * float64(gk-1)
+	}
+	return c
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
-// NumTiles is the shard count GridM×GridN.
-func (s Spec) NumTiles() int { return s.GridM * s.GridN }
+// gridK treats a zero GridK (a Spec hand-built before K-split existed) as 1.
+func (s Spec) gridK() int {
+	if s.GridK < 1 {
+		return 1
+	}
+	return s.GridK
+}
 
-// Tiles enumerates the decomposition row-major. Tile sides are balanced:
-// within a dimension, sizes differ by at most one, with the larger tiles
-// first. The tiles exactly partition the M×N output.
+// NumTiles is the shard count GridM×GridN×GridK.
+func (s Spec) NumTiles() int { return s.GridM * s.GridN * s.gridK() }
+
+// Tiles enumerates the decomposition with rows outermost, then columns,
+// then K-slabs innermost — so the GridK slabs of one output tile are
+// consecutive, in ascending P, which is the order the executor folds their
+// reduction buffers into C. Within a dimension, cut sizes are balanced
+// (they differ by at most one, larger first). The tiles exactly partition
+// the M×N×K iteration space.
 func (s Spec) Tiles() []Tile {
 	rows := cuts(s.M, s.GridM)
 	cols := cuts(s.N, s.GridN)
-	out := make([]Tile, 0, s.GridM*s.GridN)
+	deps := cuts(s.K, s.gridK())
+	out := make([]Tile, 0, s.NumTiles())
 	i := 0
 	for _, r := range rows {
 		j := 0
 		for _, c := range cols {
-			out = append(out, Tile{I: i, J: j, Rows: r, Cols: c})
+			p := 0
+			for _, d := range deps {
+				out = append(out, Tile{I: i, J: j, P: p, Rows: r, Cols: c, Depth: d})
+				p += d
+			}
 			j += c
 		}
 		i += r
@@ -170,8 +245,16 @@ func cuts(extent, g int) []int {
 	return out
 }
 
-// String renders the decomposition for logs and errors.
+// String renders the decomposition for logs and errors. The reported tile
+// size is the actual largest cut (ceiling division), which for non-dividing
+// grids is one more than the floor-division size an earlier version showed.
 func (s Spec) String() string {
-	return fmt.Sprintf("shard %d×%d×%d into %d×%d tiles (%d shards, ~%d×%d each)",
-		s.M, s.K, s.N, s.GridM, s.GridN, s.NumTiles(), s.M/s.GridM, s.N/s.GridN)
+	if s.gridK() == 1 {
+		return fmt.Sprintf("shard %d×%d×%d into %d×%d tiles (%d shards, ~%d×%d each)",
+			s.M, s.K, s.N, s.GridM, s.GridN, s.NumTiles(),
+			ceilDiv(s.M, s.GridM), ceilDiv(s.N, s.GridN))
+	}
+	return fmt.Sprintf("shard %d×%d×%d into %d×%d tiles × %d K-slabs (%d shards, ~%d×%d×%d each)",
+		s.M, s.K, s.N, s.GridM, s.GridN, s.GridK, s.NumTiles(),
+		ceilDiv(s.M, s.GridM), ceilDiv(s.K, s.GridK), ceilDiv(s.N, s.GridN))
 }

@@ -1,6 +1,9 @@
 package shard
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestTilesPartitionExactly verifies that for a sweep of problem shapes and
 // options, the tiles cover every (i, j) of the M×N output exactly once and
@@ -125,5 +128,182 @@ func TestSplitShapeAffinity(t *testing.T) {
 	sq2, _ := Split(4096, 4096, 4096, Options{Workers: 8, MinTile: 148})
 	if sq != sq2 {
 		t.Fatalf("split not deterministic: %v vs %v", sq, sq2)
+	}
+}
+
+// TestSplitKDominant: a problem whose M×N output has no room for two
+// above-floor tiles but whose K is huge must shard via the K dimension when
+// KSplit is on — the inner-product shape that motivated 3D decomposition —
+// and must keep refusing when KSplit is off (the PR 2 behavior).
+func TestSplitKDominant(t *testing.T) {
+	o := Options{Workers: 4, MinTile: 150, KSplit: true}
+	spec, ok := Split(256, 32768, 256, o)
+	if !ok {
+		t.Fatal("K-dominant problem refused to shard with KSplit on")
+	}
+	if spec.GridM != 1 || spec.GridN != 1 || spec.GridK < 2 {
+		t.Fatalf("K-dominant split chose %v, want 1×1 output grid with ≥2 K-slabs", spec)
+	}
+	if spec.NumTiles() > o.Workers*DefaultOversub {
+		t.Fatalf("%v exceeds the Workers×Oversub bound", spec)
+	}
+	for _, tl := range spec.Tiles() {
+		if tl.Depth < o.MinTile {
+			t.Fatalf("%v: slab %+v under MinTile depth %d", spec, tl, o.MinTile)
+		}
+	}
+	o.KSplit = false
+	if spec, ok := Split(256, 32768, 256, o); ok {
+		t.Fatalf("KSplit off still sharded as %v", spec)
+	}
+}
+
+// TestSplitPrefersKWholeWhenOutputAmple: with plenty of room in M×N, the
+// reduction surcharge must keep K whole, preserving the bit-identical 2D
+// path for output-dominant problems.
+func TestSplitPrefersKWhole(t *testing.T) {
+	spec, ok := Split(4096, 4096, 4096, Options{Workers: 8, MinTile: 148, KSplit: true})
+	if !ok {
+		t.Fatal("refused to shard")
+	}
+	if spec.GridK != 1 {
+		t.Fatalf("ample output still split K: %v", spec)
+	}
+}
+
+// TestTilesPartition3D: for K-split specs the tiles must exactly partition
+// the full M×N×K iteration space — every (i, j, p) covered exactly once —
+// and the GridK slabs of one output tile must be enumerated consecutively
+// in ascending P (the executor's fold order).
+func TestTilesPartition3D(t *testing.T) {
+	cases := []struct {
+		m, k, n int
+		o       Options
+	}{
+		{64, 1024, 64, Options{Workers: 4, MinTile: 48, KSplit: true}},
+		{48, 513, 48, Options{Workers: 3, MinTile: 25, KSplit: true}}, // non-dividing K
+		{100, 999, 70, Options{Workers: 8, MinTile: 33, KSplit: true}},
+	}
+	for _, tc := range cases {
+		spec, ok := Split(tc.m, tc.k, tc.n, tc.o)
+		if !ok {
+			t.Fatalf("Split(%d,%d,%d,%+v) refused to shard", tc.m, tc.k, tc.n, tc.o)
+		}
+		if spec.GridK < 2 {
+			t.Fatalf("%v: expected a K-split for this K-dominant shape", spec)
+		}
+		assertPartition3D(t, spec, tc.o.MinTile)
+		tiles := spec.Tiles()
+		for g := 0; g < spec.GridM*spec.GridN; g++ {
+			prevEnd := -1
+			for s := 0; s < spec.GridK; s++ {
+				tl := tiles[g*spec.GridK+s]
+				if tl.I != tiles[g*spec.GridK].I || tl.J != tiles[g*spec.GridK].J {
+					t.Fatalf("%v: slab %d of group %d has a different output tile", spec, s, g)
+				}
+				if s == 0 && tl.P != 0 {
+					t.Fatalf("%v: first slab starts at P=%d", spec, tl.P)
+				}
+				if s > 0 && tl.P != prevEnd {
+					t.Fatalf("%v: slabs of group %d not consecutive ascending", spec, g)
+				}
+				prevEnd = tl.P + tl.Depth
+			}
+			if prevEnd != spec.K {
+				t.Fatalf("%v: group %d slabs cover K up to %d, want %d", spec, g, prevEnd, spec.K)
+			}
+		}
+	}
+}
+
+// assertPartition3D checks that spec's tiles cover every (i, j, p) of the
+// M×N×K iteration space exactly once, respect the floor on every cut
+// dimension, and stay in bounds.
+func assertPartition3D(t *testing.T, spec Spec, minTile int) {
+	t.Helper()
+	tiles := spec.Tiles()
+	if len(tiles) != spec.NumTiles() || len(tiles) < 2 {
+		t.Fatalf("%v: %d tiles, want %d ≥ 2", spec, len(tiles), spec.NumTiles())
+	}
+	m, n, k := spec.M, spec.N, spec.K
+	seen := make([]bool, m*n*k)
+	for _, tl := range tiles {
+		if spec.GridM > 1 && tl.Rows < minTile {
+			t.Fatalf("%v: tile %+v rows under MinTile %d", spec, tl, minTile)
+		}
+		if spec.GridN > 1 && tl.Cols < minTile {
+			t.Fatalf("%v: tile %+v cols under MinTile %d", spec, tl, minTile)
+		}
+		if spec.gridK() > 1 && tl.Depth < minTile {
+			t.Fatalf("%v: tile %+v depth under MinTile %d", spec, tl, minTile)
+		}
+		if tl.I < 0 || tl.J < 0 || tl.P < 0 ||
+			tl.I+tl.Rows > m || tl.J+tl.Cols > n || tl.P+tl.Depth > k {
+			t.Fatalf("%v: tile %+v out of bounds", spec, tl)
+		}
+		for i := tl.I; i < tl.I+tl.Rows; i++ {
+			for j := tl.J; j < tl.J+tl.Cols; j++ {
+				for p := tl.P; p < tl.P+tl.Depth; p++ {
+					at := (i*n+j)*k + p
+					if seen[at] {
+						t.Fatalf("%v: cell (%d,%d,%d) covered twice", spec, i, j, p)
+					}
+					seen[at] = true
+				}
+			}
+		}
+	}
+	for at, s := range seen {
+		if !s {
+			t.Fatalf("%v: cell (%d,%d,%d) uncovered", spec, at/(n*k), (at/k)%n, at%k)
+		}
+	}
+}
+
+// FuzzTilesPartition: for random shapes and options, any decomposition
+// Split accepts must exactly partition the M×N×K iteration space with no
+// overlap — the invariant that makes sharded execution compute the same
+// real product as the unsharded path.
+func FuzzTilesPartition(f *testing.F) {
+	f.Add(256, 256, 256, 4, 64, false)
+	f.Add(48, 512, 48, 4, 16, true)
+	f.Add(33, 77, 19, 3, 8, true)
+	f.Add(96, 96, 96, 8, 1, true)
+	f.Add(1, 1, 1, 1, 1, false)
+	f.Fuzz(func(t *testing.T, m, k, n, workers, minTile int, kSplit bool) {
+		clamp := func(v, lo, hi int) int {
+			if v < 0 {
+				v = -v
+			}
+			return lo + v%(hi-lo+1)
+		}
+		m, k, n = clamp(m, 1, 96), clamp(k, 1, 96), clamp(n, 1, 96)
+		workers, minTile = clamp(workers, 1, 8), clamp(minTile, 1, 64)
+		spec, ok := Split(m, k, n, Options{Workers: workers, MinTile: minTile, KSplit: kSplit})
+		if !ok {
+			return
+		}
+		if spec.M != m || spec.K != k || spec.N != n {
+			t.Fatalf("spec %v does not match problem %d×%d×%d", spec, m, k, n)
+		}
+		if !kSplit && spec.GridK != 1 {
+			t.Fatalf("KSplit off but spec %v split K", spec)
+		}
+		assertPartition3D(t, spec, minTile)
+	})
+}
+
+// TestSpecStringReportsCeil: the rendered tile size must be the actual
+// largest cut (ceiling division); floor division under-reported it for
+// non-dividing grids (e.g. 100/3 showed 33 where the largest tile is 34).
+func TestSpecStringReportsCeil(t *testing.T) {
+	s2d := Spec{M: 100, K: 50, N: 90, GridM: 3, GridN: 4}
+	if got := s2d.String(); !strings.Contains(got, "~34×23 each") {
+		t.Fatalf("2D String() = %q, want largest-cut ~34×23", got)
+	}
+	s3d := Spec{M: 100, K: 500, N: 90, GridM: 2, GridN: 1, GridK: 3}
+	got := s3d.String()
+	if !strings.Contains(got, "~50×167×90 each") || !strings.Contains(got, "3 K-slabs") {
+		t.Fatalf("3D String() = %q, want ~50×167×90 and the K-slab count", got)
 	}
 }

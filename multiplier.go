@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"fmmfam/internal/model"
+	"fmmfam/internal/sched"
 	"fmmfam/internal/shard"
 )
 
@@ -23,14 +24,23 @@ import (
 // MulAdd calls never serialize on workspace.
 //
 // Serving behavior: problems at or above Config.ShardThreshold (with
-// Threads ≥ 2) are split into independent block products and scheduled
-// through the batch pool; MulAddAsync submits work to a bounded queue and
-// returns a Future; the plan cache is LRU-bounded by Config.PlanCacheCap.
+// Threads ≥ 2) are split into independent block products — cutting the M×N
+// output and, for K-dominant shapes with Config.ShardKSplit enabled, the
+// inner dimension too — and scheduled across a work-stealing pool;
+// MulAddAsync submits work to a bounded queue and returns a Future; the
+// plan cache is LRU-bounded by Config.PlanCacheCap.
 type Multiplier struct {
 	cfg  Config
 	arch Arch
 
 	plans *planCache
+
+	// redBufs is the bounded free list of K-split reduction buffers, rented
+	// per slab like gemm workspaces: get falls back to allocating, put
+	// drops when the pool is full or the buffer is oversized, so idle
+	// retained memory stays capped while steady-state K-split calls
+	// allocate nothing.
+	redBufs chan []float64
 
 	// serial is a lazily-built Threads=1 twin that executes every batch,
 	// sharded, and async job: cross-job parallelism comes from the pool, so
@@ -54,7 +64,16 @@ type Multiplier struct {
 // machine parameters for selection. Use PaperArch() when no calibration is
 // available; relative rankings transfer well across machines.
 func NewMultiplier(cfg Config, arch Arch) *Multiplier {
-	return &Multiplier{cfg: cfg, arch: arch, plans: newPlanCache(cfg.planCacheCap())}
+	workers := cfg.Threads
+	if workers < 1 {
+		workers = 1
+	}
+	return &Multiplier{
+		cfg:     cfg,
+		arch:    arch,
+		plans:   newPlanCache(cfg.planCacheCap()),
+		redBufs: make(chan []float64, 2*workers),
+	}
 }
 
 // checkMulDims validates C(m×n) += A(m×k)·B(k×n) dimensions.
@@ -94,15 +113,18 @@ type BatchJob struct {
 	C, A, B Matrix
 }
 
-// MulAddBatch schedules the jobs across a worker pool sized by the
-// multiplier's configured thread count. Batch contract: every job executes
-// with single-threaded plan execution through the multiplier's serial twin,
-// regardless of worker count — the parallelism is across jobs, not within
-// one — so results and plan selection are identical whether the pool runs
-// with one worker or many, and the machine is never oversubscribed beyond
-// the configured worker count. Jobs must be independent (no C aliases
-// another job's operands). It returns the join of all per-job errors; jobs
-// after a failed one still run.
+// MulAddBatch schedules the jobs across a work-stealing worker pool sized
+// by the multiplier's configured thread count: jobs are seeded across
+// per-worker deques costliest-first (by classical flop count 2·m·k·n) and
+// idle workers steal from busy ones, so mixed-size batches don't pay a
+// straggler round. Batch contract: every job executes with single-threaded
+// plan execution through the multiplier's serial twin, regardless of worker
+// count — the parallelism is across jobs, not within one — so results and
+// plan selection are identical whether the pool runs with one worker or
+// many, and the machine is never oversubscribed beyond the configured
+// worker count. Jobs must be independent (no C aliases another job's
+// operands). It returns the join of all per-job errors; jobs after a failed
+// one still run.
 func (mu *Multiplier) MulAddBatch(jobs []BatchJob) error {
 	if len(jobs) == 0 {
 		return nil
@@ -111,34 +133,18 @@ func (mu *Multiplier) MulAddBatch(jobs []BatchJob) error {
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
 	exec := mu.serialMultiplier()
 	errs := make([]error, len(jobs))
-	if workers == 1 {
-		for i, j := range jobs {
-			errs[i] = exec.MulAdd(j.C, j.A, j.B)
-		}
-		return errors.Join(errs...)
-	}
-	next := make(chan int, len(jobs))
+	sjobs := make([]sched.Job, len(jobs))
 	for i := range jobs {
-		next <- i
+		i := i
+		j := jobs[i]
+		sjobs[i] = sched.Job{
+			Cost: 2 * int64(j.A.Rows) * int64(j.A.Cols) * int64(j.B.Cols),
+			Run:  func() { errs[i] = exec.MulAdd(j.C, j.A, j.B) },
+		}
 	}
-	close(next)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				j := jobs[i]
-				errs[i] = exec.MulAdd(j.C, j.A, j.B)
-			}
-		}()
-	}
-	wg.Wait()
+	sched.Run(workers, sjobs)
 	return errors.Join(errs...)
 }
 
@@ -169,40 +175,162 @@ func (mu *Multiplier) shardMinTile() int {
 
 // shardSpec decides whether C(m×n) += A(m×k)·B(k×n) should be sharded and,
 // if so, how. Sharding needs a pool to feed (Threads ≥ 2), a problem at or
-// above the threshold, and room for at least two tiles above the break-even
-// floor.
+// above the threshold — in m or n, or in k when K-split is enabled — and
+// room for at least two tiles above the break-even floor. Candidate grids
+// are scored with the performance model's makespan (model.ShardMakespan on
+// this multiplier's arch), so the K dimension is split only when the slab
+// products' smaller operand traffic pays for the reduction folds.
 func (mu *Multiplier) shardSpec(m, k, n int) (shard.Spec, bool) {
 	if mu.cfg.Threads < 2 {
 		return shard.Spec{}, false
 	}
 	thr := mu.cfg.shardThreshold()
-	if thr == 0 || (m < thr && n < thr) {
+	kSplit := mu.cfg.shardKSplit()
+	if thr == 0 || (m < thr && n < thr && (!kSplit || k < thr)) {
 		return shard.Spec{}, false
 	}
 	return shard.Split(m, k, n, shard.Options{
 		Workers: mu.cfg.Threads,
 		MinTile: mu.shardMinTile(),
+		KSplit:  kSplit,
+		Cost: func(gm, gn, gk int) float64 {
+			return model.ShardMakespan(mu.arch, m, k, n, gm, gn, gk, mu.cfg.Threads)
+		},
 	})
 }
 
-// mulAddSharded executes a sharded MulAdd: each tile is the full-K block
-// product C[ti, tj] += A[ti, :]·B[:, tj] on views of the operands, scheduled
-// through MulAddBatch. Tiles write disjoint regions of C, so the result is
-// bit-identical however the pool interleaves them.
+// mulAddSharded executes a sharded MulAdd. With K whole (GridK == 1) each
+// tile is the full-K block product C[ti, tj] += A[ti, :]·B[:, tj] on views
+// of the operands, scheduled through MulAddBatch; tiles write disjoint
+// regions of C, so the result is bit-identical however the pool interleaves
+// them. K-split specs take the reduction-buffer path instead.
 func (mu *Multiplier) mulAddSharded(spec shard.Spec, c, a, b Matrix) error {
+	if spec.GridK > 1 {
+		if err := mu.mulAddShardedK(spec, c, a, b); err != nil {
+			return fmt.Errorf("%v: %w", spec, err)
+		}
+		return nil
+	}
 	tiles := spec.Tiles()
 	jobs := make([]BatchJob, len(tiles))
 	for i, t := range tiles {
 		jobs[i] = BatchJob{
 			C: c.View(t.I, t.J, t.Rows, t.Cols),
-			A: a.View(t.I, 0, t.Rows, a.Cols),
-			B: b.View(0, t.J, b.Rows, t.Cols),
+			A: a.View(t.I, t.P, t.Rows, t.Depth),
+			B: b.View(t.P, t.J, t.Depth, t.Cols),
 		}
 	}
 	if err := mu.MulAddBatch(jobs); err != nil {
 		return fmt.Errorf("%v: %w", spec, err)
 	}
 	return nil
+}
+
+// kGroup is the per-output-tile state of a K-split execution: the C view
+// the tile owns, the reduction buffers of slabs 1…GridK−1 (slab 0
+// accumulates straight into C), and the count of slabs still running.
+type kGroup struct {
+	c         Matrix
+	bufs      []Matrix
+	remaining atomic.Int32
+}
+
+// mulAddShardedK executes a K-split sharded MulAdd: every (tile, slab) pair
+// is one scheduled job computing A[ti, p0:p1]·B[p0:p1, tj]. Slab 0
+// accumulates directly into the tile's C view; each later slab accumulates
+// into a zeroed reduction buffer rented from the multiplier's pool; and
+// whichever worker finishes a tile's last slab folds that tile's buffers
+// into C in ascending slab order. Every slab product runs single-threaded
+// in the serial twin and the fold order is fixed, so repeated runs produce
+// bit-identical C even though the schedule is not deterministic — the
+// serving determinism contract for K-split (the 2D path is stronger:
+// bit-identical to sequential tile execution).
+func (mu *Multiplier) mulAddShardedK(spec shard.Spec, c, a, b Matrix) error {
+	tiles := spec.Tiles() // GridK consecutive slabs per output tile, ascending P
+	gk := spec.GridK
+	exec := mu.serialMultiplier()
+	errs := make([]error, len(tiles))
+	groups := make([]kGroup, spec.GridM*spec.GridN)
+	for gi := range groups {
+		t0 := tiles[gi*gk]
+		g := &groups[gi]
+		g.c = c.View(t0.I, t0.J, t0.Rows, t0.Cols)
+		g.bufs = make([]Matrix, gk-1)
+		for s := range g.bufs {
+			g.bufs[s] = mu.rentRedBuf(t0.Rows, t0.Cols)
+		}
+		g.remaining.Store(int32(gk))
+	}
+	sjobs := make([]sched.Job, len(tiles))
+	for i := range tiles {
+		i := i
+		t := tiles[i]
+		g := &groups[i/gk]
+		cv := g.c
+		if s := i % gk; s > 0 {
+			cv = g.bufs[s-1]
+		}
+		av := a.View(t.I, t.P, t.Rows, t.Depth)
+		bv := b.View(t.P, t.J, t.Depth, t.Cols)
+		sjobs[i] = sched.Job{
+			Cost: int64(t.Rows) * int64(t.Cols) * int64(t.Depth),
+			Run: func() {
+				errs[i] = exec.MulAdd(cv, av, bv)
+				if g.remaining.Add(-1) == 0 {
+					for _, buf := range g.bufs {
+						g.c.AddScaled(1, buf)
+					}
+				}
+			},
+		}
+	}
+	sched.Run(mu.cfg.Threads, sjobs)
+	for gi := range groups {
+		for _, buf := range groups[gi].bufs {
+			mu.returnRedBuf(buf)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// maxRetainedRedBufFloats caps the size of a single pooled reduction buffer
+// (8 MiB of float64s). K-split tiles have small M×N by construction, so
+// typical buffers are far under this; anything larger goes back to the GC
+// instead of pinning idle memory. With the pool's 2×Threads entry bound,
+// idle retained reduction memory stays ≤ Threads·16 MiB.
+const maxRetainedRedBufFloats = 1 << 20
+
+// rentRedBuf returns a zeroed rows×cols reduction-buffer matrix backed by
+// the pool, allocating fresh when the pool is empty or its buffer is too
+// small (a fresh allocation is already zero; reused ones are cleared here).
+func (mu *Multiplier) rentRedBuf(rows, cols int) Matrix {
+	need := rows * cols
+	var buf []float64
+	select {
+	case buf = <-mu.redBufs:
+	default:
+	}
+	if cap(buf) < need {
+		buf = make([]float64, need)
+	} else {
+		buf = buf[:need]
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+	return Matrix{Rows: rows, Cols: cols, Stride: cols, Data: buf}
+}
+
+// returnRedBuf offers a reduction buffer back to the pool; oversized
+// buffers and returns beyond the pool bound are dropped for the GC.
+func (mu *Multiplier) returnRedBuf(m Matrix) {
+	if cap(m.Data) > maxRetainedRedBufFloats {
+		return
+	}
+	select {
+	case mu.redBufs <- m.Data[:cap(m.Data)]:
+	default:
+	}
 }
 
 // PlanFor exposes the plan the multiplier would use for a problem size

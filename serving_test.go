@@ -7,8 +7,10 @@ package fmmfam
 import (
 	"errors"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"fmmfam/internal/matrix"
 )
@@ -60,14 +62,19 @@ func TestShardedMatchesUnsharded(t *testing.T) {
 			t.Fatalf("shape %v: %v", s, err)
 		}
 
-		// (1) bit-identical to sequential execution of the same tiles.
+		// (1) bit-identical to sequential execution of the same tiles. This
+		// is the 2D contract — these shapes must keep K whole (K-split
+		// would still be correct, but only run-to-run deterministic).
+		if spec.GridK != 1 {
+			t.Fatalf("shape %v: expected the 2D decomposition, got %v", s, spec)
+		}
 		seq := NewMatrix(m, n)
 		exec := mu.serialMultiplier()
 		for _, tl := range spec.Tiles() {
 			if err := exec.MulAdd(
 				seq.View(tl.I, tl.J, tl.Rows, tl.Cols),
-				a.View(tl.I, 0, tl.Rows, k),
-				b.View(0, tl.J, k, tl.Cols),
+				a.View(tl.I, tl.P, tl.Rows, tl.Depth),
+				b.View(tl.P, tl.J, tl.Depth, tl.Cols),
 			); err != nil {
 				t.Fatalf("shape %v tile %+v: %v", s, tl, err)
 			}
@@ -102,6 +109,108 @@ func TestShardedMatchesUnsharded(t *testing.T) {
 		if d := sharded.MaxAbsDiff(want); d > 1e-9 {
 			t.Fatalf("shape %v: sharded vs reference diff %g", s, d)
 		}
+	}
+}
+
+// TestShardedKSplit drives the K-split path on K-dominant shapes (M×N too
+// small to cut, huge inner dimension) and checks, per shape:
+//
+//  1. the problem actually takes the 3D path (GridK ≥ 2) — these shapes
+//     never sharded at all under the 2D-only decomposition;
+//  2. the result matches the naive triple-loop reference within tolerance;
+//  3. repeated runs are bit-identical — the reduction buffers fold into C
+//     in fixed slab order, so scheduling nondeterminism must not leak into
+//     the numbers (the K-split determinism contract);
+//  4. disabling Config.ShardKSplit restores the PR 2 behavior: the problem
+//     does not shard, and still computes the same product unsharded.
+func TestShardedKSplit(t *testing.T) {
+	shapes := [][3]int{
+		{48, 512, 48},  // K-dominant, divisible
+		{40, 513, 52},  // non-dividing K and ragged output
+		{64, 1024, 80}, // deeper K, more slabs available
+	}
+	rng := rand.New(rand.NewSource(17))
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		cfg := Config{
+			MC: 16, KC: 16, NC: 32, Threads: 4,
+			ShardThreshold: 256, ShardMinTile: 48,
+		}
+		mu := NewMultiplier(cfg, PaperArch())
+		spec, ok := mu.shardSpec(m, k, n)
+		if !ok || spec.GridK < 2 {
+			t.Fatalf("shape %v: expected a K-split, got %v ok=%v", s, spec, ok)
+		}
+		a, b := NewMatrix(m, k), NewMatrix(k, n)
+		a.FillRand(rng)
+		b.FillRand(rng)
+
+		got := NewMatrix(m, n)
+		if err := mu.MulAdd(got, a, b); err != nil {
+			t.Fatalf("shape %v: %v", s, err)
+		}
+		want := NewMatrix(m, n)
+		matrix.MulAdd(want, a, b)
+		if d := got.MaxAbsDiff(want); d > 1e-9 {
+			t.Fatalf("shape %v: K-split vs reference diff %g", s, d)
+		}
+
+		// Run-to-run bit determinism, several times so the scheduler gets
+		// chances to interleave differently (and the reduction-buffer pool
+		// serves both fresh and recycled buffers).
+		for rep := 0; rep < 5; rep++ {
+			again := NewMatrix(m, n)
+			if err := mu.MulAdd(again, a, b); err != nil {
+				t.Fatalf("shape %v rep %d: %v", s, rep, err)
+			}
+			if d := got.MaxAbsDiff(again); d != 0 {
+				t.Fatalf("shape %v rep %d: K-split not bit-deterministic, diff %g", s, rep, d)
+			}
+		}
+
+		// Knob off: no shard for this shape, same product unsharded.
+		off := cfg
+		off.ShardKSplit = -1
+		muOff := NewMultiplier(off, PaperArch())
+		if spec, ok := muOff.shardSpec(m, k, n); ok {
+			t.Fatalf("shape %v: ShardKSplit<0 still sharded as %v", s, spec)
+		}
+		unsharded := NewMatrix(m, n)
+		if err := muOff.MulAdd(unsharded, a, b); err != nil {
+			t.Fatalf("shape %v: %v", s, err)
+		}
+		if d := unsharded.MaxAbsDiff(want); d > 1e-9 {
+			t.Fatalf("shape %v: unsharded vs reference diff %g", s, d)
+		}
+	}
+}
+
+// TestKDominantAcceptanceShape pins the acceptance criterion: the
+// 256×32768×256 inner-product shape on a default parallel config — which
+// PR 2's 2D decomposition left unsharded on one worker — now shards via
+// K-split, and the C += A·B it computes at a scaled-down K stays correct
+// and bit-deterministic.
+func TestKDominantAcceptanceShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Threads = 4
+	mu := NewMultiplier(cfg, PaperArch())
+	spec, ok := mu.shardSpec(256, 32768, 256)
+	if !ok {
+		t.Fatal("256×32768×256 must shard on the default parallel config")
+	}
+	if spec.GridK < 2 {
+		t.Fatalf("256×32768×256 sharded without K-split: %v", spec)
+	}
+	for _, tl := range spec.Tiles() {
+		if tl.Depth < mu.shardMinTile() {
+			t.Fatalf("%v: slab %+v under the model tile floor %d", spec, tl, mu.shardMinTile())
+		}
+	}
+	// 2D-only would not shard it at all (the PR 2 behavior).
+	off := cfg
+	off.ShardKSplit = -1
+	if spec, ok := NewMultiplier(off, PaperArch()).shardSpec(256, 32768, 256); ok {
+		t.Fatalf("2D-only decomposition sharded the K-dominant shape as %v", spec)
 	}
 }
 
@@ -281,6 +390,39 @@ func TestMulAddAsyncErrorsAndClose(t *testing.T) {
 	}
 	if d := c.MaxAbsDiff(good.want); d > 1e-9 {
 		t.Fatalf("MulAdd after Close: diff %g", d)
+	}
+}
+
+// TestCloseReleasesGoroutines: Close must tear down every worker the async
+// pool started — a serving process that opens and closes multipliers (e.g.
+// per tenant) must not leak a goroutine per lifetime. NumGoroutine is
+// compared with retries because exiting workers are only eventually gone.
+func TestCloseReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	mu := NewMultiplier(Config{MC: 16, KC: 16, NC: 32, Threads: 4, QueueWorkers: 4}, PaperArch())
+	refs := makeRefProducts(3)
+	futures := make([]*Future, 0, len(refs))
+	for _, r := range refs {
+		futures = append(futures, mu.MulAddAsync(NewMatrix(r.want.Rows, r.want.Cols), r.a, r.b))
+	}
+	for _, f := range futures {
+		if err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mu.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after Close (wanted ≤ before)",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
