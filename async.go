@@ -89,6 +89,9 @@ func (mu *Multiplier) asyncState() *asyncPool {
 // (nor mutate a or b) until the Future completes. Safe for concurrent
 // submitters.
 func (mu *Multiplier) MulAddAsync(c, a, b Matrix) *Future {
+	if mu.cfgErr != nil {
+		return resolvedFuture(mu.cfgErr)
+	}
 	if err := checkMulDims(c, a, b); err != nil {
 		return resolvedFuture(err)
 	}
@@ -107,11 +110,13 @@ func (mu *Multiplier) MulAddAsync(c, a, b Matrix) *Future {
 // already-submitted Future to complete, then returns. Submissions after
 // Close resolve immediately with ErrClosed — including on a Multiplier
 // whose async path was never used, since Close materializes the pool just
-// to mark it closed (its workers exit immediately). Close is idempotent.
-// Close must not be called concurrently with in-flight MulAddAsync
-// submitters (a submitter observed before Close may still be enqueued; its
-// Future is still honored). The synchronous MulAdd/MulAddBatch paths are
-// unaffected and remain usable after Close.
+// to mark it closed (its workers exit immediately). Close is idempotent and
+// safe to call concurrently with MulAddAsync submitters and with other
+// Close calls: the pool's RWMutex orders every submission against the
+// close, so each racing Future either executes and resolves normally or
+// resolves with ErrClosed — never hangs or panics on a closed queue — and
+// no worker goroutine outlives Close. The synchronous MulAdd/MulAddBatch
+// paths are unaffected and remain usable after Close.
 func (mu *Multiplier) Close() error {
 	p := mu.asyncState()
 	p.mu.Lock()

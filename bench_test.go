@@ -400,26 +400,31 @@ func BenchmarkAblationPeeling(b *testing.B) {
 	})
 }
 
-// BenchmarkAblationKernel isolates the micro-kernel and fused packing.
+// BenchmarkAblationKernel isolates the micro-kernel (every registered
+// backend — the GFLOPS ratio between backends is what
+// model.RegisterKernelEfficiency records) and the fused packing.
 func BenchmarkAblationKernel(b *testing.B) {
 	const kc = 256
-	ap := make([]float64, kernel.PackABufLen(kernel.MR, kc))
-	bp := make([]float64, kernel.PackBBufLen(kc, kernel.NR))
-	for i := range ap {
-		ap[i] = 1.5
-	}
-	for i := range bp {
-		bp[i] = -0.5
-	}
-	b.Run("micro", func(b *testing.B) {
-		var acc [kernel.MR * kernel.NR]float64
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			kernel.Micro(kc, ap, bp, &acc)
+	for _, name := range kernel.Backends() {
+		bk := kernel.MustResolve(name)
+		ap := make([]float64, bk.PackABufLen(bk.MR(), kc))
+		bp := make([]float64, bk.PackBBufLen(kc, bk.NR()))
+		for i := range ap {
+			ap[i] = 1.5
 		}
-		secs := b.Elapsed().Seconds() / float64(b.N)
-		b.ReportMetric(2*float64(kernel.MR)*float64(kernel.NR)*float64(kc)/secs*1e-9, "GFLOPS")
-	})
+		for i := range bp {
+			bp[i] = -0.5
+		}
+		b.Run("micro/"+name, func(b *testing.B) {
+			acc := make([]float64, bk.MR()*bk.NR())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bk.Micro(kc, ap, bp, acc)
+			}
+			secs := b.Elapsed().Seconds() / float64(b.N)
+			b.ReportMetric(2*float64(bk.MR())*float64(bk.NR())*float64(kc)/secs*1e-9, "GFLOPS")
+		})
+	}
 	src1, src2 := matrix.New(96, kc), matrix.New(96, kc)
 	src1.Fill(1)
 	src2.Fill(2)

@@ -1,0 +1,160 @@
+package fmmfam
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"fmmfam/internal/matrix"
+)
+
+// TestConfigValidate is the table-driven contract of Config.Validate: every
+// knob's failure mode, including per-backend blocking floors (MC=4 is legal
+// for the 4×4 kernel, illegal for the 8×4 one).
+func TestConfigValidate(t *testing.T) {
+	valid := Config{MC: 96, KC: 256, NC: 2048, Threads: 1}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"default", func(c *Config) {}, true},
+		{"parallel", func(c *Config) { c.Threads = 8 }, true},
+		{"explicit default kernel", func(c *Config) { c.Kernel = "go4x4" }, true},
+		{"go8x4 kernel", func(c *Config) { c.Kernel = "go8x4" }, true},
+		{"serving knobs at defaults", func(c *Config) {
+			c.ShardThreshold, c.ShardMinTile, c.QueueWorkers, c.QueueDepth, c.PlanCacheCap = 0, 0, 0, 0, 0
+		}, true},
+		{"negative sentinels allowed", func(c *Config) {
+			c.ShardThreshold, c.ShardKSplit, c.PlanCacheCap = -1, -1, -1
+		}, true},
+
+		{"zero workers", func(c *Config) { c.Threads = 0 }, false},
+		{"negative workers", func(c *Config) { c.Threads = -4 }, false},
+		{"unknown kernel", func(c *Config) { c.Kernel = "avx512-not-yet" }, false},
+		{"zero blocking", func(c *Config) { c.MC, c.KC, c.NC = 0, 0, 0 }, false},
+		{"negative MC", func(c *Config) { c.MC = -96 }, false},
+		{"KC zero", func(c *Config) { c.KC = 0 }, false},
+		{"NC below NR", func(c *Config) { c.NC = 3 }, false},
+		{"MC below default backend MR", func(c *Config) { c.MC = 3 }, false},
+		{"MC=4 ok for go4x4", func(c *Config) { c.MC = 4; c.Kernel = "go4x4" }, true},
+		{"MC=4 below go8x4 MR", func(c *Config) { c.MC = 4; c.Kernel = "go8x4" }, false},
+		{"negative ShardMinTile", func(c *Config) { c.ShardMinTile = -1 }, false},
+		{"negative QueueWorkers", func(c *Config) { c.QueueWorkers = -1 }, false},
+		{"negative QueueDepth", func(c *Config) { c.QueueDepth = -2 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("want valid, got %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("config %+v accepted, want error", cfg)
+			}
+		})
+	}
+}
+
+// TestInvalidConfigSurfacesFromEveryEntryPoint: a Multiplier built from an
+// invalid config reports the validation error from MulAdd, MulAddBatch, and
+// MulAddAsync instead of panicking deep in the stack.
+func TestInvalidConfigSurfacesFromEveryEntryPoint(t *testing.T) {
+	bad := Config{MC: 96, KC: 256, NC: 2048, Threads: 1, Kernel: "no-such-kernel"}
+	mu := NewMultiplier(bad, PaperArch())
+	c, a, b := NewMatrix(8, 8), NewMatrix(8, 8), NewMatrix(8, 8)
+	if err := mu.MulAdd(c, a, b); err == nil {
+		t.Fatal("MulAdd on invalid config succeeded")
+	}
+	if err := mu.MulAddBatch([]BatchJob{{C: c, A: a, B: b}}); err == nil {
+		t.Fatal("MulAddBatch on invalid config succeeded")
+	}
+	if err := mu.MulAddAsync(c, a, b).Wait(); err == nil {
+		t.Fatal("MulAddAsync on invalid config succeeded")
+	}
+}
+
+// TestDefaultKernelPlanGolden pins the full selection→plan→execution path on
+// the default backend to the exact bits it produced before the Backend
+// interface existed (hash captured from the PR-3 tree on amd64): plan
+// selection and kernel numerics together are the reproducibility surface.
+// Skipped off amd64, where the compiler may fuse a*b+c into FMA and round
+// differently.
+func TestDefaultKernelPlanGolden(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden fingerprint captured on amd64; GOARCH=%s may fuse FMA", runtime.GOARCH)
+	}
+	rng := rand.New(rand.NewSource(4096))
+	a, b := NewMatrix(96, 96), NewMatrix(96, 96)
+	c := NewMatrix(96, 96)
+	a.FillRand(rng)
+	b.FillRand(rng)
+	mu := NewMultiplier(DefaultConfig(), PaperArch())
+	if err := mu.MulAdd(c, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Fingerprint(); got != 0xcf7d1834413624e4 {
+		t.Errorf("default plan path fingerprint %#x, want %#x (no longer bit-identical to pre-backend-interface results)",
+			got, uint64(0xcf7d1834413624e4))
+	}
+}
+
+// TestKernelBackendEndToEnd drives every registered backend through the full
+// Multiplier stack — plan selection, sharding, batch — and checks results
+// against the reference.
+func TestKernelBackendEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, b := NewMatrix(200, 130), NewMatrix(130, 170)
+	a.FillRand(rng)
+	b.FillRand(rng)
+	want := NewMatrix(200, 170)
+	matrix.MulAdd(want, a, b)
+	for _, name := range Kernels() {
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{
+				MC: 32, KC: 32, NC: 64, Threads: 4,
+				Kernel:         name,
+				ShardThreshold: 128, ShardMinTile: 48, // force the sharded path
+			}
+			mu := NewMultiplier(cfg, PaperArch())
+			c := NewMatrix(200, 170)
+			if err := mu.MulAdd(c, a, b); err != nil {
+				t.Fatal(err)
+			}
+			if d := c.MaxAbsDiff(want); d > 1e-9 {
+				t.Fatalf("sharded MulAdd diff %g", d)
+			}
+			// Repeat must be bit-identical (the serving determinism contract
+			// holds for every conforming backend).
+			c2 := NewMatrix(200, 170)
+			if err := mu.MulAdd(c2, a, b); err != nil {
+				t.Fatal(err)
+			}
+			if d := c.MaxAbsDiff(c2); d != 0 {
+				t.Fatalf("backend %s not deterministic under sharding: %g", name, d)
+			}
+			// Batch path.
+			c3 := NewMatrix(200, 170)
+			if err := mu.MulAddBatch([]BatchJob{{C: c3, A: a, B: b}}); err != nil {
+				t.Fatal(err)
+			}
+			if d := c3.MaxAbsDiff(want); d > 1e-9 {
+				t.Fatalf("batch diff %g", d)
+			}
+		})
+	}
+}
+
+// TestKernelsListsBuiltins: the public registry view exposes both pure-Go
+// backends, so Config.Kernel / FMMFAM_KERNEL values are discoverable.
+func TestKernelsListsBuiltins(t *testing.T) {
+	found := map[string]bool{}
+	for _, n := range Kernels() {
+		found[n] = true
+	}
+	if !found["go4x4"] || !found["go8x4"] {
+		t.Fatalf("Kernels() = %v, want both go4x4 and go8x4", Kernels())
+	}
+}

@@ -14,7 +14,8 @@
 //     levels),
 //   - the paper's three implementation variants (Naive, AB, ABC) built on a
 //     BLIS-style GEMM whose packing and micro-kernel fuse the FMM submatrix
-//     additions, with goroutine data-parallelism,
+//     additions, with goroutine data-parallelism and pluggable,
+//     conformance-tested micro-kernel backends (Config.Kernel, Kernels),
 //   - the analytic performance model (Predict, Recommend) used to pick an
 //     implementation for a problem size without exhaustive search, and
 //   - numerical search for new algorithms (Discover).
@@ -44,12 +45,14 @@
 package fmmfam
 
 import (
+	"fmt"
 	"runtime"
 
 	"fmmfam/internal/core"
 	"fmmfam/internal/discover"
 	"fmmfam/internal/fmmexec"
 	"fmmfam/internal/gemm"
+	"fmmfam/internal/kernel"
 	"fmmfam/internal/matrix"
 	"fmmfam/internal/model"
 )
@@ -85,6 +88,14 @@ type Config struct {
 	// driver's ic loop; for MulAddBatch and sharded calls it is the width of
 	// the cross-job pool.
 	Threads int
+
+	// Kernel selects the micro-kernel backend by registry name (see
+	// Kernels). Empty selects the default backend ("go4x4", the original
+	// bit-stable pure-Go kernel); "go8x4" is the wider-tile pure-Go backend.
+	// The package-level Multiply family reads the FMMFAM_KERNEL environment
+	// variable instead. The blocking must satisfy the backend's tile shape
+	// (MC ≥ MR, NC ≥ NR); Validate checks this.
+	Kernel string
 
 	// ShardThreshold is the problem size at or above which MulAdd
 	// automatically splits into independent block products scheduled across
@@ -147,8 +158,37 @@ func (c Config) Parallel() Config {
 
 // gemmConfig projects the driver-facing fields for the execution layers.
 func (c Config) gemmConfig() gemm.Config {
-	return gemm.Config{MC: c.MC, KC: c.KC, NC: c.NC, Threads: c.Threads}
+	return gemm.Config{MC: c.MC, KC: c.KC, NC: c.NC, Threads: c.Threads, Kernel: c.Kernel}
 }
+
+// Validate checks the configuration: the kernel backend must be registered,
+// the blocking must fit that backend's micro-tile (MC ≥ MR, KC ≥ 1,
+// NC ≥ NR) with at least one worker — those driver-facing rules are checked
+// by gemm.Config.Validate, the single source — and the serving knobs that
+// have no negative sentinel (ShardMinTile, QueueWorkers, QueueDepth) must
+// be non-negative. NewMultiplier records the result and surfaces it from
+// every entry point, so an invalid config fails fast instead of computing
+// with nonsense parameters.
+func (c Config) Validate() error {
+	if err := c.gemmConfig().Validate(); err != nil {
+		return fmt.Errorf("fmmfam: %w", err)
+	}
+	if c.ShardMinTile < 0 {
+		return fmt.Errorf("fmmfam: ShardMinTile=%d, need ≥ 0 (0 = model break-even floor)", c.ShardMinTile)
+	}
+	if c.QueueWorkers < 0 {
+		return fmt.Errorf("fmmfam: QueueWorkers=%d, need ≥ 0 (0 = Threads)", c.QueueWorkers)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("fmmfam: QueueDepth=%d, need ≥ 0 (0 = 4×workers)", c.QueueDepth)
+	}
+	return nil
+}
+
+// Kernels lists the registered micro-kernel backend names, sorted; any of
+// them is a valid Config.Kernel / FMMFAM_KERNEL value. See
+// internal/kernel/conformance for what a new backend must pass to join.
+func Kernels() []string { return kernel.Backends() }
 
 func (c Config) shardThreshold() int {
 	switch {

@@ -1,0 +1,33 @@
+package gemm_test
+
+// External test package so the fuzz target can delegate to the conformance
+// suite's differential check (conformance imports gemm, so an internal test
+// would be a cycle) — the tolerance formula and naive-reference construction
+// live in exactly one place.
+
+import (
+	"testing"
+
+	"fmmfam/internal/kernel/conformance"
+)
+
+// FuzzFusedMulAddVsNaive differentially fuzzes the fused driver on the
+// default backend against the naive triple-loop reference: random shapes,
+// random blocking, random coefficient lists on all three sides (including
+// multiple fused C-side terms), compared with a FLOP-scaled tolerance — the
+// two evaluations associate the same real polynomial differently, so the
+// admissible gap grows with the reduction depth k. The seed corpus pins the
+// PR-3 K-split acceptance shapes (K-dominant problems whose slab products
+// stress deep reductions) alongside fringe-heavy shapes.
+func FuzzFusedMulAddVsNaive(f *testing.F) {
+	// PR-3 acceptance shapes (serving_test.go TestShardedKSplit).
+	f.Add(int64(1), uint16(48), uint16(512), uint16(48), uint8(1), uint8(1), uint8(1))
+	f.Add(int64(2), uint16(40), uint16(513), uint16(52), uint8(2), uint8(1), uint8(2))
+	f.Add(int64(3), uint16(64), uint16(1024), uint16(80), uint8(1), uint8(2), uint8(1))
+	// Fringe-heavy and degenerate shapes.
+	f.Add(int64(4), uint16(1), uint16(1), uint16(1), uint8(1), uint8(1), uint8(3))
+	f.Add(int64(5), uint16(37), uint16(23), uint16(45), uint8(3), uint8(3), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, m16, k16, n16 uint16, nA8, nB8, nC8 uint8) {
+		conformance.DifferentialCheck(t, "", seed, m16, k16, n16, nA8, nB8, nC8)
+	})
+}

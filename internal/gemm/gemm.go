@@ -34,12 +34,18 @@ type Term = kernel.Term
 // SingleTerm wraps a matrix as the trivial combination 1.0·M.
 func SingleTerm(m matrix.Mat) []Term { return kernel.SingleTerm(m) }
 
-// Config carries the cache blocking parameters {mC, kC, nC} of Figure 1 and
-// the worker count. The defaults suit the pure-Go micro-kernel: Ã(mC×kC)
-// ≈ 192 KiB target L2 residency, B̃(kC×nC) sized for L3, as in §5.1.
+// Config carries the cache blocking parameters {mC, kC, nC} of Figure 1, the
+// worker count, and the micro-kernel backend selection. The defaults suit the
+// pure-Go micro-kernel: Ã(mC×kC) ≈ 192 KiB target L2 residency, B̃(kC×nC)
+// sized for L3, as in §5.1.
 type Config struct {
 	MC, KC, NC int
 	Threads    int
+
+	// Kernel selects the registered micro-kernel backend by name; empty means
+	// kernel.DefaultBackend. The blocking must satisfy the backend's tile
+	// shape: MC ≥ MR, NC ≥ NR.
+	Kernel string
 }
 
 // DefaultConfig returns the blocking used throughout the experiments.
@@ -53,11 +59,30 @@ func (c Config) Parallel() Config {
 	return c
 }
 
-func (c Config) validate() error {
-	if c.MC < kernel.MR || c.KC < 1 || c.NC < kernel.NR || c.Threads < 1 {
-		return fmt.Errorf("gemm: bad config %+v", c)
+// Validate checks the driver-facing configuration: the kernel backend must
+// be registered, Threads ≥ 1, and the blocking must fit the backend's
+// micro-tile (MC ≥ MR, KC ≥ 1, NC ≥ NR). It is the single source of these
+// rules — the top-level fmmfam.Config.Validate delegates here.
+func (c Config) Validate() error {
+	_, err := c.resolveBackend()
+	return err
+}
+
+// resolveBackend validates c and returns its micro-kernel backend, so
+// construction paths resolve the registry exactly once.
+func (c Config) resolveBackend() (kernel.Backend, error) {
+	bk, err := kernel.Resolve(c.Kernel)
+	if err != nil {
+		return nil, fmt.Errorf("gemm: %w", err)
 	}
-	return nil
+	if c.Threads < 1 {
+		return nil, fmt.Errorf("gemm: Threads=%d, need ≥ 1", c.Threads)
+	}
+	if c.MC < bk.MR() || c.KC < 1 || c.NC < bk.NR() {
+		return nil, fmt.Errorf("gemm: blocking MC=%d KC=%d NC=%d too small for kernel %s (needs MC ≥ %d, KC ≥ 1, NC ≥ %d)",
+			c.MC, c.KC, c.NC, bk.Name(), bk.MR(), bk.NR())
+	}
+	return bk, nil
 }
 
 // Context is the immutable kernel driver: a validated Config plus a bounded
@@ -67,17 +92,27 @@ func (c Config) validate() error {
 // additionally exploits parallelism internally (Config.Threads workers).
 type Context struct {
 	cfg  Config
+	bk   kernel.Backend
 	pool *workspacePool
+
+	// fast marks the default backend, whose inner loops run through the
+	// specialized free functions of internal/kernel (direct calls, constant
+	// MR/NR) instead of interface dispatch — the micro-kernel is invoked once
+	// per MR×NR output tile, where dynamic dispatch and variable-divisor
+	// index math are measurable. Other backends take the generic path.
+	fast bool
 }
 
-// NewContext validates cfg and prepares the workspace pool (one workspace is
-// pre-allocated so the first call does not pay the allocation).
+// NewContext validates cfg, resolves its micro-kernel backend, and prepares
+// the workspace pool (one workspace is pre-allocated so the first call does
+// not pay the allocation).
 func NewContext(cfg Config) (*Context, error) {
-	if err := cfg.validate(); err != nil {
+	bk, err := cfg.resolveBackend()
+	if err != nil {
 		return nil, err
 	}
-	ctx := &Context{cfg: cfg, pool: newWorkspacePool(cfg)}
-	ctx.pool.put(NewWorkspace(cfg))
+	ctx := &Context{cfg: cfg, bk: bk, pool: newWorkspacePool(cfg, bk), fast: bk.Name() == kernel.DefaultBackend}
+	ctx.pool.put(newWorkspace(cfg, bk))
 	return ctx, nil
 }
 
@@ -92,6 +127,9 @@ func MustNewContext(cfg Config) *Context {
 
 // Config returns the context's configuration.
 func (ctx *Context) Config() Config { return ctx.cfg }
+
+// Backend returns the micro-kernel backend the context drives.
+func (ctx *Context) Backend() kernel.Backend { return ctx.bk }
 
 // MulAdd computes c += a·b (plain GEMM through the fused path). Safe for
 // concurrent callers.
@@ -149,10 +187,11 @@ func (ctx *Context) FusedMulAddWS(ws *Workspace, cTerms, aTerms, bTerms []Term) 
 // when parallel (packing is memory-bound and, for FMM term lists, a large
 // serial fraction otherwise — BLIS likewise packs in parallel).
 func (ctx *Context) packB(ws *Workspace, bTerms []Term, pc, jc, kcur, ncur int) {
-	panels := (ncur + kernel.NR - 1) / kernel.NR
+	nr := ctx.bk.NR()
+	panels := (ncur + nr - 1) / nr
 	workers := min(ctx.cfg.Threads, panels)
 	if workers <= 1 {
-		kernel.PackB(ws.bbuf, bTerms, pc, jc, kcur, ncur)
+		ctx.bk.PackB(ws.bbuf, bTerms, pc, jc, kcur, ncur)
 		return
 	}
 	var wg sync.WaitGroup
@@ -162,7 +201,7 @@ func (ctx *Context) packB(ws *Workspace, bTerms []Term, pc, jc, kcur, ncur int) 
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			kernel.PackBRange(ws.bbuf, bTerms, pc, jc, kcur, ncur, lo, hi)
+			ctx.bk.PackBRange(ws.bbuf, bTerms, pc, jc, kcur, ncur, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -176,7 +215,7 @@ func (ctx *Context) icLoop(ws *Workspace, cTerms, aTerms []Term, pc, jc, m, kcur
 	workers := min(cfg.Threads, nBlocks)
 	if workers <= 1 {
 		for ic := 0; ic < m; ic += cfg.MC {
-			ctx.macroKernel(ws, ws.abufs[0], cTerms, aTerms, ic, pc, jc, min(cfg.MC, m-ic), kcur, ncur)
+			ctx.macroKernel(ws, ws.abufs[0], ws.acc(0), cTerms, aTerms, ic, pc, jc, min(cfg.MC, m-ic), kcur, ncur)
 		}
 		return
 	}
@@ -188,20 +227,50 @@ func (ctx *Context) icLoop(ws *Workspace, cTerms, aTerms []Term, pc, jc, m, kcur
 	close(next)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(abuf []float64) {
+		go func(abuf, acc []float64) {
 			defer wg.Done()
 			for b := range next {
 				ic := b * cfg.MC
-				ctx.macroKernel(ws, abuf, cTerms, aTerms, ic, pc, jc, min(cfg.MC, m-ic), kcur, ncur)
+				ctx.macroKernel(ws, abuf, acc, cTerms, aTerms, ic, pc, jc, min(cfg.MC, m-ic), kcur, ncur)
 			}
-		}(ws.abufs[w])
+		}(ws.abufs[w], ws.acc(w))
 	}
 	wg.Wait()
 }
 
 // macroKernel packs one Ã block and sweeps the second and first loops around
 // the micro-kernel, scattering each register tile into every C-side term.
-func (ctx *Context) macroKernel(ws *Workspace, abuf []float64, cTerms, aTerms []Term, ic, pc, jc, mcur, kcur, ncur int) {
+// abuf and acc are the calling worker's private Ã buffer and accumulator
+// tile.
+func (ctx *Context) macroKernel(ws *Workspace, abuf, acc []float64, cTerms, aTerms []Term, ic, pc, jc, mcur, kcur, ncur int) {
+	if ctx.fast {
+		macroKernelDefault(ws, abuf, cTerms, aTerms, ic, pc, jc, mcur, kcur, ncur)
+		return
+	}
+	bk := ctx.bk
+	mrk, nrk := bk.MR(), bk.NR()
+	bk.PackA(abuf, aTerms, ic, pc, mcur, kcur)
+	for jr := 0; jr < ncur; jr += nrk {
+		nr := min(nrk, ncur-jr)
+		bp := ws.bbuf[(jr/nrk)*kcur*nrk:]
+		for ir := 0; ir < mcur; ir += mrk {
+			mr := min(mrk, mcur-ir)
+			ap := abuf[(ir/mrk)*mrk*kcur:]
+			bk.Micro(kcur, ap, bp, acc)
+			for _, ct := range cTerms {
+				bk.Scatter(ct.M, ic+ir, jc+jr, ct.Coef, acc, mr, nr)
+			}
+		}
+	}
+}
+
+// macroKernelDefault is macroKernel devirtualized for the default backend:
+// identical loop structure, but the packing, micro-kernel, and scatter are
+// the specialized free functions with MR/NR as compile-time constants and a
+// stack-resident accumulator tile — byte-for-byte the pre-interface hot
+// loop. It performs the same arithmetic in the same order as the generic
+// path over the go4x4 backend, so results stay bit-identical either way.
+func macroKernelDefault(ws *Workspace, abuf []float64, cTerms, aTerms []Term, ic, pc, jc, mcur, kcur, ncur int) {
 	kernel.PackA(abuf, aTerms, ic, pc, mcur, kcur)
 	var acc [kernel.MR * kernel.NR]float64
 	for jr := 0; jr < ncur; jr += kernel.NR {

@@ -1,31 +1,80 @@
 package gemm
 
-import "fmmfam/internal/kernel"
+import (
+	"unsafe"
+
+	"fmmfam/internal/kernel"
+)
 
 // Workspace holds the mutable per-call state of one FusedMulAdd execution:
-// the shared B̃ packing buffer and one Ã packing buffer per worker. A
-// Workspace is rented from the Context's pool at the start of every
-// multiplication and returned when it finishes, so a single Context can
-// serve any number of concurrent callers while steady-state calls still
-// allocate nothing.
+// the shared B̃ packing buffer, and one Ã packing buffer — plus, for
+// non-default backends, one micro-tile accumulator — per worker. A Workspace
+// is rented from the Context's pool at the start of every multiplication and
+// returned when it finishes, so a single Context can serve any number of
+// concurrent callers while steady-state calls still allocate nothing.
+// Buffer sizes and the accumulator tile derive from the configured backend's
+// MR/NR, and buffer starts honor the backend's alignment requirement — a
+// Workspace is only valid for Contexts configured with the same Config
+// (including Kernel).
 type Workspace struct {
 	bbuf  []float64
 	abufs [][]float64 // one Ã per worker
+	// accs holds one MR×NR accumulator tile per worker for the generic
+	// macro-kernel path; nil for the default backend, whose devirtualized
+	// path uses a stack-resident tile instead.
+	accs [][]float64
 }
 
-// NewWorkspace allocates packing buffers sized for cfg. Most callers never
-// need this — Context rents workspaces internally — but it is exposed for
-// callers that want to manage workspace lifetime themselves (e.g. arena-style
-// reuse in tight custom loops).
+// acc returns worker w's accumulator tile (nil for the default backend).
+func (ws *Workspace) acc(w int) []float64 {
+	if ws.accs == nil {
+		return nil
+	}
+	return ws.accs[w]
+}
+
+// NewWorkspace allocates packing buffers sized and aligned for cfg's backend.
+// Most callers never need this — Context rents workspaces internally — but it
+// is exposed for callers that want to manage workspace lifetime themselves
+// (e.g. arena-style reuse in tight custom loops). NewWorkspace panics on an
+// unknown cfg.Kernel; validate the config first (NewContext does).
 func NewWorkspace(cfg Config) *Workspace {
+	return newWorkspace(cfg, kernel.MustResolve(cfg.Kernel))
+}
+
+func newWorkspace(cfg Config, bk kernel.Backend) *Workspace {
+	align := bk.Align()
 	ws := &Workspace{
-		bbuf:  make([]float64, kernel.PackBBufLen(cfg.KC, cfg.NC)),
+		bbuf:  alignedBuf(bk.PackBBufLen(cfg.KC, cfg.NC), align),
 		abufs: make([][]float64, cfg.Threads),
 	}
+	generic := bk.Name() != kernel.DefaultBackend
+	if generic {
+		ws.accs = make([][]float64, cfg.Threads)
+	}
 	for i := range ws.abufs {
-		ws.abufs[i] = make([]float64, kernel.PackABufLen(cfg.MC, cfg.KC))
+		ws.abufs[i] = alignedBuf(bk.PackABufLen(cfg.MC, cfg.KC), align)
+		if generic {
+			ws.accs[i] = alignedBuf(bk.MR()*bk.NR(), align)
+		}
 	}
 	return ws
+}
+
+// alignedBuf returns a length-n float64 slice whose first element is aligned
+// to align·8 bytes, over-allocating by up to align−1 elements when needed.
+// Pure-Go backends use align=1 (any); SIMD backends need their vector width.
+func alignedBuf(n, align int) []float64 {
+	if align <= 1 || n == 0 {
+		return make([]float64, n)
+	}
+	buf := make([]float64, n+align-1)
+	rem := int((uintptr(unsafe.Pointer(&buf[0])) / 8) % uintptr(align))
+	off := 0
+	if rem != 0 {
+		off = align - rem
+	}
+	return buf[off : off+n : off+n]
 }
 
 // workspacePool is a bounded free list of Workspaces for one Context. Get
@@ -40,6 +89,7 @@ func NewWorkspace(cfg Config) *Workspace {
 // one Workspace is O(KC·NC + Threads·MC·KC) floats.
 type workspacePool struct {
 	cfg  Config
+	bk   kernel.Backend
 	free chan *Workspace
 }
 
@@ -55,8 +105,8 @@ const maxRetainedFloats = 1 << 23
 // when a single workspace already exceeds the cap, nothing is retained and
 // every get allocates fresh (get and put handle an empty pool) — rather
 // than silently keeping oversized workspaces alive past the documented cap.
-func workspacePoolBound(cfg Config) int {
-	per := kernel.PackBBufLen(cfg.KC, cfg.NC) + cfg.Threads*kernel.PackABufLen(cfg.MC, cfg.KC)
+func workspacePoolBound(cfg Config, bk kernel.Backend) int {
+	per := bk.PackBBufLen(cfg.KC, cfg.NC) + cfg.Threads*bk.PackABufLen(cfg.MC, cfg.KC)
 	n := 2 * cfg.Threads
 	if lim := maxRetainedFloats / per; n > lim {
 		n = lim
@@ -64,8 +114,8 @@ func workspacePoolBound(cfg Config) int {
 	return n
 }
 
-func newWorkspacePool(cfg Config) *workspacePool {
-	return &workspacePool{cfg: cfg, free: make(chan *Workspace, workspacePoolBound(cfg))}
+func newWorkspacePool(cfg Config, bk kernel.Backend) *workspacePool {
+	return &workspacePool{cfg: cfg, bk: bk, free: make(chan *Workspace, workspacePoolBound(cfg, bk))}
 }
 
 func (p *workspacePool) get() *Workspace {
@@ -73,7 +123,7 @@ func (p *workspacePool) get() *Workspace {
 	case ws := <-p.free:
 		return ws
 	default:
-		return NewWorkspace(p.cfg)
+		return newWorkspace(p.cfg, p.bk)
 	}
 }
 

@@ -1,0 +1,231 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fmmfam/internal/matrix"
+)
+
+// Backend is a pluggable micro-kernel implementation: the register-blocked
+// rank-kC update of Figure 1 together with the packing routines that lay
+// operands out in the micro-panel formats the kernel consumes. The GEMM
+// driver (internal/gemm) is written against this interface only — swapping
+// the backend swaps the innermost loops while the five-loop structure,
+// workspace pooling, and FMM fusion stay fixed, which is exactly how the
+// paper ports across architectures.
+//
+// Contract (enforced by internal/kernel/conformance — every backend
+// registered with Register must pass that suite):
+//
+//   - PackA writes the mc×kc linear combination of the A-side terms in Ã
+//     layout: ⌈mc/MR⌉ consecutive row-panels, panel rows stored column-major
+//     (dst[panel*MR*kc + p*MR + lane]), rows beyond mc zero-padded.
+//   - PackB writes the kc×nc combination of the B-side terms in B̃ layout:
+//     ⌈nc/NR⌉ consecutive column-panels, panel columns stored row-major
+//     (dst[panel*kc*NR + p*NR + lane]), columns beyond nc zero-padded.
+//     PackBRange packs only panels [panelLo, panelHi); distinct ranges write
+//     disjoint dst regions so ranges may be packed concurrently.
+//   - Micro computes the MR×NR rank-kc product of one Ã row-panel and one B̃
+//     column-panel into acc (row-major MR×NR, len ≥ MR·NR), overwriting acc.
+//   - Scatter adds coef·acc[0:mr, 0:nr] into the mr×nr region of m at
+//     (r0, c0); mr ≤ MR and nr ≤ NR handle fringe tiles.
+//   - PackABufLen/PackBBufLen size packing buffers, including zero padding.
+//   - Align is the required alignment of packed-buffer starts, in float64
+//     elements (1 = any; an AVX backend would return 4 for 32-byte loads).
+//     Workspace allocation (internal/gemm) honors it.
+type Backend interface {
+	// Name is the registry key, e.g. "go4x4". Stable across releases: users
+	// select backends by name via Config.Kernel / FMMFAM_KERNEL.
+	Name() string
+	MR() int
+	NR() int
+	Align() int
+
+	PackA(dst []float64, terms []Term, r0, c0, mc, kc int) int
+	PackB(dst []float64, terms []Term, r0, c0, kc, nc int) int
+	PackBRange(dst []float64, terms []Term, r0, c0, kc, nc, panelLo, panelHi int)
+	Micro(kc int, ap, bp, acc []float64)
+	Scatter(m matrix.Mat, r0, c0 int, coef float64, acc []float64, mr, nr int)
+	PackABufLen(mc, kc int) int
+	PackBBufLen(kc, nc int) int
+}
+
+// DefaultBackend is the registry name an empty kernel selection resolves to:
+// the original MR=NR=4 pure-Go kernel, kept bit-identical across releases.
+const DefaultBackend = "go4x4"
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Backend
+}{m: make(map[string]Backend)}
+
+// Register adds a backend under its Name. It rejects empty or duplicate
+// names and degenerate tile shapes. Backends are expected to pass the
+// conformance suite (internal/kernel/conformance); register new backends
+// from an init function so Config.Kernel can select them by name.
+func Register(b Backend) error {
+	if b == nil {
+		return fmt.Errorf("kernel: nil backend")
+	}
+	name := b.Name()
+	if name == "" {
+		return fmt.Errorf("kernel: backend with empty name")
+	}
+	if b.MR() < 1 || b.NR() < 1 || b.Align() < 1 {
+		return fmt.Errorf("kernel: backend %q has degenerate MR=%d NR=%d Align=%d",
+			name, b.MR(), b.NR(), b.Align())
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[name]; dup {
+		return fmt.Errorf("kernel: backend %q already registered", name)
+	}
+	registry.m[name] = b
+	return nil
+}
+
+// MustRegister is Register for init-time registration of known-good backends.
+func MustRegister(b Backend) {
+	if err := Register(b); err != nil {
+		panic(err)
+	}
+}
+
+// Resolve returns the backend registered under name; the empty name selects
+// DefaultBackend. Unknown names error with the list of registered backends.
+func Resolve(name string) (Backend, error) {
+	if name == "" {
+		name = DefaultBackend
+	}
+	registry.RLock()
+	b, ok := registry.m[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("kernel: unknown backend %q (registered: %v)", name, Backends())
+	}
+	return b, nil
+}
+
+// MustResolve is Resolve for names already validated (e.g. by a Config check).
+func MustResolve(name string) Backend {
+	b, err := Resolve(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string {
+	registry.RLock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	registry.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// packABufLen / packBBufLen are the layout-implied buffer sizes shared by all
+// backends that use the canonical panel layouts.
+func packABufLen(mr, mc, kc int) int { return ((mc + mr - 1) / mr) * mr * kc }
+func packBBufLen(nr, kc, nc int) int { return ((nc + nr - 1) / nr) * nr * kc }
+
+// packAGeneric writes the mc×kc linear combination of the A-side terms into
+// dst in Ã layout for an arbitrary row-panel height mr. It performs the same
+// element-order arithmetic as the specialized packers, so for a given mr the
+// two are bit-identical.
+func packAGeneric(mr int, dst []float64, terms []Term, r0, c0, mc, kc int) int {
+	n := packABufLen(mr, mc, kc)
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for t, term := range terms {
+		m := term.M
+		coef := term.Coef
+		if coef == 0 {
+			continue
+		}
+		for i := 0; i < mc; i++ {
+			panel := i / mr
+			lane := i % mr
+			src := m.Data[(r0+i)*m.Stride+c0 : (r0+i)*m.Stride+c0+kc]
+			d := dst[panel*mr*kc+lane:]
+			if t == 0 && coef == 1 {
+				for p, v := range src {
+					d[p*mr] = v
+				}
+			} else {
+				for p, v := range src {
+					d[p*mr] += coef * v
+				}
+			}
+		}
+	}
+	return n
+}
+
+// packBGeneric writes the whole kc×nc combination in B̃ layout for an
+// arbitrary column-panel width nr and returns the number of float64s
+// written; see packAGeneric.
+func packBGeneric(nr int, dst []float64, terms []Term, r0, c0, kc, nc int) int {
+	panels := (nc + nr - 1) / nr
+	packBRangeGeneric(nr, dst, terms, r0, c0, kc, nc, 0, panels)
+	return panels * kc * nr
+}
+
+// packBRangeGeneric packs column-panels [panelLo, panelHi) of the B̃ layout
+// for an arbitrary column-panel width nr; see packAGeneric.
+func packBRangeGeneric(nr int, dst []float64, terms []Term, r0, c0, kc, nc, panelLo, panelHi int) {
+	for panel := panelLo; panel < panelHi; panel++ {
+		j0 := panel * nr
+		w := nr
+		if j0+w > nc {
+			w = nc - j0
+		}
+		out := dst[panel*kc*nr : (panel+1)*kc*nr]
+		for i := range out {
+			out[i] = 0
+		}
+		for t, term := range terms {
+			m := term.M
+			coef := term.Coef
+			if coef == 0 {
+				continue
+			}
+			for p := 0; p < kc; p++ {
+				src := m.Data[(r0+p)*m.Stride+c0+j0 : (r0+p)*m.Stride+c0+j0+w]
+				d := out[p*nr : p*nr+w]
+				if t == 0 && coef == 1 {
+					copy(d, src)
+				} else {
+					for j, v := range src {
+						d[j] += coef * v
+					}
+				}
+			}
+		}
+	}
+}
+
+// scatterGeneric adds coef·acc[0:mr, 0:nr] (acc row-major with row stride
+// nrFull) into the mr×nr region of m at (r0, c0).
+func scatterGeneric(nrFull int, m matrix.Mat, r0, c0 int, coef float64, acc []float64, mr, nr int) {
+	for i := 0; i < mr; i++ {
+		row := m.Data[(r0+i)*m.Stride+c0 : (r0+i)*m.Stride+c0+nr]
+		a := acc[i*nrFull : i*nrFull+nr]
+		if coef == 1 {
+			for j, v := range a {
+				row[j] += v
+			}
+		} else {
+			for j, v := range a {
+				row[j] += coef * v
+			}
+		}
+	}
+}

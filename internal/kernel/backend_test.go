@@ -1,0 +1,116 @@
+package kernel
+
+import (
+	"sort"
+	"testing"
+
+	"fmmfam/internal/matrix"
+)
+
+// stubBackend is a registrable dummy used to exercise registry rules.
+type stubBackend struct {
+	name   string
+	mr, nr int
+	align  int
+}
+
+func (s stubBackend) Name() string { return s.name }
+func (s stubBackend) MR() int      { return s.mr }
+func (s stubBackend) NR() int      { return s.nr }
+func (s stubBackend) Align() int   { return s.align }
+func (s stubBackend) PackA(dst []float64, terms []Term, r0, c0, mc, kc int) int {
+	return packAGeneric(s.mr, dst, terms, r0, c0, mc, kc)
+}
+func (s stubBackend) PackB(dst []float64, terms []Term, r0, c0, kc, nc int) int {
+	return packBGeneric(s.nr, dst, terms, r0, c0, kc, nc)
+}
+func (s stubBackend) PackBRange(dst []float64, terms []Term, r0, c0, kc, nc, lo, hi int) {
+	packBRangeGeneric(s.nr, dst, terms, r0, c0, kc, nc, lo, hi)
+}
+func (s stubBackend) Micro(kc int, ap, bp, acc []float64) {
+	for i := range acc[:s.mr*s.nr] {
+		acc[i] = 0
+	}
+	for p := 0; p < kc; p++ {
+		for i := 0; i < s.mr; i++ {
+			for j := 0; j < s.nr; j++ {
+				acc[i*s.nr+j] += ap[p*s.mr+i] * bp[p*s.nr+j]
+			}
+		}
+	}
+}
+func (s stubBackend) Scatter(m matrix.Mat, r0, c0 int, coef float64, acc []float64, mr, nr int) {
+	scatterGeneric(s.nr, m, r0, c0, coef, acc, mr, nr)
+}
+func (s stubBackend) PackABufLen(mc, kc int) int { return packABufLen(s.mr, mc, kc) }
+func (s stubBackend) PackBBufLen(kc, nc int) int { return packBBufLen(s.nr, kc, nc) }
+
+func TestRegistryBuiltins(t *testing.T) {
+	names := Backends()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Backends() not sorted: %v", names)
+	}
+	for _, want := range []string{"go4x4", "go8x4"} {
+		if _, err := Resolve(want); err != nil {
+			t.Fatalf("built-in backend %q missing: %v", want, err)
+		}
+	}
+	// Empty name resolves to the default backend.
+	def, err := Resolve("")
+	if err != nil || def.Name() != DefaultBackend {
+		t.Fatalf("Resolve(\"\") = %v, %v; want %s", def, err, DefaultBackend)
+	}
+	if def.MR() != MR || def.NR() != NR {
+		t.Fatalf("default backend tile %d×%d, want %d×%d", def.MR(), def.NR(), MR, NR)
+	}
+}
+
+func TestRegisterRejectsBadBackends(t *testing.T) {
+	if err := Register(nil); err == nil {
+		t.Fatal("nil backend accepted")
+	}
+	if err := Register(stubBackend{name: "", mr: 4, nr: 4, align: 1}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := Register(stubBackend{name: "degenerate", mr: 0, nr: 4, align: 1}); err == nil {
+		t.Fatal("MR=0 accepted")
+	}
+	if err := Register(stubBackend{name: "go4x4", mr: 4, nr: 4, align: 1}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestResolveUnknown(t *testing.T) {
+	if _, err := Resolve("no-such-backend"); err == nil {
+		t.Fatal("unknown backend resolved")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustResolve must panic on unknown backend")
+		}
+	}()
+	MustResolve("no-such-backend")
+}
+
+// TestRegisterThirdPartyBackend registers a stub 2×3 backend and checks it
+// becomes resolvable and drives the generic pack/scatter helpers correctly —
+// the extension path a future asm/cgo backend takes.
+func TestRegisterThirdPartyBackend(t *testing.T) {
+	stub := stubBackend{name: "stub2x3-test", mr: 2, nr: 3, align: 2}
+	if err := Register(stub); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Resolve("stub2x3-test")
+	if err != nil || got.MR() != 2 || got.NR() != 3 {
+		t.Fatalf("stub did not resolve correctly: %v %v", got, err)
+	}
+	found := false
+	for _, n := range Backends() {
+		if n == "stub2x3-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stub missing from Backends(): %v", Backends())
+	}
+}

@@ -1,0 +1,511 @@
+// Package conformance is the shared acceptance suite every micro-kernel
+// backend must pass to be registered (see kernel.Backend). It drives a
+// backend — by registry name, exactly as Config.Kernel will — through the
+// pack-layout invariants, the micro-kernel and scatter contracts, fused
+// multi-term products against a naive reference, edge problem shapes around
+// the backend's own MR/NR, the driver's determinism guarantees, and a
+// differential fuzz target. A future AVX/asm or cgo backend only has to
+// register and pass:
+//
+//	func TestMyBackend(t *testing.T) { conformance.Run(t, "avx512") }
+//	func FuzzMyBackend(f *testing.F) { conformance.FuzzDifferential(f, "avx512") }
+//
+// The suite is intentionally written against the Backend interface and the
+// public gemm driver only, so it cannot accidentally depend on an
+// implementation detail of one backend.
+package conformance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fmmfam/internal/gemm"
+	"fmmfam/internal/kernel"
+	"fmmfam/internal/matrix"
+)
+
+// Run drives the full conformance suite against the named registered
+// backend. Every subtest failure names the backend, so a matrix run over
+// kernel.Backends() pinpoints the offender.
+func Run(t *testing.T, name string) {
+	t.Helper()
+	bk, err := kernel.Resolve(name)
+	if err != nil {
+		t.Fatalf("conformance: %v", err)
+	}
+	t.Run("Registration", func(t *testing.T) { checkRegistration(t, bk) })
+	t.Run("BufLens", func(t *testing.T) { checkBufLens(t, bk) })
+	t.Run("PackLayout", func(t *testing.T) { checkPackLayout(t, bk) })
+	t.Run("PackLinearCombination", func(t *testing.T) { checkPackLinearCombination(t, bk) })
+	t.Run("PackBRange", func(t *testing.T) { checkPackBRange(t, bk) })
+	t.Run("MicroVsReference", func(t *testing.T) { checkMicro(t, bk) })
+	t.Run("Scatter", func(t *testing.T) { checkScatter(t, bk) })
+	t.Run("EdgeShapes", func(t *testing.T) { checkEdgeShapes(t, bk) })
+	t.Run("FusedMultiTerm", func(t *testing.T) { checkFusedMultiTerm(t, bk) })
+	t.Run("DriverDeterminism", func(t *testing.T) { checkDriverDeterminism(t, bk) })
+}
+
+func checkRegistration(t *testing.T, bk kernel.Backend) {
+	if bk.Name() == "" {
+		t.Fatal("empty backend name")
+	}
+	if bk.MR() < 1 || bk.NR() < 1 {
+		t.Fatalf("degenerate micro-tile %d×%d", bk.MR(), bk.NR())
+	}
+	if bk.Align() < 1 {
+		t.Fatalf("degenerate alignment %d", bk.Align())
+	}
+	again, err := kernel.Resolve(bk.Name())
+	if err != nil || again.Name() != bk.Name() {
+		t.Fatalf("backend does not resolve to itself: %v", err)
+	}
+}
+
+func checkBufLens(t *testing.T, bk kernel.Backend) {
+	mr, nr := bk.MR(), bk.NR()
+	for _, d := range []struct{ blk, kc int }{{1, 1}, {mr - 1, 3}, {mr, 7}, {mr + 1, 8}, {3*mr + 2, 17}} {
+		if d.blk < 1 {
+			continue
+		}
+		if got, want := bk.PackABufLen(d.blk, d.kc), ((d.blk+mr-1)/mr)*mr*d.kc; got != want {
+			t.Errorf("PackABufLen(%d,%d)=%d, layout implies %d", d.blk, d.kc, got, want)
+		}
+		if got, want := bk.PackBBufLen(d.kc, d.blk), ((d.blk+nr-1)/nr)*nr*d.kc; got != want {
+			t.Errorf("PackBBufLen(%d,%d)=%d, layout implies %d", d.kc, d.blk, got, want)
+		}
+	}
+}
+
+// unpackA reads an Ã buffer back into a dense mc×kc matrix using the
+// canonical panel layout with the backend's MR.
+func unpackA(bk kernel.Backend, buf []float64, mc, kc int) matrix.Mat {
+	mr := bk.MR()
+	out := matrix.New(mc, kc)
+	for i := 0; i < mc; i++ {
+		for p := 0; p < kc; p++ {
+			out.Set(i, p, buf[(i/mr)*mr*kc+p*mr+i%mr])
+		}
+	}
+	return out
+}
+
+// unpackB reads a B̃ buffer back into a dense kc×nc matrix.
+func unpackB(bk kernel.Backend, buf []float64, kc, nc int) matrix.Mat {
+	nr := bk.NR()
+	out := matrix.New(kc, nc)
+	for p := 0; p < kc; p++ {
+		for j := 0; j < nc; j++ {
+			out.Set(p, j, buf[(j/nr)*kc*nr+p*nr+j%nr])
+		}
+	}
+	return out
+}
+
+// checkPackLayout: a single-term pack is a pure relayout (round-trips through
+// unpack), the padding rows/columns are zero, and the reported write count
+// matches PackABufLen/PackBBufLen.
+func checkPackLayout(t *testing.T, bk kernel.Backend) {
+	rng := rand.New(rand.NewSource(101))
+	mr, nr := bk.MR(), bk.NR()
+	for _, d := range []struct{ mc, kc int }{{1, 1}, {mr, 3}, {mr + 1, 5}, {2*mr + 1, 8}} {
+		src := matrix.New(d.mc+3, d.kc+2)
+		src.FillRand(rng)
+		buf := make([]float64, bk.PackABufLen(d.mc, d.kc))
+		for i := range buf {
+			buf[i] = math.NaN() // padding must be written, not inherited
+		}
+		n := bk.PackA(buf, kernel.SingleTerm(src), 2, 1, d.mc, d.kc)
+		if n != len(buf) {
+			t.Fatalf("PackA(mc=%d,kc=%d) wrote %d, want %d", d.mc, d.kc, n, len(buf))
+		}
+		if unpackA(bk, buf, d.mc, d.kc).MaxAbsDiff(src.View(2, 1, d.mc, d.kc).Clone()) != 0 {
+			t.Fatalf("single-term PackA(mc=%d,kc=%d) is not a relayout", d.mc, d.kc)
+		}
+		panels := (d.mc + mr - 1) / mr
+		for i := d.mc; i < panels*mr; i++ { // zero padding beyond mc
+			for p := 0; p < d.kc; p++ {
+				if v := buf[(i/mr)*mr*d.kc+p*mr+i%mr]; v != 0 {
+					t.Fatalf("PackA padding row %d col %d = %v, want 0", i, p, v)
+				}
+			}
+		}
+	}
+	for _, d := range []struct{ kc, nc int }{{1, 1}, {3, nr}, {5, nr + 1}, {8, 2*nr + 1}} {
+		src := matrix.New(d.kc+2, d.nc+3)
+		src.FillRand(rng)
+		buf := make([]float64, bk.PackBBufLen(d.kc, d.nc))
+		for i := range buf {
+			buf[i] = math.NaN()
+		}
+		n := bk.PackB(buf, kernel.SingleTerm(src), 1, 2, d.kc, d.nc)
+		if n != len(buf) {
+			t.Fatalf("PackB(kc=%d,nc=%d) wrote %d, want %d", d.kc, d.nc, n, len(buf))
+		}
+		if unpackB(bk, buf, d.kc, d.nc).MaxAbsDiff(src.View(1, 2, d.kc, d.nc).Clone()) != 0 {
+			t.Fatalf("single-term PackB(kc=%d,nc=%d) is not a relayout", d.kc, d.nc)
+		}
+		panels := (d.nc + nr - 1) / nr
+		for j := d.nc; j < panels*nr; j++ { // zero padding beyond nc
+			for p := 0; p < d.kc; p++ {
+				if v := buf[(j/nr)*d.kc*nr+p*nr+j%nr]; v != 0 {
+					t.Fatalf("PackB padding col %d row %d = %v, want 0", j, p, v)
+				}
+			}
+		}
+	}
+}
+
+// checkPackLinearCombination: packing a term list equals packing the
+// explicitly accumulated combination, and zero-coefficient terms are inert.
+func checkPackLinearCombination(t *testing.T, bk kernel.Backend) {
+	rng := rand.New(rand.NewSource(102))
+	mr := bk.MR()
+	mc, kc := 2*mr+1, 6
+	x, y, z := matrix.New(mc, kc), matrix.New(mc, kc), matrix.New(mc, kc)
+	x.FillRand(rng)
+	y.FillRand(rng)
+	z.FillRand(rng)
+	terms := []kernel.Term{{Coef: 1, M: x}, {Coef: -0.5, M: y}, {Coef: 0, M: z}}
+	want := x.Clone()
+	want.AddScaled(-0.5, y)
+	buf := make([]float64, bk.PackABufLen(mc, kc))
+	bk.PackA(buf, terms, 0, 0, mc, kc)
+	if d := unpackA(bk, buf, mc, kc).MaxAbsDiff(want); d > 1e-15 {
+		t.Fatalf("fused A combination differs from explicit sum by %g", d)
+	}
+	bbuf := make([]float64, bk.PackBBufLen(mc, kc))
+	bk.PackB(bbuf, []kernel.Term{{Coef: 0.25, M: x}, {Coef: 2, M: y}}, 0, 0, mc, kc)
+	wantB := matrix.New(mc, kc)
+	wantB.AddScaled(0.25, x)
+	wantB.AddScaled(2, y)
+	if d := unpackB(bk, bbuf, mc, kc).MaxAbsDiff(wantB); d > 1e-15 {
+		t.Fatalf("fused B combination differs from explicit sum by %g", d)
+	}
+}
+
+// checkPackBRange: packing panel sub-ranges covers exactly the whole-pack
+// result — the invariant the driver's parallel packB relies on.
+func checkPackBRange(t *testing.T, bk kernel.Backend) {
+	rng := rand.New(rand.NewSource(103))
+	nr := bk.NR()
+	kc, nc := 9, 4*nr+3
+	x, y := matrix.New(kc+1, nc+2), matrix.New(kc+1, nc+2)
+	x.FillRand(rng)
+	y.FillRand(rng)
+	terms := []kernel.Term{{Coef: 1, M: x}, {Coef: 0.5, M: y}}
+	whole := make([]float64, bk.PackBBufLen(kc, nc))
+	bk.PackB(whole, terms, 1, 2, kc, nc)
+	parts := make([]float64, bk.PackBBufLen(kc, nc))
+	panels := (nc + nr - 1) / nr
+	for lo := 0; lo < panels; { // uneven chunks
+		hi := lo + 1 + lo%2
+		if hi > panels {
+			hi = panels
+		}
+		bk.PackBRange(parts, terms, 1, 2, kc, nc, lo, hi)
+		lo = hi
+	}
+	for i := range whole {
+		if whole[i] != parts[i] {
+			t.Fatalf("chunked PackBRange differs from whole pack at %d", i)
+		}
+	}
+}
+
+// checkMicro: the micro-kernel's MR×NR rank-kc product matches the reference
+// triple loop, overwrites acc completely (kc=0 must yield a zero tile), and
+// never reads past kc panels.
+func checkMicro(t *testing.T, bk kernel.Backend) {
+	rng := rand.New(rand.NewSource(104))
+	mr, nr := bk.MR(), bk.NR()
+	for _, kc := range []int{0, 1, 2, 3, 7, 64} {
+		a, b := matrix.New(mr, max(kc, 1)), matrix.New(max(kc, 1), nr)
+		a.FillRand(rng)
+		b.FillRand(rng)
+		abuf := make([]float64, bk.PackABufLen(mr, max(kc, 1)))
+		bbuf := make([]float64, bk.PackBBufLen(max(kc, 1), nr))
+		bk.PackA(abuf, kernel.SingleTerm(a), 0, 0, mr, max(kc, 1))
+		bk.PackB(bbuf, kernel.SingleTerm(b), 0, 0, max(kc, 1), nr)
+		acc := make([]float64, mr*nr)
+		for i := range acc {
+			acc[i] = 1e300 // must be overwritten, not accumulated into
+		}
+		bk.Micro(kc, abuf, bbuf, acc)
+		want := matrix.New(mr, nr)
+		if kc > 0 {
+			matrix.MulAdd(want, a, b)
+		}
+		for i := 0; i < mr; i++ {
+			for j := 0; j < nr; j++ {
+				if d := math.Abs(acc[i*nr+j] - want.At(i, j)); d > 1e-12 {
+					t.Fatalf("kc=%d micro mismatch at (%d,%d): %g", kc, i, j, d)
+				}
+			}
+		}
+	}
+}
+
+// checkScatter: full and partial tiles accumulate coef·acc into exactly the
+// target region — neighbors of a view must be untouched.
+func checkScatter(t *testing.T, bk kernel.Backend) {
+	mr, nr := bk.MR(), bk.NR()
+	acc := make([]float64, mr*nr)
+	for i := range acc {
+		acc[i] = float64(i + 1)
+	}
+	host := matrix.New(mr+4, nr+4)
+	host.Fill(5)
+	bk.Scatter(host, 2, 3, -2, acc, mr, nr)
+	for i := 0; i < host.Rows; i++ {
+		for j := 0; j < host.Cols; j++ {
+			want := 5.0
+			if i >= 2 && i < 2+mr && j >= 3 && j < 3+nr {
+				want = 5 - 2*acc[(i-2)*nr+(j-3)]
+			}
+			if host.At(i, j) != want {
+				t.Fatalf("full-tile scatter (%d,%d)=%v, want %v", i, j, host.At(i, j), want)
+			}
+		}
+	}
+	// Partial fringe tile: mr-1 × nr-1 (when the tile has room to shrink).
+	pm, pn := max(mr-1, 1), max(nr-1, 1)
+	host2 := matrix.New(mr+2, nr+2)
+	bk.Scatter(host2, 0, 0, 1, acc, pm, pn)
+	for i := 0; i < host2.Rows; i++ {
+		for j := 0; j < host2.Cols; j++ {
+			want := 0.0
+			if i < pm && j < pn {
+				want = acc[i*nr+j]
+			}
+			if host2.At(i, j) != want {
+				t.Fatalf("partial scatter (%d,%d)=%v, want %v", i, j, host2.At(i, j), want)
+			}
+		}
+	}
+}
+
+// driverConfigs are the blocking configurations the driver-level checks run
+// under: minimal (every loop degenerate), deliberately unaligned to the
+// micro-tile, and parallel.
+func driverConfigs(bk kernel.Backend) []gemm.Config {
+	mr, nr := bk.MR(), bk.NR()
+	return []gemm.Config{
+		{MC: mr, KC: 1, NC: nr, Threads: 1, Kernel: bk.Name()},
+		{MC: 2*mr + 1, KC: 7, NC: 2*nr + 3, Threads: 1, Kernel: bk.Name()},
+		{MC: 3 * mr, KC: 5, NC: 3 * nr, Threads: 3, Kernel: bk.Name()},
+	}
+}
+
+// checkEdgeShapes sweeps the driver over every combination of edge dimensions
+// around the backend's own micro-tile — m,n,k ∈ {1, MR−1, MR, MR+1, …} — the
+// shapes where fringe handling, padding, and partial panels all bite.
+func checkEdgeShapes(t *testing.T, bk kernel.Backend) {
+	rng := rand.New(rand.NewSource(105))
+	mr, nr := bk.MR(), bk.NR()
+	dims := edgeDims(mr, nr)
+	for _, cfg := range driverConfigs(bk) {
+		ctx, err := gemm.NewContext(cfg)
+		if err != nil {
+			t.Fatalf("config %+v: %v", cfg, err)
+		}
+		for _, m := range dims {
+			for _, k := range dims {
+				for _, n := range dims {
+					a, b := matrix.New(m, k), matrix.New(k, n)
+					a.FillRand(rng)
+					b.FillRand(rng)
+					c := matrix.New(m, n)
+					c.FillRand(rng)
+					want := c.Clone()
+					matrix.MulAdd(want, a, b)
+					ctx.MulAdd(c, a, b)
+					if d := c.MaxAbsDiff(want); d > tol(k, 1, 1) {
+						t.Fatalf("cfg MC=%d KC=%d NC=%d threads=%d shape %d×%d×%d: diff %g",
+							cfg.MC, cfg.KC, cfg.NC, cfg.Threads, m, k, n, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// edgeDims returns the deduplicated positive edge sizes around mr and nr.
+func edgeDims(mr, nr int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range []int{1, mr - 1, mr, mr + 1, nr - 1, nr, nr + 1, 2*mr + 3, 33} {
+		if v >= 1 && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// checkFusedMultiTerm: the generalized fused operation — several weighted A,
+// B, and C terms, the paper's Figure-1 (right) building block — matches the
+// explicit naive evaluation.
+func checkFusedMultiTerm(t *testing.T, bk kernel.Backend) {
+	rng := rand.New(rand.NewSource(106))
+	mr, nr := bk.MR(), bk.NR()
+	m, k, n := 2*mr+3, 13, 2*nr+5
+	for _, cfg := range driverConfigs(bk) {
+		ctx := gemm.MustNewContext(cfg)
+		for trial := 0; trial < 4; trial++ {
+			aTerms := randTerms(rng, 1+trial%3, m, k)
+			bTerms := randTerms(rng, 1+(trial+1)%3, k, n)
+			cTerms := randTerms(rng, 1+(trial+2)%3, m, n)
+			// Explicit reference: asum·bsum scattered into every C term.
+			asum, bsum := matrix.New(m, k), matrix.New(k, n)
+			for _, tm := range aTerms {
+				asum.AddScaled(tm.Coef, tm.M)
+			}
+			for _, tm := range bTerms {
+				bsum.AddScaled(tm.Coef, tm.M)
+			}
+			prod := matrix.New(m, n)
+			matrix.MulAdd(prod, asum, bsum)
+			wants := make([]matrix.Mat, len(cTerms))
+			for i, tm := range cTerms {
+				wants[i] = tm.M.Clone()
+				wants[i].AddScaled(tm.Coef, prod)
+			}
+			ctx.FusedMulAdd(cTerms, aTerms, bTerms)
+			for i, tm := range cTerms {
+				if d := tm.M.MaxAbsDiff(wants[i]); d > tol(k, len(aTerms), len(bTerms)) {
+					t.Fatalf("trial %d C-term %d: fused vs explicit diff %g", trial, i, d)
+				}
+			}
+		}
+	}
+}
+
+// checkDriverDeterminism: serial and parallel executions of the same fused
+// call must agree bit-for-bit, and repeated runs must be bit-identical —
+// the invariants the serving layer's determinism contracts stand on. These
+// hold structurally for any conforming backend: each C element is written by
+// exactly one micro-tile, whichever worker computes it.
+func checkDriverDeterminism(t *testing.T, bk kernel.Backend) {
+	rng := rand.New(rand.NewSource(107))
+	mr, nr := bk.MR(), bk.NR()
+	m, k, n := 5*mr+1, 23, 5*nr+1
+	a, b := matrix.New(m, k), matrix.New(k, n)
+	a.FillRand(rng)
+	b.FillRand(rng)
+	serial := gemm.MustNewContext(gemm.Config{MC: 2 * mr, KC: 6, NC: 2 * nr, Threads: 1, Kernel: bk.Name()})
+	parallel := gemm.MustNewContext(gemm.Config{MC: 2 * mr, KC: 6, NC: 2 * nr, Threads: 4, Kernel: bk.Name()})
+	c1, c2, c3 := matrix.New(m, n), matrix.New(m, n), matrix.New(m, n)
+	serial.MulAdd(c1, a, b)
+	parallel.MulAdd(c2, a, b)
+	parallel.MulAdd(c3, a, b)
+	if d := c1.MaxAbsDiff(c2); d != 0 {
+		t.Fatalf("parallel result differs from serial by %g (must be bit-identical)", d)
+	}
+	if d := c2.MaxAbsDiff(c3); d != 0 {
+		t.Fatalf("repeated parallel runs differ by %g (must be bit-identical)", d)
+	}
+}
+
+// randTerms builds n random r×c terms with coefficients from a small exact
+// set (so reference accumulation stays comparable).
+func randTerms(rng *rand.Rand, n, r, c int) []kernel.Term {
+	coefs := []float64{1, -1, 0.5, -0.5, 2, 0.25}
+	out := make([]kernel.Term, n)
+	for i := range out {
+		m := matrix.New(r, c)
+		m.FillRand(rng)
+		out[i] = kernel.Term{Coef: coefs[rng.Intn(len(coefs))], M: m}
+	}
+	return out
+}
+
+// tol is the FLOP-scaled comparison tolerance for |fused − naive|: both sides
+// are float64 evaluations of the same polynomial in different association
+// orders, so the gap grows with the reduction depth k and the term counts.
+// Operands are in [−1, 1) and coefficients bounded by 2, so per-element
+// magnitude is bounded by 2·nA·2·nB·k ≈ 4·nA·nB·k.
+func tol(k, nA, nB int) float64 {
+	return 1e-14 * float64(k+16) * 4 * float64(nA) * float64(nB)
+}
+
+// FuzzDifferential registers a differential fuzz target for the named
+// backend: random shapes, coefficients, and term counts, driven through the
+// fused driver and compared against the naive reference with the FLOP-scaled
+// tolerance. The seed corpus pins the edge tiles plus a K-dominant shape.
+func FuzzDifferential(f *testing.F, name string) {
+	bk, err := kernel.Resolve(name)
+	if err != nil {
+		f.Fatalf("conformance: %v", err)
+	}
+	mr, nr := bk.MR(), bk.NR()
+	f.Add(int64(1), uint16(1), uint16(1), uint16(1), uint8(1), uint8(1), uint8(1))
+	f.Add(int64(2), uint16(mr+1), uint16(7), uint16(nr+1), uint8(2), uint8(2), uint8(3))
+	f.Add(int64(3), uint16(2*mr+3), uint16(96), uint16(2*nr+1), uint8(3), uint8(1), uint8(2))
+	f.Add(int64(4), uint16(40), uint16(513), uint16(52), uint8(2), uint8(2), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, m16, k16, n16 uint16, nA8, nB8, nC8 uint8) {
+		DifferentialCheck(t, name, seed, m16, k16, n16, nA8, nB8, nC8)
+	})
+}
+
+// DifferentialCheck is one differential-fuzz execution: it normalizes the
+// raw fuzz inputs into a bounded fused problem, runs it through the
+// backend's driver, and compares against the naive reference. Exported so
+// backend packages can replay interesting inputs as plain tests.
+func DifferentialCheck(t *testing.T, name string, seed int64, m16, k16, n16 uint16, nA8, nB8, nC8 uint8) {
+	t.Helper()
+	bk, err := kernel.Resolve(name)
+	if err != nil {
+		t.Fatalf("conformance: %v", err)
+	}
+	m := 1 + int(m16)%96
+	k := 1 + int(k16)%600
+	n := 1 + int(n16)%96
+	for m*k*n > 1<<21 { // bound the naive reference's cost per execution
+		k = k/2 + 1
+	}
+	nA := 1 + int(nA8)%3
+	nB := 1 + int(nB8)%3
+	nC := 1 + int(nC8)%3
+	rng := rand.New(rand.NewSource(seed))
+	aTerms := randTerms(rng, nA, m, k)
+	bTerms := randTerms(rng, nB, k, n)
+	cTerms := randTerms(rng, nC, m, n)
+
+	asum, bsum := matrix.New(m, k), matrix.New(k, n)
+	for _, tm := range aTerms {
+		asum.AddScaled(tm.Coef, tm.M)
+	}
+	for _, tm := range bTerms {
+		bsum.AddScaled(tm.Coef, tm.M)
+	}
+	prod := matrix.New(m, n)
+	matrix.MulAdd(prod, asum, bsum)
+	wants := make([]matrix.Mat, len(cTerms))
+	for i, tm := range cTerms {
+		wants[i] = tm.M.Clone()
+		wants[i].AddScaled(tm.Coef, prod)
+	}
+
+	mr, nr := bk.MR(), bk.NR()
+	us := uint64(seed)
+	cfg := gemm.Config{
+		MC:      mr * (1 + int((us>>1)%3)),
+		KC:      1 + int((us>>3)%24),
+		NC:      nr * (1 + int((us>>5)%3)),
+		Threads: 1 + int((us>>7)%3),
+		Kernel:  bk.Name(),
+	}
+	ctx, err := gemm.NewContext(cfg)
+	if err != nil {
+		t.Fatalf("config %+v: %v", cfg, err)
+	}
+	ctx.FusedMulAdd(cTerms, aTerms, bTerms)
+	limit := tol(k, nA, nB)
+	for i, tm := range cTerms {
+		if d := tm.M.MaxAbsDiff(wants[i]); d > limit {
+			t.Fatalf("backend %s shape %d×%d×%d terms %d/%d/%d cfg %+v: C-term %d fused vs naive diff %g > %g",
+				name, m, k, n, nA, nB, nC, cfg, i, d, limit)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package conformance_test
+
+import (
+	"testing"
+
+	"fmmfam/internal/kernel"
+	"fmmfam/internal/kernel/conformance"
+)
+
+// TestRegisteredBackendsConform runs the shared conformance suite once per
+// registered backend — the acceptance gate for the whole registry. CI runs
+// this explicitly in its matrix so a backend that stops conforming names
+// itself in the job output.
+func TestRegisteredBackendsConform(t *testing.T) {
+	names := kernel.Backends()
+	if len(names) < 2 {
+		t.Fatalf("expected at least the two built-in backends, registry has %v", names)
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) { conformance.Run(t, name) })
+	}
+}
+
+// Differential fuzz targets, one per built-in backend (go test -fuzz runs a
+// single target at a time, so each backend gets its own).
+
+func FuzzConformGo4x4(f *testing.F) { conformance.FuzzDifferential(f, "go4x4") }
+
+func FuzzConformGo8x4(f *testing.F) { conformance.FuzzDifferential(f, "go8x4") }

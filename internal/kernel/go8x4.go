@@ -1,0 +1,108 @@
+package kernel
+
+import "fmmfam/internal/matrix"
+
+// go8x4 is a second pure-Go backend with the paper's actual mR×nR = 8×4
+// register block: each micro-kernel invocation amortizes one load of the
+// four B values over eight rows of A (the 4×4 kernel amortizes over four),
+// halving B-panel traffic per flop. The 32 accumulators exceed amd64's
+// sixteen SSE registers, so unlike the paper's assembly some spill — this
+// backend exists to prove the Backend seam and to be the shape a future
+// AVX/asm backend drops into, not to win every benchmark.
+type go8x4 struct{}
+
+// Micro-tile dimensions of the go8x4 backend.
+const (
+	mr8x4 = 8
+	nr8x4 = 4
+)
+
+func init() { MustRegister(go8x4{}) }
+
+func (go8x4) Name() string { return "go8x4" }
+func (go8x4) MR() int      { return mr8x4 }
+func (go8x4) NR() int      { return nr8x4 }
+func (go8x4) Align() int   { return 1 }
+
+func (go8x4) PackA(dst []float64, terms []Term, r0, c0, mc, kc int) int {
+	return packAGeneric(mr8x4, dst, terms, r0, c0, mc, kc)
+}
+
+func (go8x4) PackB(dst []float64, terms []Term, r0, c0, kc, nc int) int {
+	return packBGeneric(nr8x4, dst, terms, r0, c0, kc, nc)
+}
+
+func (go8x4) PackBRange(dst []float64, terms []Term, r0, c0, kc, nc, panelLo, panelHi int) {
+	packBRangeGeneric(nr8x4, dst, terms, r0, c0, kc, nc, panelLo, panelHi)
+}
+
+// Micro computes the 8×4 rank-kc product of an Ã row-panel and a B̃
+// column-panel into acc (row-major 8×4, overwritten). The bounds checks on
+// the panel reads are hoisted to one full-slice expression per p iteration;
+// the accumulators are plain locals so the compiler keeps as many in
+// registers as the ISA allows.
+func (go8x4) Micro(kc int, ap, bp, acc []float64) {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	var c40, c41, c42, c43 float64
+	var c50, c51, c52, c53 float64
+	var c60, c61, c62, c63 float64
+	var c70, c71, c72, c73 float64
+	for p := 0; p < kc; p++ {
+		a := ap[p*mr8x4 : p*mr8x4+mr8x4 : p*mr8x4+mr8x4]
+		b := bp[p*nr8x4 : p*nr8x4+nr8x4 : p*nr8x4+nr8x4]
+		b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+		a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		a4, a5, a6, a7 := a[4], a[5], a[6], a[7]
+		c40 += a4 * b0
+		c41 += a4 * b1
+		c42 += a4 * b2
+		c43 += a4 * b3
+		c50 += a5 * b0
+		c51 += a5 * b1
+		c52 += a5 * b2
+		c53 += a5 * b3
+		c60 += a6 * b0
+		c61 += a6 * b1
+		c62 += a6 * b2
+		c63 += a6 * b3
+		c70 += a7 * b0
+		c71 += a7 * b1
+		c72 += a7 * b2
+		c73 += a7 * b3
+	}
+	acc = acc[: mr8x4*nr8x4 : mr8x4*nr8x4]
+	acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
+	acc[4], acc[5], acc[6], acc[7] = c10, c11, c12, c13
+	acc[8], acc[9], acc[10], acc[11] = c20, c21, c22, c23
+	acc[12], acc[13], acc[14], acc[15] = c30, c31, c32, c33
+	acc[16], acc[17], acc[18], acc[19] = c40, c41, c42, c43
+	acc[20], acc[21], acc[22], acc[23] = c50, c51, c52, c53
+	acc[24], acc[25], acc[26], acc[27] = c60, c61, c62, c63
+	acc[28], acc[29], acc[30], acc[31] = c70, c71, c72, c73
+}
+
+func (go8x4) Scatter(m matrix.Mat, r0, c0 int, coef float64, acc []float64, mr, nr int) {
+	scatterGeneric(nr8x4, m, r0, c0, coef, acc, mr, nr)
+}
+
+func (go8x4) PackABufLen(mc, kc int) int { return packABufLen(mr8x4, mc, kc) }
+func (go8x4) PackBBufLen(kc, nc int) int { return packBBufLen(nr8x4, kc, nc) }

@@ -11,12 +11,20 @@
 //
 // The kernel is pure Go (the paper uses SSE2/AVX assembly; see DESIGN.md §5
 // for why the substitution preserves the experiments' shape).
+//
+// Implementations are pluggable: the free functions below are the default
+// MR=NR=4 backend, and the Backend interface (backend.go) abstracts micro-tile
+// shape, packing, and the micro-kernel so alternative register blockings —
+// the 8×4 pure-Go backend in go8x4.go today, AVX/asm or cgo backends later —
+// can be registered and selected by name without touching the driver.
 package kernel
 
 import "fmmfam/internal/matrix"
 
-// Micro-tile dimensions. The packing layouts and the micro-kernel agree on
-// these; they play the role of the paper's mR×nR = 8×4 register block.
+// Micro-tile dimensions of the default backend. Its packing layouts and
+// micro-kernel agree on these; they play the role of the paper's mR×nR = 8×4
+// register block. Other backends carry their own tile shape via Backend.MR
+// and Backend.NR.
 const (
 	MR = 4
 	NR = 4
@@ -115,9 +123,12 @@ func PackBRange(dst []float64, terms []Term, r0, c0, kc, nc, panelLo, panelHi in
 }
 
 // Micro computes the MR×NR rank-kc product of an Ã row-panel and a B̃
-// column-panel into acc (row-major MR×NR). ap holds kc MR-element slices
-// (a[p*MR+i]); bp holds kc NR-element slices (b[p*NR+j]). The 16 accumulators
-// live in registers for the duration of the p-loop.
+// column-panel into acc (row-major MR×NR, overwritten). ap holds kc
+// MR-element slices (a[p*MR+i]); bp holds kc NR-element slices (b[p*NR+j]).
+// The 16 accumulators live in registers for the duration of the p-loop. The
+// array-pointer signature keeps the epilogue stores free of bounds checks —
+// at the plan path's short kc this is a measurable fraction of the call —
+// while the go4x4 Backend adapter converts the interface's slice form.
 func Micro(kc int, ap, bp []float64, acc *[MR * NR]float64) {
 	var c00, c01, c02, c03 float64
 	var c10, c11, c12, c13 float64
@@ -151,9 +162,10 @@ func Micro(kc int, ap, bp []float64, acc *[MR * NR]float64) {
 	acc[12], acc[13], acc[14], acc[15] = c30, c31, c32, c33
 }
 
-// Scatter adds coef·acc[0:mr,0:nr] to the mr×nr region of target m with
-// top-left corner (r0, c0). Called once per C-side term — the ABC variant's
-// "update multiple submatrices of C from registers".
+// Scatter adds coef·acc[0:mr,0:nr] (acc row-major with row stride NR) to the
+// mr×nr region of target m with top-left corner (r0, c0). Called once per
+// C-side term — the ABC variant's "update multiple submatrices of C from
+// registers".
 func Scatter(m matrix.Mat, r0, c0 int, coef float64, acc *[MR * NR]float64, mr, nr int) {
 	for i := 0; i < mr; i++ {
 		row := m.Data[(r0+i)*m.Stride+c0 : (r0+i)*m.Stride+c0+nr]

@@ -5,7 +5,9 @@
 package matrix
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 )
@@ -198,6 +200,22 @@ func (m Mat) MaxAbsDiff(x Mat) float64 {
 // EqualApprox reports whether every |m-x| element is within tol.
 func (m Mat) EqualApprox(x Mat, tol float64) bool {
 	return m.Rows == x.Rows && m.Cols == x.Cols && m.MaxAbsDiff(x) <= tol
+}
+
+// Fingerprint returns an FNV-1a hash of the matrix's exact bit pattern
+// (IEEE float64 bits, row-major). Two matrices fingerprint equal iff they
+// are bit-identical — the check behind the serving layer's determinism
+// contracts and the golden-pin tests.
+func (m Mat) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(m.At(i, j)))
+			h.Write(b[:])
+		}
+	}
+	return h.Sum64()
 }
 
 // FrobNorm returns the Frobenius norm of m.

@@ -324,3 +324,32 @@ func max(a, b int) int {
 	}
 	return b
 }
+
+func TestFingerprint(t *testing.T) {
+	a := New(3, 4)
+	a.Set(1, 2, 0.5)
+	b := a.Clone()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("bit-identical matrices must fingerprint equal")
+	}
+	// A view with a wide stride fingerprints like its tight clone: only the
+	// visible elements count.
+	host := New(6, 6)
+	host.Fill(7)
+	v := host.View(1, 1, 3, 4)
+	if v.Fingerprint() != v.Clone().Fingerprint() {
+		t.Fatal("view and tight clone must fingerprint equal")
+	}
+	b.Set(0, 0, 1e-300)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("differing bits must change the fingerprint")
+	}
+	// ±0 differ in bits, so they must differ in fingerprint — that is the
+	// point of a bit-level (not value-level) comparison.
+	z := New(1, 1)
+	nz := New(1, 1)
+	nz.Set(0, 0, math.Copysign(0, -1))
+	if z.Fingerprint() == nz.Fingerprint() {
+		t.Fatal("+0 and -0 must fingerprint differently")
+	}
+}

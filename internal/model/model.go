@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"fmmfam/internal/core"
 	"fmmfam/internal/fmmexec"
 	"fmmfam/internal/gemm"
+	"fmmfam/internal/kernel"
 	"fmmfam/internal/matrix"
 )
 
@@ -27,6 +29,14 @@ import (
 // reciprocal of peak flops/s, τb the amortized seconds per 8-byte element
 // moved from DRAM, λ ∈ [0.5,1] the prefetch efficiency of the C micro-tile
 // traffic, and {MC,KC,NC} the cache blocking of Figure 1.
+//
+// τa is a property of the micro-kernel as much as of the machine — the paper
+// bakes its assembly kernel's efficiency into the constant, and we bake in
+// the pure-Go backend's. Kernel records which registered backend the τ
+// constants describe ("" = unspecified, treated as the default backend);
+// ArchForKernel rescales τa when a different backend is put in use, so
+// BreakEvenSquare, ShardMakespan, and candidate ranking score the kernel
+// actually executing rather than a generic machine.
 type Arch struct {
 	TauA   float64
 	TauB   float64
@@ -34,6 +44,7 @@ type Arch struct {
 	MC     int
 	KC     int
 	NC     int
+	Kernel string
 }
 
 // PaperIvyBridge returns the machine of §5.1: one core of a Xeon E5-2680 v2
@@ -49,6 +60,72 @@ func PaperIvyBridge() Arch {
 		KC:     256,
 		NC:     4096,
 	}
+}
+
+// kernelEff maps registered backend names to their relative sustained flop
+// rate versus the default backend (default = 1.0): eff > 1 means the backend
+// retires flops faster, so its τa is smaller. Entries for the built-in
+// pure-Go backends were measured once with BenchmarkAblationKernel on the dev
+// container (best of repeated runs, kc=256); Calibrate supersedes the table
+// with a live measurement whenever it runs, so the constants only steer
+// selection until calibration happens. Guarded for RegisterKernelEfficiency.
+var kernelEff = struct {
+	sync.RWMutex
+	m map[string]float64
+}{m: map[string]float64{
+	"go4x4": 1.0,
+	"go8x4": 0.97, // wider tile halves B traffic but the 32 accumulators spill registers
+}}
+
+// RegisterKernelEfficiency records the relative flop rate of a registered
+// backend (1.0 = same sustained rate as the default backend). Backends added
+// by future PRs (AVX, cgo) register their measured ratio alongside
+// kernel.Register so model-driven selection prices them correctly before any
+// runtime calibration.
+func RegisterKernelEfficiency(name string, eff float64) error {
+	if name == "" || eff <= 0 {
+		return fmt.Errorf("model: bad kernel efficiency %q=%g", name, eff)
+	}
+	kernelEff.Lock()
+	kernelEff.m[name] = eff
+	kernelEff.Unlock()
+	return nil
+}
+
+// kernelEfficiency returns the registered relative flop rate of a backend;
+// unknown or empty names price like the default backend.
+func kernelEfficiency(name string) float64 {
+	if name == "" {
+		name = kernel.DefaultBackend
+	}
+	kernelEff.RLock()
+	defer kernelEff.RUnlock()
+	if e, ok := kernelEff.m[name]; ok {
+		return e
+	}
+	return 1.0
+}
+
+// ArchForKernel returns arch with τa rescaled to describe the named backend
+// (empty = default): τa′ = τa · eff(arch.Kernel)/eff(name). τb, λ, and the
+// blocking are machine properties and carry over unchanged. If arch already
+// describes the named backend — e.g. it came from Calibrate with the same
+// cfg.Kernel — it is returned as-is, preserving the measured constant. The
+// Multiplier applies this at construction so every model consumer
+// (BreakEvenSquare's tile floor, ShardMakespan's grid score, candidate
+// ranking) prices the backend in use.
+func ArchForKernel(arch Arch, name string) Arch {
+	bk, err := kernel.Resolve(name)
+	if err != nil {
+		return arch // unknown backend: leave pricing generic, selection still works
+	}
+	resolved := bk.Name()
+	if arch.Kernel == resolved {
+		return arch
+	}
+	arch.TauA *= kernelEfficiency(arch.Kernel) / kernelEfficiency(resolved)
+	arch.Kernel = resolved
+	return arch
 }
 
 // Stats are the composite quantities of an L-level algorithm that the model
@@ -330,9 +407,10 @@ const calibrateReps = 3
 
 // Calibrate measures this machine's τa and τb for the given gemm
 // configuration: τa from the effective flop rate of a square GEMM of size
-// probe (which bakes the pure-Go kernel's efficiency into the model, as the
-// paper bakes in its assembly kernel's), τb from a large strided
-// read-modify-write sweep. Each probe runs one untimed warm-up pass — the
+// probe — run through cfg.Kernel's backend, so the measured constant is
+// per-backend exactly as the paper bakes its assembly kernel's efficiency
+// into the model (the returned Arch.Kernel records which) — and τb from a
+// large strided read-modify-write sweep. Each probe runs one untimed warm-up pass — the
 // GEMM to populate workspace pools and caches, the sweep to fault in every
 // page of the fresh buffer, which would otherwise inflate τb well above
 // steady-state bandwidth — and then reports the best of three timed
@@ -382,5 +460,9 @@ func Calibrate(cfg gemm.Config, probe int) (Arch, error) {
 	if buf[0] != calibrateReps+1 {
 		return Arch{}, fmt.Errorf("model: unreachable")
 	}
-	return Arch{TauA: tauA, TauB: tauB, Lambda: 0.7, MC: cfg.MC, KC: cfg.KC, NC: cfg.NC}, nil
+	return Arch{
+		TauA: tauA, TauB: tauB, Lambda: 0.7,
+		MC: cfg.MC, KC: cfg.KC, NC: cfg.NC,
+		Kernel: ctx.Backend().Name(),
+	}, nil
 }

@@ -7,6 +7,7 @@ import (
 	"fmmfam/internal/core"
 	"fmmfam/internal/fmmexec"
 	"fmmfam/internal/gemm"
+	"fmmfam/internal/kernel"
 )
 
 func TestStatsOfStrassen(t *testing.T) {
@@ -336,5 +337,82 @@ func TestBreakEvenSquare(t *testing.T) {
 	}
 	if BreakEvenSquare(arch, nil) != 1<<15 {
 		t.Fatal("no candidates must return the ceiling")
+	}
+}
+
+// TestArchForKernel: rescaling prices the backend in use, round-trips, and
+// leaves already-matching or unknown-kernel arches untouched.
+func TestArchForKernel(t *testing.T) {
+	base := PaperIvyBridge()
+	if base.Kernel != "" {
+		t.Fatalf("paper arch claims kernel %q", base.Kernel)
+	}
+
+	def := ArchForKernel(base, "")
+	if def.Kernel != kernel.DefaultBackend {
+		t.Fatalf("empty kernel resolved to %q", def.Kernel)
+	}
+	// The default backend defines efficiency 1.0: τa must be unchanged.
+	if def.TauA != base.TauA {
+		t.Fatalf("default-backend rescale changed τa: %g → %g", base.TauA, def.TauA)
+	}
+	// τb, λ, blocking are machine properties — never rescaled.
+	if def.TauB != base.TauB || def.Lambda != base.Lambda || def.MC != base.MC {
+		t.Fatal("ArchForKernel touched machine-side parameters")
+	}
+
+	// A backend registered at 2× efficiency halves τa; converting back
+	// restores the original constant.
+	if err := RegisterKernelEfficiency("stub-model-test", 2.0); err != nil {
+		t.Fatal(err)
+	}
+	// RegisterKernelEfficiency alone is not enough — the backend must exist.
+	if got := ArchForKernel(base, "stub-model-test"); got != base {
+		t.Fatal("unregistered backend must leave arch unchanged")
+	}
+
+	// Idempotence: an arch already describing the target passes through.
+	again := ArchForKernel(def, kernel.DefaultBackend)
+	if again != def {
+		t.Fatal("matching-kernel rescale must be the identity")
+	}
+
+	// go8x4 round-trip: whatever its registered efficiency, converting
+	// there and back must restore τa (up to float rounding).
+	there := ArchForKernel(def, "go8x4")
+	if there.Kernel != "go8x4" {
+		t.Fatalf("kernel not recorded: %q", there.Kernel)
+	}
+	back := ArchForKernel(there, "go4x4")
+	if d := math.Abs(back.TauA-def.TauA) / def.TauA; d > 1e-12 {
+		t.Fatalf("τa round-trip drifted by %g", d)
+	}
+}
+
+func TestRegisterKernelEfficiencyRejectsBadInput(t *testing.T) {
+	if err := RegisterKernelEfficiency("", 1.0); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := RegisterKernelEfficiency("x", 0); err == nil {
+		t.Fatal("zero efficiency accepted")
+	}
+	if err := RegisterKernelEfficiency("x", -1); err == nil {
+		t.Fatal("negative efficiency accepted")
+	}
+}
+
+// TestCalibrateRecordsKernel: the measured arch names the backend it drove,
+// so ArchForKernel treats it as authoritative for that backend.
+func TestCalibrateRecordsKernel(t *testing.T) {
+	arch, err := Calibrate(gemm.Config{MC: 32, KC: 64, NC: 128, Threads: 1, Kernel: "go8x4"}, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arch.Kernel != "go8x4" {
+		t.Fatalf("calibrated arch records kernel %q, want go8x4", arch.Kernel)
+	}
+	// A calibrated arch for the backend in use passes through unchanged.
+	if got := ArchForKernel(arch, "go8x4"); got != arch {
+		t.Fatal("calibrated arch must be authoritative for its own backend")
 	}
 }

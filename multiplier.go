@@ -3,6 +3,7 @@ package fmmfam
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 
@@ -33,6 +34,10 @@ type Multiplier struct {
 	cfg  Config
 	arch Arch
 
+	// cfgErr is the construction-time Config.Validate result; every entry
+	// point returns it so an invalid multiplier fails fast and uniformly.
+	cfgErr error
+
 	plans *planCache
 
 	// redBufs is the bounded free list of K-split reduction buffers, rented
@@ -62,7 +67,12 @@ type Multiplier struct {
 
 // NewMultiplier returns a Multiplier using the given blocking/threads and
 // machine parameters for selection. Use PaperArch() when no calibration is
-// available; relative rankings transfer well across machines.
+// available; relative rankings transfer well across machines. The arch's τa
+// is rescaled for cfg.Kernel's backend (model.ArchForKernel) so plan
+// selection, the shard tile floor, and the shard grid score all price the
+// kernel actually in use; an arch from model.Calibrate with the same
+// cfg.Kernel passes through unchanged. An invalid cfg is reported by every
+// entry point's first call (see Config.Validate).
 func NewMultiplier(cfg Config, arch Arch) *Multiplier {
 	workers := cfg.Threads
 	if workers < 1 {
@@ -70,7 +80,8 @@ func NewMultiplier(cfg Config, arch Arch) *Multiplier {
 	}
 	return &Multiplier{
 		cfg:     cfg,
-		arch:    arch,
+		arch:    model.ArchForKernel(arch, cfg.Kernel),
+		cfgErr:  cfg.Validate(),
 		plans:   newPlanCache(cfg.planCacheCap()),
 		redBufs: make(chan []float64, 2*workers),
 	}
@@ -91,6 +102,9 @@ func checkMulDims(c, a, b Matrix) error {
 // pool instead of parallelizing one product's loops. Safe for concurrent
 // callers.
 func (mu *Multiplier) MulAdd(c, a, b Matrix) error {
+	if mu.cfgErr != nil {
+		return mu.cfgErr
+	}
 	if err := checkMulDims(c, a, b); err != nil {
 		return err
 	}
@@ -126,6 +140,9 @@ type BatchJob struct {
 // operands). It returns the join of all per-job errors; jobs after a failed
 // one still run.
 func (mu *Multiplier) MulAddBatch(jobs []BatchJob) error {
+	if mu.cfgErr != nil {
+		return mu.cfgErr
+	}
 	if len(jobs) == 0 {
 		return nil
 	}
@@ -451,7 +468,9 @@ func defaultCandidates() []Candidate {
 // MultiplyAsync: one lazily-initialized Multiplier with default parallel
 // blocking and the paper's machine model, shared by all callers so repeated
 // package-level calls hit the plan cache instead of rebuilding a plan per
-// call.
+// call. The FMMFAM_KERNEL environment variable selects its micro-kernel
+// backend (see Kernels); an unknown name is reported by every call through
+// the default multiplier rather than silently falling back.
 var defaultMultiplierOnce struct {
 	sync.Once
 	mu *Multiplier
@@ -459,7 +478,9 @@ var defaultMultiplierOnce struct {
 
 func defaultMultiplier() *Multiplier {
 	defaultMultiplierOnce.Do(func() {
-		defaultMultiplierOnce.mu = NewMultiplier(DefaultConfig().Parallel(), PaperArch())
+		cfg := DefaultConfig().Parallel()
+		cfg.Kernel = os.Getenv("FMMFAM_KERNEL")
+		defaultMultiplierOnce.mu = NewMultiplier(cfg, PaperArch())
 	})
 	return defaultMultiplierOnce.mu
 }
