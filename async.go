@@ -7,11 +7,15 @@ package fmmfam
 // are waiting, submitters block until a worker frees a slot, so a burst of
 // traffic cannot queue unbounded work. Jobs execute single-threaded through
 // the multiplier's serial twin — the same contract as MulAddBatch — so the
-// machine never runs more than QueueWorkers concurrent products.
+// machine never runs more than QueueWorkers concurrent products. Each
+// multiplier instantiation (float64 or float32) owns its own queue and
+// workers.
 
 import (
 	"errors"
 	"sync"
+
+	"fmmfam/internal/matrix"
 )
 
 // ErrClosed is reported by futures submitted after Close.
@@ -42,8 +46,8 @@ func resolvedFuture(err error) *Future {
 }
 
 // asyncJob is one queued submission.
-type asyncJob struct {
-	c, a, b Matrix
+type asyncJob[E matrix.Element] struct {
+	c, a, b matrix.Mat[E]
 	f       *Future
 }
 
@@ -51,8 +55,8 @@ type asyncJob struct {
 // The RWMutex orders submissions against Close: submitters hold the read
 // lock across the channel send, Close takes the write lock to flip closed
 // and close the queue, so a send never races a close.
-type asyncPool struct {
-	q  chan asyncJob
+type asyncPool[E matrix.Element] struct {
+	q  chan asyncJob[E]
 	wg sync.WaitGroup
 
 	mu     sync.RWMutex
@@ -61,9 +65,9 @@ type asyncPool struct {
 
 // asyncState lazily starts the pool: QueueWorkers goroutines draining a
 // QueueDepth-bounded channel, executing through the serial twin.
-func (mu *Multiplier) asyncState() *asyncPool {
+func (mu *GenericMultiplier[E]) asyncState() *asyncPool[E] {
 	mu.asyncOnce.Do(func() {
-		p := &asyncPool{q: make(chan asyncJob, mu.cfg.queueDepth())}
+		p := &asyncPool[E]{q: make(chan asyncJob[E], mu.cfg.queueDepth())}
 		exec := mu.serialMultiplier()
 		workers := mu.cfg.queueWorkers()
 		p.wg.Add(workers)
@@ -88,7 +92,7 @@ func (mu *Multiplier) asyncState() *asyncPool {
 // immediately without occupying a queue slot. The caller must not touch c
 // (nor mutate a or b) until the Future completes. Safe for concurrent
 // submitters.
-func (mu *Multiplier) MulAddAsync(c, a, b Matrix) *Future {
+func (mu *GenericMultiplier[E]) MulAddAsync(c, a, b matrix.Mat[E]) *Future {
 	if mu.cfgErr != nil {
 		return resolvedFuture(mu.cfgErr)
 	}
@@ -102,13 +106,13 @@ func (mu *Multiplier) MulAddAsync(c, a, b Matrix) *Future {
 		return resolvedFuture(ErrClosed)
 	}
 	f := &Future{done: make(chan struct{})}
-	p.q <- asyncJob{c: c, a: a, b: b, f: f}
+	p.q <- asyncJob[E]{c: c, a: a, b: b, f: f}
 	return f
 }
 
 // Close drains the async queue and stops its workers: it waits for every
 // already-submitted Future to complete, then returns. Submissions after
-// Close resolve immediately with ErrClosed — including on a Multiplier
+// Close resolve immediately with ErrClosed — including on a multiplier
 // whose async path was never used, since Close materializes the pool just
 // to mark it closed (its workers exit immediately). Close is idempotent and
 // safe to call concurrently with MulAddAsync submitters and with other
@@ -117,7 +121,7 @@ func (mu *Multiplier) MulAddAsync(c, a, b Matrix) *Future {
 // resolves with ErrClosed — never hangs or panics on a closed queue — and
 // no worker goroutine outlives Close. The synchronous MulAdd/MulAddBatch
 // paths are unaffected and remain usable after Close.
-func (mu *Multiplier) Close() error {
+func (mu *GenericMultiplier[E]) Close() error {
 	p := mu.asyncState()
 	p.mu.Lock()
 	if !p.closed {

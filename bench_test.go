@@ -25,12 +25,12 @@ import (
 
 const benchBase = 480 // m = n for benchmark problems
 
-func benchMulAdd(b *testing.B, m, k, n int, fn func(c, a, bm matrix.Mat)) {
+func benchMulAdd(b *testing.B, m, k, n int, fn func(c, a, bm matrix.Mat[float64])) {
 	b.Helper()
-	a, bm := matrix.New(m, k), matrix.New(k, n)
+	a, bm := matrix.New[float64](m, k), matrix.New[float64](k, n)
 	a.Fill(1.0 / 3)
 	bm.Fill(-2.0 / 3)
-	c := matrix.New(m, n)
+	c := matrix.New[float64](m, n)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fn(c, a, bm)
@@ -40,11 +40,11 @@ func benchMulAdd(b *testing.B, m, k, n int, fn func(c, a, bm matrix.Mat)) {
 	b.ReportMetric(model.EffectiveGFLOPS(m, k, n, secs), "effGFLOPS")
 }
 
-func planFor(b *testing.B, v fmmexec.Variant, threads int, levels ...core.Algorithm) *fmmexec.Plan {
+func planFor(b *testing.B, v fmmexec.Variant, threads int, levels ...core.Algorithm) *fmmexec.Plan[float64] {
 	b.Helper()
 	cfg := gemm.DefaultConfig()
 	cfg.Threads = threads
-	p, err := fmmexec.NewPlan(cfg, v, levels...)
+	p, err := fmmexec.NewPlan[float64](cfg, v, levels...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -53,10 +53,10 @@ func planFor(b *testing.B, v fmmexec.Variant, threads int, levels ...core.Algori
 
 // BenchmarkGEMMBaseline is the BLIS-style baseline all figures compare to.
 func BenchmarkGEMMBaseline(b *testing.B) {
-	ctx := gemm.MustNewContext(gemm.DefaultConfig())
+	ctx := gemm.MustNewContext[float64](gemm.DefaultConfig())
 	for _, k := range []int{benchBase / 3, benchBase} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
-			benchMulAdd(b, benchBase, k, benchBase, func(c, a, bm matrix.Mat) { ctx.MulAdd(c, a, bm) })
+			benchMulAdd(b, benchBase, k, benchBase, func(c, a, bm matrix.Mat[float64]) { ctx.MulAdd(c, a, bm) })
 		})
 	}
 }
@@ -161,13 +161,13 @@ func BenchmarkFigure10(b *testing.B) {
 	threads := runtime.GOMAXPROCS(0)
 	cfg := gemm.DefaultConfig()
 	cfg.Threads = threads
-	ctx := gemm.MustNewContext(cfg)
+	ctx := gemm.MustNewContext[float64](cfg)
 	algo := core.Strassen()
 	ours := planFor(b, fmmexec.ABC, threads, algo)
 	ref := planFor(b, fmmexec.Naive, threads, algo)
 	for _, k := range []int{benchBase / 3, benchBase} {
 		b.Run(fmt.Sprintf("gemm/k=%d", k), func(b *testing.B) {
-			benchMulAdd(b, benchBase, k, benchBase, func(c, a, bm matrix.Mat) { ctx.MulAdd(c, a, bm) })
+			benchMulAdd(b, benchBase, k, benchBase, func(c, a, bm matrix.Mat[float64]) { ctx.MulAdd(c, a, bm) })
 		})
 		b.Run(fmt.Sprintf("ours_ABC/k=%d", k), func(b *testing.B) {
 			benchMulAdd(b, benchBase, k, benchBase, ours.MulAdd)
@@ -188,14 +188,14 @@ func BenchmarkFigure10(b *testing.B) {
 func BenchmarkParallelThroughput(b *testing.B) {
 	const size = 192
 	mu := NewMultiplier(DefaultConfig(), PaperArch())
-	a, bm := matrix.New(size, size), matrix.New(size, size)
+	a, bm := matrix.New[float64](size, size), matrix.New[float64](size, size)
 	a.Fill(1.0 / 3)
 	bm.Fill(-2.0 / 3)
 	if _, err := mu.PlanFor(size, size, size); err != nil {
 		b.Fatal(err) // plan once so the measurement is steady-state
 	}
 	b.Run("callers=1", func(b *testing.B) {
-		c := matrix.New(size, size)
+		c := matrix.New[float64](size, size)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if err := mu.MulAdd(c, a, bm); err != nil {
@@ -208,7 +208,7 @@ func BenchmarkParallelThroughput(b *testing.B) {
 	})
 	b.Run(fmt.Sprintf("parallel_callers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
 		b.RunParallel(func(pb *testing.PB) {
-			c := matrix.New(size, size)
+			c := matrix.New[float64](size, size)
 			for pb.Next() {
 				if err := mu.MulAdd(c, a, bm); err != nil {
 					b.Error(err)
@@ -234,10 +234,10 @@ func BenchmarkBatchThroughput(b *testing.B) {
 	var flops float64
 	for rep := 0; rep < 4; rep++ {
 		for _, s := range shapes {
-			a, bm := matrix.New(s[0], s[1]), matrix.New(s[1], s[2])
+			a, bm := matrix.New[float64](s[0], s[1]), matrix.New[float64](s[1], s[2])
 			a.Fill(1.0 / 3)
 			bm.Fill(-2.0 / 3)
-			jobs = append(jobs, BatchJob{C: matrix.New(s[0], s[2]), A: a, B: bm})
+			jobs = append(jobs, BatchJob{C: matrix.New[float64](s[0], s[2]), A: a, B: bm})
 			flops += 2 * float64(s[0]) * float64(s[1]) * float64(s[2])
 		}
 	}
@@ -270,12 +270,12 @@ func BenchmarkShardedLarge(b *testing.B) {
 	if threads < 2 {
 		threads = 2 // sharding needs a pool; keep the comparison fair on 1 CPU
 	}
-	a, bm := matrix.New(size, size), matrix.New(size, size)
+	a, bm := matrix.New[float64](size, size), matrix.New[float64](size, size)
 	a.Fill(1.0 / 3)
 	bm.Fill(-2.0 / 3)
 	run := func(b *testing.B, cfg Config) {
 		mu := NewMultiplier(cfg, PaperArch())
-		c := matrix.New(size, size)
+		c := matrix.New[float64](size, size)
 		if err := mu.MulAdd(c, a, bm); err != nil { // warm the plan caches
 			b.Fatal(err)
 		}
@@ -322,12 +322,12 @@ func BenchmarkSharded3D(b *testing.B) {
 	if threads < 2 {
 		threads = 2 // sharding needs a pool; keep the comparison fair on 1 CPU
 	}
-	a, bm := matrix.New(mn, k), matrix.New(k, mn)
+	a, bm := matrix.New[float64](mn, k), matrix.New[float64](k, mn)
 	a.Fill(1.0 / 3)
 	bm.Fill(-2.0 / 3)
 	run := func(b *testing.B, cfg Config) {
 		mu := NewMultiplier(cfg, PaperArch())
-		c := matrix.New(mn, mn)
+		c := matrix.New[float64](mn, mn)
 		if err := mu.MulAdd(c, a, bm); err != nil { // warm the plan caches and pools
 			b.Fatal(err)
 		}
@@ -359,15 +359,15 @@ func BenchmarkAsyncThroughput(b *testing.B) {
 	mu := NewMultiplier(cfg, PaperArch())
 	defer mu.Close()
 	shapes := [][3]int{{192, 192, 192}, {192, 64, 192}, {128, 128, 128}}
-	type job struct{ c, a, b matrix.Mat }
+	type job struct{ c, a, b matrix.Mat[float64] }
 	var jobs []job
 	var flops float64
 	for rep := 0; rep < 8; rep++ {
 		for _, s := range shapes {
-			a, bm := matrix.New(s[0], s[1]), matrix.New(s[1], s[2])
+			a, bm := matrix.New[float64](s[0], s[1]), matrix.New[float64](s[1], s[2])
 			a.Fill(1.0 / 3)
 			bm.Fill(-2.0 / 3)
-			jobs = append(jobs, job{c: matrix.New(s[0], s[2]), a: a, b: bm})
+			jobs = append(jobs, job{c: matrix.New[float64](s[0], s[2]), a: a, b: bm})
 			flops += 2 * float64(s[0]) * float64(s[1]) * float64(s[2])
 		}
 	}
@@ -405,8 +405,8 @@ func BenchmarkAblationPeeling(b *testing.B) {
 // model.RegisterKernelEfficiency records) and the fused packing.
 func BenchmarkAblationKernel(b *testing.B) {
 	const kc = 256
-	for _, name := range kernel.Backends() {
-		bk := kernel.MustResolve(name)
+	for _, name := range kernel.BackendsFor(matrix.Float64) {
+		bk := kernel.MustResolve[float64](name)
 		ap := make([]float64, bk.PackABufLen(bk.MR(), kc))
 		bp := make([]float64, bk.PackBBufLen(kc, bk.NR()))
 		for i := range ap {
@@ -425,7 +425,7 @@ func BenchmarkAblationKernel(b *testing.B) {
 			b.ReportMetric(2*float64(bk.MR())*float64(bk.NR())*float64(kc)/secs*1e-9, "GFLOPS")
 		})
 	}
-	src1, src2 := matrix.New(96, kc), matrix.New(96, kc)
+	src1, src2 := matrix.New[float64](96, kc), matrix.New[float64](96, kc)
 	src1.Fill(1)
 	src2.Fill(2)
 	buf := make([]float64, kernel.PackABufLen(96, kc))
@@ -437,12 +437,51 @@ func BenchmarkAblationKernel(b *testing.B) {
 		}
 	})
 	b.Run("packA_fused2", func(b *testing.B) {
-		terms := []kernel.Term{{Coef: 1, M: src1}, {Coef: -1, M: src2}}
+		terms := []kernel.Term[float64]{{Coef: 1, M: src1}, {Coef: -1, M: src2}}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			kernel.PackA(buf, terms, 0, 0, 96, kc)
 		}
 	})
+}
+
+// BenchmarkAblationDtype runs the same GEMM shape at both element types
+// through every registered kernel backend — the ablation behind the model's
+// per-dtype τ pricing: float32 moves half the bytes per element, so its
+// effective GFLOPS ceiling sits higher wherever the driver is
+// bandwidth-bound, while the scalar pure-Go kernels retire both dtypes at
+// the same flop rate.
+func BenchmarkAblationDtype(b *testing.B) {
+	for _, name := range kernel.BackendsFor(matrix.Float64) {
+		name := name
+		b.Run("float64/"+name, func(b *testing.B) {
+			benchDtypeGEMM[float64](b, name, benchBase, benchBase, benchBase)
+		})
+	}
+	for _, name := range kernel.BackendsFor(matrix.Float32) {
+		name := name
+		b.Run("float32/"+name, func(b *testing.B) {
+			benchDtypeGEMM[float32](b, name, benchBase, benchBase, benchBase)
+		})
+	}
+}
+
+func benchDtypeGEMM[E matrix.Element](b *testing.B, kernelName string, m, k, n int) {
+	b.Helper()
+	cfg := gemm.DefaultConfig()
+	cfg.Kernel = kernelName
+	ctx := gemm.MustNewContext[E](cfg)
+	a, bm := matrix.New[E](m, k), matrix.New[E](k, n)
+	a.Fill(1.0 / 3)
+	bm.Fill(-2.0 / 3)
+	c := matrix.New[E](m, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.MulAdd(c, a, bm)
+	}
+	b.StopTimer()
+	secs := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(model.EffectiveGFLOPS(m, k, n, secs), "effGFLOPS")
 }
 
 // BenchmarkAblationVariants compares the three variants head-to-head at the

@@ -14,14 +14,21 @@
 //
 //	benchjson compare [-metric ns/op] [-threshold 0.10] old.json new.json
 //
-// Per benchmark name present in both documents, the best sample of the
-// metric is compared — the least-noise estimate of what the machine can do:
-// the minimum for lower-is-better metrics like ns/op, or the maximum with
-// -higher-better for throughput metrics like effGFLOPS — and the exit
-// status is nonzero when any shared benchmark regressed by more than the
-// threshold (default 10%). Benchmarks present on only one side are reported
-// but never fail the comparison, so adding or retiring benchmarks doesn't
-// break the gate.
+// Per benchmark name present in both documents, the *medians* of the
+// metric's samples are compared (oriented so a positive delta is always the
+// regression: slower for ns/op, lower with -higher-better for throughput
+// metrics like effGFLOPS), together with a simple 95% confidence interval
+// on the median difference (normal approximation: the standard error of a
+// median is ≈1.2533·σ/√n, the two sides' errors add in quadrature). The
+// exit status is nonzero only when a shared benchmark's median regressed by
+// more than the threshold (default 10%) AND the confidence interval
+// excludes zero — a single noisy sample on a loaded CI runner can no longer
+// fail the gate, while a consistent shift across samples still does. With
+// fewer than two samples on both sides no variance estimate exists; the
+// interval degenerates to the sign of the difference, reproducing the old
+// point-comparison behavior. Benchmarks present on only one side are
+// reported but never fail the comparison, so adding or retiring benchmarks
+// doesn't break the gate.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -96,52 +104,104 @@ scan:
 	return doc, sc.Err()
 }
 
-// bestByName reduces a document to the best sample of metric per benchmark
-// name — the minimum when lower is better (times, bytes), the maximum when
-// higher is better (throughput); names without that metric are skipped.
-func bestByName(doc Doc, metric string, higherBetter bool) map[string]float64 {
-	best := make(map[string]float64)
+// samplesByName collects every sample of metric per benchmark name (the
+// -count repetitions the converter deliberately keeps separate); names
+// without that metric are skipped.
+func samplesByName(doc Doc, metric string) map[string][]float64 {
+	out := make(map[string][]float64)
 	for _, b := range doc.Benchmarks {
-		v, ok := b.Metrics[metric]
-		if !ok {
-			continue
-		}
-		if cur, seen := best[b.Name]; !seen || (higherBetter && v > cur) || (!higherBetter && v < cur) {
-			best[b.Name] = v
+		if v, ok := b.Metrics[metric]; ok {
+			out[b.Name] = append(out[b.Name], v)
 		}
 	}
-	return best
+	return out
 }
+
+// median returns the middle of the sorted samples (mean of the middle two
+// for even counts). Panics on empty input; callers only pass non-empty sets.
+func median(samples []float64) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// seMedian estimates the standard error of the median under the normal
+// approximation, ≈1.2533·σ/√n with σ the sample standard deviation. With
+// fewer than two samples there is no variance estimate and it returns 0 —
+// the confidence interval collapses to a point and the gate degenerates to
+// a plain median comparison.
+func seMedian(samples []float64) float64 {
+	n := len(samples)
+	if n < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range samples {
+		mean += v
+	}
+	mean /= float64(n)
+	ss := 0.0
+	for _, v := range samples {
+		ss += (v - mean) * (v - mean)
+	}
+	sigma := math.Sqrt(ss / float64(n-1))
+	return 1.2533 * sigma / math.Sqrt(float64(n))
+}
+
+// ciZ is the two-sided 95% normal quantile used for the median-difference
+// confidence interval.
+const ciZ = 1.96
 
 // comparison is the result of diffing one shared benchmark.
 type comparison struct {
 	Name     string
-	Old, New float64
-	Delta    float64 // relative: (new-old)/old
+	Old, New float64 // medians of the metric's samples
+	Delta    float64 // relative median shift, positive = regression
+	Diff     float64 // absolute median shift, oriented positive = regression
+	SE       float64 // standard error of Diff (quadrature sum of both sides)
 }
 
-// compareDocs diffs the best samples of metric between two documents and
-// returns the shared-benchmark comparisons (sorted by name) plus the names
-// present on only one side. Delta is oriented so that positive always means
-// regression: (new-old)/old for lower-is-better metrics, negated for
-// higher-is-better ones.
+// excludesZero reports whether the 95% confidence interval of the oriented
+// median difference lies entirely above zero — the evidence bar a
+// regression must clear to fail the gate. With no variance estimate
+// (single samples) it reduces to Diff > 0.
+func (c comparison) excludesZero() bool {
+	return c.Diff-ciZ*c.SE > 0
+}
+
+// compareDocs diffs the per-name sample medians of metric between two
+// documents and returns the shared-benchmark comparisons (sorted by name)
+// plus the names present on only one side. Delta and Diff are oriented so
+// that positive always means regression: new−old for lower-is-better
+// metrics, negated for higher-is-better ones.
 func compareDocs(oldDoc, newDoc Doc, metric string, higherBetter bool) (shared []comparison, onlyOld, onlyNew []string) {
-	oldBest := bestByName(oldDoc, metric, higherBetter)
-	newBest := bestByName(newDoc, metric, higherBetter)
-	for name, nv := range newBest {
-		ov, ok := oldBest[name]
+	oldSamples := samplesByName(oldDoc, metric)
+	newSamples := samplesByName(newDoc, metric)
+	for name, ns := range newSamples {
+		os, ok := oldSamples[name]
 		if !ok {
 			onlyNew = append(onlyNew, name)
 			continue
 		}
-		delta := (nv - ov) / ov
+		ov, nv := median(os), median(ns)
+		diff := nv - ov
+		delta := diff / ov
 		if higherBetter {
-			delta = -delta
+			delta, diff = -delta, -diff
 		}
-		shared = append(shared, comparison{Name: name, Old: ov, New: nv, Delta: delta})
+		shared = append(shared, comparison{
+			Name: name, Old: ov, New: nv,
+			Delta: delta,
+			Diff:  diff,
+			SE:    math.Hypot(seMedian(os), seMedian(ns)),
+		})
 	}
-	for name := range oldBest {
-		if _, ok := newBest[name]; !ok {
+	for name := range oldSamples {
+		if _, ok := newSamples[name]; !ok {
 			onlyOld = append(onlyOld, name)
 		}
 	}
@@ -168,10 +228,10 @@ func loadDoc(path string) (Doc, error) {
 // threshold, 1 when one did, 2 on usage or I/O errors.
 func compareMain(args []string) int {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
-	metric := fs.String("metric", "ns/op", "metric to compare (best sample per name)")
+	metric := fs.String("metric", "ns/op", "metric to compare (median of samples per name)")
 	threshold := fs.Float64("threshold", 0.10, "relative regression that fails the comparison")
 	higherBetter := fs.Bool("higher-better", false,
-		"treat the metric as higher-is-better (throughput like effGFLOPS): best sample is the max and a drop is the regression")
+		"treat the metric as higher-is-better (throughput like effGFLOPS): a median drop is the regression")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -197,11 +257,18 @@ func compareMain(args []string) int {
 	var regressed []comparison
 	for _, c := range shared {
 		flag := ""
-		if c.Delta > *threshold {
+		switch {
+		case c.Delta > *threshold && c.excludesZero():
 			flag = "  REGRESSION"
 			regressed = append(regressed, c)
+		case c.Delta > *threshold:
+			flag = "  within noise (CI includes zero)"
 		}
-		fmt.Printf("%-60s %14.0f -> %14.0f  %+6.1f%%%s\n", c.Name, c.Old, c.New, 100*c.Delta, flag)
+		ci := ""
+		if c.SE > 0 && c.Old != 0 {
+			ci = fmt.Sprintf(" ±%.1f%%", 100*ciZ*c.SE/c.Old)
+		}
+		fmt.Printf("%-60s %14.0f -> %14.0f  %+6.1f%%%s%s\n", c.Name, c.Old, c.New, 100*c.Delta, ci, flag)
 	}
 	for _, name := range onlyOld {
 		fmt.Printf("%-60s only in old document\n", name)
@@ -210,11 +277,11 @@ func compareMain(args []string) int {
 		fmt.Printf("%-60s only in new document\n", name)
 	}
 	if len(regressed) > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% on %s\n",
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% on %s (median, 95%% CI excludes zero)\n",
 			len(regressed), 100**threshold, *metric)
 		return 1
 	}
-	fmt.Printf("OK: %d shared benchmark(s) within %.0f%% on %s\n", len(shared), 100**threshold, *metric)
+	fmt.Printf("OK: %d shared benchmark(s) without confirmed regression past %.0f%% on %s\n", len(shared), 100**threshold, *metric)
 	return 0
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -68,25 +69,28 @@ func doc(entries map[string][]float64) Doc {
 	return d
 }
 
-// TestCompareDocs: best-sample (minimum) aggregation, relative deltas, and
-// one-sided benchmarks reported separately without affecting the shared set.
+// TestCompareDocs: median aggregation, relative deltas, and one-sided
+// benchmarks reported separately without affecting the shared set.
 func TestCompareDocs(t *testing.T) {
 	oldDoc := doc(map[string][]float64{
-		"BenchmarkA":    {100, 110, 105}, // best 100
-		"BenchmarkB":    {200, 190},      // best 190
+		"BenchmarkA":    {100, 110, 105}, // median 105
+		"BenchmarkB":    {200, 190},      // median 195
 		"BenchmarkGone": {50},
 	})
 	newDoc := doc(map[string][]float64{
-		"BenchmarkA":   {125, 112}, // best 112: +12% vs 100
-		"BenchmarkB":   {180, 185}, // best 180: ~-5.3% vs 190
+		"BenchmarkA":   {125, 112}, // median 118.5: +12.86% vs 105
+		"BenchmarkB":   {180, 185}, // median 182.5: ~-6.4% vs 195
 		"BenchmarkNew": {70},
 	})
 	shared, onlyOld, onlyNew := compareDocs(oldDoc, newDoc, "ns/op", false)
 	if len(shared) != 2 || shared[0].Name != "BenchmarkA" || shared[1].Name != "BenchmarkB" {
 		t.Fatalf("shared = %+v", shared)
 	}
-	if shared[0].Old != 100 || shared[0].New != 112 || shared[0].Delta != 0.12 {
+	if shared[0].Old != 105 || shared[0].New != 118.5 || math.Abs(shared[0].Delta-13.5/105) > 1e-12 {
 		t.Fatalf("BenchmarkA comparison %+v", shared[0])
+	}
+	if shared[0].SE <= 0 {
+		t.Fatalf("BenchmarkA should carry a variance estimate, got %+v", shared[0])
 	}
 	if shared[1].Delta >= 0 {
 		t.Fatalf("BenchmarkB should improve, got %+v", shared[1])
@@ -96,6 +100,46 @@ func TestCompareDocs(t *testing.T) {
 	}
 	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew" {
 		t.Fatalf("onlyNew = %v", onlyNew)
+	}
+}
+
+// TestMedianAndSE pins the two estimators the gate stands on.
+func TestMedianAndSE(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+	if se := seMedian([]float64{5}); se != 0 {
+		t.Fatalf("single-sample SE = %v, want 0", se)
+	}
+	// σ of {9, 11} is √2, so SE ≈ 1.2533·√2/√2 = 1.2533.
+	if se := seMedian([]float64{9, 11}); math.Abs(se-1.2533) > 1e-9 {
+		t.Fatalf("two-sample SE = %v, want ≈1.2533", se)
+	}
+}
+
+// TestCompareCIGate: a median shift past the threshold fails the gate only
+// when the confidence interval excludes zero — one wild sample among stable
+// ones widens the interval enough to pass, while a consistent shift fails.
+func TestCompareCIGate(t *testing.T) {
+	stable := doc(map[string][]float64{"BenchmarkX": {100, 101, 99, 100, 100}})
+	// Consistent ~20% regression across samples: tight CI, must fail.
+	consistent := doc(map[string][]float64{"BenchmarkX": {120, 121, 119, 120, 120}})
+	shared, _, _ := compareDocs(stable, consistent, "ns/op", false)
+	if len(shared) != 1 || !(shared[0].Delta > 0.10) || !shared[0].excludesZero() {
+		t.Fatalf("consistent regression should be confirmed: %+v", shared)
+	}
+	// One wild outlier drags the median past the threshold only slightly
+	// while blowing up the variance: CI includes zero, must not fail.
+	noisy := doc(map[string][]float64{"BenchmarkX": {99, 100, 112, 113, 400}})
+	shared, _, _ = compareDocs(stable, noisy, "ns/op", false)
+	if len(shared) != 1 {
+		t.Fatalf("shared = %+v", shared)
+	}
+	if c := shared[0]; c.Delta > 0.10 && c.excludesZero() {
+		t.Fatalf("noisy shift should stay within the CI: %+v", c)
 	}
 }
 
@@ -115,12 +159,12 @@ func TestCompareDocsHigherBetter(t *testing.T) {
 		return d
 	}
 	oldDoc := mk(map[string][]float64{
-		"BenchmarkUp":   {8, 10}, // best 10
-		"BenchmarkDown": {10, 9}, // best 10
+		"BenchmarkUp":   {8, 10}, // median 9
+		"BenchmarkDown": {10, 9}, // median 9.5
 	})
 	newDoc := mk(map[string][]float64{
-		"BenchmarkUp":   {12, 11}, // best 12: +20% throughput = improvement
-		"BenchmarkDown": {8, 7.5}, // best 8: -20% throughput = regression
+		"BenchmarkUp":   {12, 11}, // median 11.5: throughput gain = improvement
+		"BenchmarkDown": {8, 7.5}, // median 7.75: ~-18% throughput = regression
 	})
 	shared, _, _ := compareDocs(oldDoc, newDoc, "effGFLOPS", true)
 	if len(shared) != 2 {
@@ -130,10 +174,10 @@ func TestCompareDocsHigherBetter(t *testing.T) {
 	for _, c := range shared {
 		byName[c.Name] = c
 	}
-	if c := byName["BenchmarkUp"]; c.Old != 10 || c.New != 12 || c.Delta >= 0 {
+	if c := byName["BenchmarkUp"]; c.Old != 9 || c.New != 11.5 || c.Delta >= 0 {
 		t.Fatalf("throughput gain misread as regression: %+v", c)
 	}
-	if c := byName["BenchmarkDown"]; c.Old != 10 || c.New != 8 || c.Delta <= 0.1 {
+	if c := byName["BenchmarkDown"]; c.Old != 9.5 || c.New != 7.75 || c.Delta <= 0.1 {
 		t.Fatalf("throughput drop not regression-positive: %+v", c)
 	}
 }

@@ -40,7 +40,7 @@ type runner struct {
 	cfg      gemm.Config
 	arch     model.Arch // calibrated to this machine
 	paperA   model.Arch // paper machine constants
-	planMemo map[string]*fmmexec.Plan
+	planMemo map[string]*fmmexec.Plan[float64]
 }
 
 func main() {
@@ -55,19 +55,19 @@ func main() {
 		threads:   *threads,
 		modelOnly: *modelOnly,
 		paperA:    model.PaperIvyBridge(),
-		planMemo:  map[string]*fmmexec.Plan{},
+		planMemo:  map[string]*fmmexec.Plan[float64]{},
 	}
 	r.cfg = gemm.DefaultConfig()
 	r.cfg.Threads = *threads
 	if !r.modelOnly {
-		arch, err := model.Calibrate(gemm.Config{MC: r.cfg.MC, KC: r.cfg.KC, NC: r.cfg.NC, Threads: 1}, 384)
+		arch, err := model.Calibrate[float64](gemm.Config{MC: r.cfg.MC, KC: r.cfg.KC, NC: r.cfg.NC, Threads: 1}, 384)
 		if err != nil {
 			fatal(err)
 		}
 		// Fit λ so the model matches a measured GEMM point (§4.2: "λ is
 		// adapted to match gemm performance").
 		probe := 480
-		ctx := gemm.MustNewContext(gemm.Config{MC: r.cfg.MC, KC: r.cfg.KC, NC: r.cfg.NC, Threads: 1})
+		ctx := gemm.MustNewContext[float64](gemm.Config{MC: r.cfg.MC, KC: r.cfg.KC, NC: r.cfg.NC, Threads: 1})
 		g := r.gemmGFLOPS(ctx, probe, probe, probe)
 		secs := 2 * float64(probe) * float64(probe) * float64(probe) / (g * 1e9)
 		r.arch = model.FitLambda(arch, probe, probe, probe, secs)
@@ -120,7 +120,7 @@ func (r *runner) base() int {
 }
 
 // plan returns a memoized plan.
-func (r *runner) plan(v fmmexec.Variant, threads int, levels ...core.Algorithm) *fmmexec.Plan {
+func (r *runner) plan(v fmmexec.Variant, threads int, levels ...core.Algorithm) *fmmexec.Plan[float64] {
 	key := fmt.Sprintf("%v|%d", v, threads)
 	for _, l := range levels {
 		key += "|" + l.String()
@@ -130,17 +130,17 @@ func (r *runner) plan(v fmmexec.Variant, threads int, levels ...core.Algorithm) 
 	}
 	cfg := r.cfg
 	cfg.Threads = threads
-	p := fmmexec.MustNewPlan(cfg, v, levels...)
+	p := fmmexec.MustNewPlan[float64](cfg, v, levels...)
 	r.planMemo[key] = p
 	return p
 }
 
 // measure times fn over the given problem and returns effective GFLOPS.
-func measure(m, k, n int, fn func(c, a, b matrix.Mat)) float64 {
-	a, b := matrix.New(m, k), matrix.New(k, n)
+func measure(m, k, n int, fn func(c, a, b matrix.Mat[float64])) float64 {
+	a, b := matrix.New[float64](m, k), matrix.New[float64](k, n)
 	a.Fill(1.0 / 3)
 	b.Fill(-2.0 / 3)
-	c := matrix.New(m, n)
+	c := matrix.New[float64](m, n)
 	best := 0.0
 	for rep := 0; rep < 2; rep++ {
 		c.Zero()
@@ -154,12 +154,12 @@ func measure(m, k, n int, fn func(c, a, b matrix.Mat)) float64 {
 	return best
 }
 
-func (r *runner) gemmGFLOPS(ctx *gemm.Context, m, k, n int) float64 {
-	return measure(m, k, n, func(c, a, b matrix.Mat) { ctx.MulAdd(c, a, b) })
+func (r *runner) gemmGFLOPS(ctx *gemm.Context[float64], m, k, n int) float64 {
+	return measure(m, k, n, func(c, a, b matrix.Mat[float64]) { ctx.MulAdd(c, a, b) })
 }
 
-func (r *runner) planGFLOPS(p *fmmexec.Plan, m, k, n int) float64 {
-	return measure(m, k, n, func(c, a, b matrix.Mat) { p.MulAdd(c, a, b) })
+func (r *runner) planGFLOPS(p *fmmexec.Plan[float64], m, k, n int) float64 {
+	return measure(m, k, n, func(c, a, b matrix.Mat[float64]) { p.MulAdd(c, a, b) })
 }
 
 // modelGFLOPS evaluates the model as effective GFLOPS.
@@ -183,7 +183,7 @@ func (r *runner) figure2() {
 	k2 := base * 5 / 6
 	fmt.Printf("# practical #1: m=n=%d k=%d; practical #2: m=n=%d k=%d; threads=%d\n", base, k1, base, k2, r.threads)
 	fmt.Println("shape\tmkn\tR_paper\tR_ours\ttheory_paper%\ttheory_ours%\tpractical1%\tpractical2%")
-	ctx := gemm.MustNewContext(r.cfg)
+	ctx := gemm.MustNewContext[float64](r.cfg)
 	var g1, g2 float64
 	if !r.modelOnly {
 		g1 = r.gemmGFLOPS(ctx, base, k1, base)
@@ -250,7 +250,7 @@ func (r *runner) figure6() {
 	fmt.Println("## Figure 6: one-level ABC/AB/Naive, m=n fixed, k sweep (actual & modeled)")
 	base := r.base()
 	ks := sweep(base/6, base, 6)
-	ctx := gemm.MustNewContext(r.cfg)
+	ctx := gemm.MustNewContext[float64](r.cfg)
 
 	// Modeled series at exact paper sizes for every catalog algorithm.
 	fmt.Println("# modeled, paper scale: m=n=14400, paper Ivy Bridge arch")
@@ -310,7 +310,7 @@ func (r *runner) figure7() {
 		fmt.Println()
 		return
 	}
-	ctx := gemm.MustNewContext(r.cfg)
+	ctx := gemm.MustNewContext[float64](r.cfg)
 	fmt.Printf("# actual, base=%d, threads=%d\n", base, r.threads)
 	fmt.Println("sweep\tshape\tx\tGFLOPS\tgemm_GFLOPS\tmodel_GFLOPS")
 	kfix := 256 // stands in for the paper's k=1024 = 4·kC at reduced scale
@@ -345,7 +345,7 @@ func (r *runner) figure8() {
 		return
 	}
 	base := r.base()
-	ctx := gemm.MustNewContext(r.cfg)
+	ctx := gemm.MustNewContext[float64](r.cfg)
 	// Candidate pool: subset shapes × {1,2} levels × 3 variants.
 	var cands []model.Candidate
 	for _, e := range fig6Algos() {
@@ -426,7 +426,7 @@ func (r *runner) figure9() {
 	for _, threads := range []int{1, runtime.GOMAXPROCS(0)} {
 		cfg := r.cfg
 		cfg.Threads = threads
-		ctx := gemm.MustNewContext(cfg)
+		ctx := gemm.MustNewContext[float64](cfg)
 		fmt.Printf("# k=%d, threads=%d\n", kfix, threads)
 		fmt.Println("impl\tmn\tGFLOPS\tgemm_GFLOPS")
 		for _, pl := range plans {
@@ -456,7 +456,7 @@ func (r *runner) figure10() {
 	base := r.base()
 	cfg := r.cfg
 	cfg.Threads = threads
-	ctx := gemm.MustNewContext(cfg)
+	ctx := gemm.MustNewContext[float64](cfg)
 	fmt.Printf("# threads=%d\n", threads)
 	fmt.Println("sweep\tshape\tx\tours_GFLOPS\treference_GFLOPS\tgemm_GFLOPS")
 	for _, e := range fig6Algos() {
@@ -490,7 +490,7 @@ func (r *runner) crossover() {
 	threads := runtime.GOMAXPROCS(0)
 	cfg := r.cfg
 	cfg.Threads = threads
-	ctx := gemm.MustNewContext(cfg)
+	ctx := gemm.MustNewContext[float64](cfg)
 	one := r.plan(fmmexec.ABC, threads, core.Strassen())
 	two := r.plan(fmmexec.ABC, threads, core.Strassen(), core.Strassen())
 	fmt.Printf("# threads=%d\n", threads)

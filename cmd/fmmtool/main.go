@@ -102,7 +102,7 @@ func cmdDescribe(args []string) {
 	fmt.Printf("%s  R=%d  (%s)\n", a.ShapeString(), a.R, a.Name)
 	for _, f := range []struct {
 		name string
-		m    matrix.Mat
+		m    matrix.Mat[float64]
 	}{{"U", a.U}, {"V", a.V}, {"W", a.W}} {
 		fmt.Printf("%s (%d×%d):\n%v\n", f.name, f.m.Rows, f.m.Cols, f.m)
 	}

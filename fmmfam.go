@@ -57,11 +57,24 @@ import (
 	"fmmfam/internal/model"
 )
 
+// Element is the type set of supported matrix element types
+// (float32 | float64); the generic entry points (NewGenericMultiplier,
+// matrix.Mat) are parameterized over it.
+type Element = matrix.Element
+
 // Matrix is a dense row-major float64 matrix; submatrix views share storage.
-type Matrix = matrix.Mat
+type Matrix = matrix.Mat[float64]
+
+// Matrix32 is the float32 matrix type of the single-precision surface:
+// half the memory per element, and the precision where fast algorithms win
+// earliest (see README "Precision").
+type Matrix32 = matrix.Mat[float32]
 
 // NewMatrix allocates a zeroed r×c matrix.
-func NewMatrix(r, c int) Matrix { return matrix.New(r, c) }
+func NewMatrix(r, c int) Matrix { return matrix.New[float64](r, c) }
+
+// NewMatrix32 allocates a zeroed r×c float32 matrix.
+func NewMatrix32(r, c int) Matrix32 { return matrix.New[float32](r, c) }
 
 // Algorithm is a one-level FMM algorithm ⟨m̃,k̃,ñ⟩ with coefficients ⟦U,V,W⟧.
 type Algorithm = core.Algorithm
@@ -129,6 +142,16 @@ type Config struct {
 	// seeing diverse shapes stay bounded. 0 means DefaultPlanCacheCap;
 	// negative means unbounded.
 	PlanCacheCap int
+
+	// Calibrate, when set, replaces the Arch passed to NewMultiplier with
+	// machine constants measured at construction time (model.Calibrate:
+	// a GEMM probe for τa through the configured kernel and a bandwidth
+	// sweep for τb, both at this multiplier's element type), cached
+	// process-wide per (kernel, dtype) so repeated constructions — including
+	// the internal serial twins — measure once. The FMMFAM_CALIBRATE=1
+	// environment variable enables the same behavior without recompiling.
+	// First-time calibration of a pair costs ~100ms.
+	Calibrate bool
 }
 
 // Serving-layer defaults for the zero Config knobs.
@@ -161,16 +184,23 @@ func (c Config) gemmConfig() gemm.Config {
 	return gemm.Config{MC: c.MC, KC: c.KC, NC: c.NC, Threads: c.Threads, Kernel: c.Kernel}
 }
 
-// Validate checks the configuration: the kernel backend must be registered,
-// the blocking must fit that backend's micro-tile (MC ≥ MR, KC ≥ 1,
-// NC ≥ NR) with at least one worker — those driver-facing rules are checked
-// by gemm.Config.Validate, the single source — and the serving knobs that
-// have no negative sentinel (ShardMinTile, QueueWorkers, QueueDepth) must
-// be non-negative. NewMultiplier records the result and surfaces it from
-// every entry point, so an invalid config fails fast instead of computing
-// with nonsense parameters.
+// Validate checks the configuration against the float64 surface: the kernel
+// backend must be registered for the dtype, the blocking must fit that
+// backend's micro-tile (MC ≥ MR, KC ≥ 1, NC ≥ NR) with at least one worker —
+// those driver-facing rules are checked by gemm.ValidateFor, the single
+// source — and the serving knobs that have no negative sentinel
+// (ShardMinTile, QueueWorkers, QueueDepth) must be non-negative.
+// NewMultiplier (and NewMultiplier32, which validates against the float32
+// registry instead) records the result and surfaces it from every entry
+// point, so an invalid config fails fast instead of computing with nonsense
+// parameters.
 func (c Config) Validate() error {
-	if err := c.gemmConfig().Validate(); err != nil {
+	return validateConfig[float64](c)
+}
+
+// validateConfig is Validate for one element type; see Config.Validate.
+func validateConfig[E matrix.Element](c Config) error {
+	if err := gemm.ValidateFor[E](c.gemmConfig()); err != nil {
 		return fmt.Errorf("fmmfam: %w", err)
 	}
 	if c.ShardMinTile < 0 {
@@ -231,8 +261,11 @@ func (c Config) planCacheCap() int {
 	}
 }
 
-// Plan is a ready-to-run FMM implementation; see NewPlan.
-type Plan = fmmexec.Plan
+// Plan is a ready-to-run float64 FMM implementation; see NewPlan.
+type Plan = fmmexec.Plan[float64]
+
+// Plan32 is a ready-to-run float32 FMM implementation; see NewPlan32.
+type Plan32 = fmmexec.Plan[float32]
 
 // Strassen returns the ⟨2,2,2⟩;7 algorithm with the paper's coefficients.
 func Strassen() Algorithm { return core.Strassen() }
@@ -247,10 +280,18 @@ type CatalogEntry = core.CatalogEntry
 // Catalog returns the Figure-2 family of evaluated partitions.
 func Catalog() []CatalogEntry { return core.Catalog() }
 
-// NewPlan builds an executable multi-level FMM plan. Levels are outermost
-// first; hybrid partitions simply pass different algorithms per level.
+// NewPlan builds an executable multi-level float64 FMM plan. Levels are
+// outermost first; hybrid partitions simply pass different algorithms per
+// level.
 func NewPlan(cfg Config, v Variant, levels ...Algorithm) (*Plan, error) {
-	return fmmexec.NewPlan(cfg.gemmConfig(), v, levels...)
+	return fmmexec.NewPlan[float64](cfg.gemmConfig(), v, levels...)
+}
+
+// NewPlan32 builds an executable multi-level float32 FMM plan — the same
+// ⟦U,V,W⟧ evaluation over float32 operands (the generated coefficients are
+// small exact rationals, so their float32 conversion is exact); see NewPlan.
+func NewPlan32(cfg Config, v Variant, levels ...Algorithm) (*Plan32, error) {
+	return fmmexec.NewPlan[float32](cfg.gemmConfig(), v, levels...)
 }
 
 // Arch holds performance-model machine parameters.
@@ -295,6 +336,27 @@ func MultiplyBatch(jobs []BatchJob) error {
 // async queue and returns a Future immediately; see Multiplier.MulAddAsync.
 func MultiplyAsync(c, a, b Matrix) *Future {
 	return defaultMultiplier().MulAddAsync(c, a, b)
+}
+
+// Multiply32 computes c += a·b at float32 through a lazily-initialized
+// shared default Multiplier32 — the single-precision twin of Multiply, with
+// its own plan cache and dtype-priced model selection. Safe for concurrent
+// callers; accuracy follows the FLOP-scaled float32 bounds of README
+// "Precision".
+func Multiply32(c, a, b Matrix32) error {
+	return defaultMultiplier32().MulAdd(c, a, b)
+}
+
+// MultiplyBatch32 runs many independent float32 multiplications through the
+// shared default Multiplier32's worker pool; see Multiplier.MulAddBatch.
+func MultiplyBatch32(jobs []BatchJob32) error {
+	return defaultMultiplier32().MulAddBatch(jobs)
+}
+
+// MultiplyAsync32 submits a float32 c += a·b to the shared default
+// Multiplier32's bounded async queue; see Multiplier.MulAddAsync.
+func MultiplyAsync32(c, a, b Matrix32) *Future {
+	return defaultMultiplier32().MulAddAsync(c, a, b)
 }
 
 // DiscoverProblem specifies a numerical search target; see Discover.

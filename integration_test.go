@@ -117,7 +117,7 @@ func TestModelAgreesWithMeasurementOrdering(t *testing.T) {
 	// Naive for a rank-k update matches measurement. Calibrate to this
 	// machine, predict both, measure both.
 	cfg := DefaultConfig()
-	arch, err := model.Calibrate(gemm.Config{MC: cfg.MC, KC: cfg.KC, NC: cfg.NC, Threads: 1}, 256)
+	arch, err := model.Calibrate[float64](gemm.Config{MC: cfg.MC, KC: cfg.KC, NC: cfg.NC, Threads: 1}, 256)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,7 +24,7 @@ func TestGenerateStrassenABCParses(t *testing.T) {
 	s := string(src)
 	for _, want := range []string{
 		"package strassen",
-		"func MulAdd(ctx *gemm.Context, c, a, b matrix.Mat)",
+		"func MulAdd(ctx *gemm.Context[float64], c, a, b matrix.Mat[float64])",
 		"R=7",
 		"func Predict(arch model.Arch",
 		"NnzU: 12",
@@ -36,7 +36,7 @@ func TestGenerateStrassenABCParses(t *testing.T) {
 		}
 	}
 	// ABC must not allocate temporaries.
-	if strings.Contains(s, "matrix.New(sm, sn)") {
+	if strings.Contains(s, "matrix.New[float64](sm, sn)") {
 		t.Fatal("ABC variant emitted a temporary")
 	}
 }

@@ -41,7 +41,7 @@ func Write(w io.Writer, a core.Algorithm) error {
 	fmt.Fprintf(bw, "%d %d %d %d\n", a.M, a.K, a.N, a.R)
 	for _, f := range []struct {
 		label string
-		m     matrix.Mat
+		m     matrix.Mat[float64]
 	}{{"U", a.U}, {"V", a.V}, {"W", a.W}} {
 		fmt.Fprintln(bw, f.label)
 		for i := 0; i < f.m.Rows; i++ {
@@ -113,25 +113,25 @@ func Read(r io.Reader) (core.Algorithm, error) {
 		*dst = v
 	}
 
-	readFactor := func(label string, rows int) (matrix.Mat, error) {
+	readFactor := func(label string, rows int) (matrix.Mat[float64], error) {
 		line, ok := next()
 		if !ok || line != label {
-			return matrix.Mat{}, fmt.Errorf("coeffio: expected %q section, got %q", label, line)
+			return matrix.Mat[float64]{}, fmt.Errorf("coeffio: expected %q section, got %q", label, line)
 		}
-		f := matrix.New(rows, rk)
+		f := matrix.New[float64](rows, rk)
 		for i := 0; i < rows; i++ {
 			line, ok := next()
 			if !ok {
-				return matrix.Mat{}, fmt.Errorf("coeffio: %s: unexpected EOF at row %d", label, i)
+				return matrix.Mat[float64]{}, fmt.Errorf("coeffio: %s: unexpected EOF at row %d", label, i)
 			}
 			fields := strings.Fields(line)
 			if len(fields) != rk {
-				return matrix.Mat{}, fmt.Errorf("coeffio: %s row %d: %d entries, want %d", label, i, len(fields), rk)
+				return matrix.Mat[float64]{}, fmt.Errorf("coeffio: %s row %d: %d entries, want %d", label, i, len(fields), rk)
 			}
 			for j, fstr := range fields {
 				v, err := parseEntry(fstr)
 				if err != nil {
-					return matrix.Mat{}, fmt.Errorf("coeffio: %s row %d: %w", label, i, err)
+					return matrix.Mat[float64]{}, fmt.Errorf("coeffio: %s row %d: %w", label, i, err)
 				}
 				f.Set(i, j, v)
 			}

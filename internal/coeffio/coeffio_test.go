@@ -181,13 +181,13 @@ func TestFormatEntry(t *testing.T) {
 func TestRoundTripPreservesSemantics(t *testing.T) {
 	// The imported algorithm must multiply correctly, not just verify.
 	got := roundTrip(t, core.Generate(2, 3, 2))
-	a := matrix.New(4, 6)
-	b := matrix.New(6, 4)
+	a := matrix.New[float64](4, 6)
+	b := matrix.New[float64](6, 4)
 	a.Fill(0.5)
 	b.Fill(-2)
-	c := matrix.New(4, 4)
+	c := matrix.New[float64](4, 4)
 	got.Apply(c, a, b)
-	want := matrix.New(4, 4)
+	want := matrix.New[float64](4, 4)
 	matrix.MulAdd(want, a, b)
 	if c.MaxAbsDiff(want) > 1e-12 {
 		t.Fatal("imported algorithm computes wrong product")

@@ -29,7 +29,7 @@ type Algorithm struct {
 	Name    string
 	M, K, N int
 	R       int
-	U, V, W matrix.Mat
+	U, V, W matrix.Mat[float64]
 }
 
 // Shape returns the partition dimensions ⟨M,K,N⟩.
@@ -49,7 +49,7 @@ func (a Algorithm) NNZ() (u, v, w int) {
 	return nnz(a.U), nnz(a.V), nnz(a.W)
 }
 
-func nnz(m matrix.Mat) int {
+func nnz(m matrix.Mat[float64]) int {
 	n := 0
 	for i := 0; i < m.Rows; i++ {
 		for j := 0; j < m.Cols; j++ {
@@ -142,7 +142,7 @@ func (a Algorithm) MustVerify() Algorithm {
 // naive reference multiply for the R submatrix products. It is the
 // executable semantics of the algorithm and the oracle against which the
 // high-performance executor is tested. Requires m%M == 0, k%K == 0, n%N == 0.
-func (a Algorithm) Apply(c, am, bm matrix.Mat) {
+func (a Algorithm) Apply(c, am, bm matrix.Mat[float64]) {
 	if am.Rows%a.M != 0 || am.Cols%a.K != 0 || bm.Cols%a.N != 0 {
 		panic(fmt.Sprintf("core: %s cannot partition %d×%d·%d×%d", a.ShapeString(), am.Rows, am.Cols, bm.Rows, bm.Cols))
 	}
@@ -151,9 +151,9 @@ func (a Algorithm) Apply(c, am, bm matrix.Mat) {
 	}
 	bm2 := bm
 	sm, sk, sn := am.Rows/a.M, am.Cols/a.K, bm.Cols/a.N
-	asum := matrix.New(sm, sk)
-	bsum := matrix.New(sk, sn)
-	prod := matrix.New(sm, sn)
+	asum := matrix.New[float64](sm, sk)
+	bsum := matrix.New[float64](sk, sn)
+	prod := matrix.New[float64](sm, sn)
 	for r := 0; r < a.R; r++ {
 		asum.Zero()
 		bsum.Zero()

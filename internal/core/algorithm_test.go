@@ -13,11 +13,11 @@ import (
 func checkApply(t *testing.T, a Algorithm, sm, sk, sn int, seed int64) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	am := matrix.New(a.M*sm, a.K*sk)
-	bm := matrix.New(a.K*sk, a.N*sn)
+	am := matrix.New[float64](a.M*sm, a.K*sk)
+	bm := matrix.New[float64](a.K*sk, a.N*sn)
 	am.FillRand(rng)
 	bm.FillRand(rng)
-	c := matrix.New(a.M*sm, a.N*sn)
+	c := matrix.New[float64](a.M*sm, a.N*sn)
 	c.FillRand(rng)
 	want := c.Clone()
 	matrix.MulAdd(want, am, bm)
@@ -107,7 +107,7 @@ func TestApplyPanicsOnIndivisible(t *testing.T) {
 		}
 	}()
 	a := Strassen()
-	a.Apply(matrix.New(3, 4), matrix.New(3, 4), matrix.New(4, 4))
+	a.Apply(matrix.New[float64](3, 4), matrix.New[float64](3, 4), matrix.New[float64](4, 4))
 }
 
 func TestMustVerifyPanicsOnInvalid(t *testing.T) {
@@ -117,6 +117,6 @@ func TestMustVerifyPanicsOnInvalid(t *testing.T) {
 		}
 	}()
 	a := Strassen()
-	a.U = matrix.New(4, 7) // all zeros
+	a.U = matrix.New[float64](4, 7) // all zeros
 	a.MustVerify()
 }

@@ -28,8 +28,8 @@ func Kron(a, b Algorithm) Algorithm {
 // factors whose rows are indexed by (row, col) pairs over ra×ca and rb×cb
 // grids: output row ((ra_i·rb + rb_i), (ca_j·cb + cb_j)) in the flattened
 // (ra·rb)×(ca·cb) grid, output column r1·Rb + r2.
-func kronFactor(fa, fb matrix.Mat, ra, ca, rb, cb int) matrix.Mat {
-	out := matrix.New(ra*rb*ca*cb, fa.Cols*fb.Cols)
+func kronFactor(fa, fb matrix.Mat[float64], ra, ca, rb, cb int) matrix.Mat[float64] {
+	out := matrix.New[float64](ra*rb*ca*cb, fa.Cols*fb.Cols)
 	for i1 := 0; i1 < ra; i1++ {
 		for j1 := 0; j1 < ca; j1++ {
 			rowA := fa.Data[(i1*ca+j1)*fa.Stride:]
@@ -95,8 +95,8 @@ func Transpose(a Algorithm) Algorithm {
 
 // swapRows reindexes the rows of f, which are addressed by pairs (x,y) over
 // an rows×cols grid, to the transposed addressing (y,x) over cols×rows.
-func swapRows(f matrix.Mat, rows, cols int) matrix.Mat {
-	out := matrix.New(f.Rows, f.Cols)
+func swapRows(f matrix.Mat[float64], rows, cols int) matrix.Mat[float64] {
+	out := matrix.New[float64](f.Rows, f.Cols)
 	for x := 0; x < rows; x++ {
 		for y := 0; y < cols; y++ {
 			src := f.Data[(x*cols+y)*f.Stride : (x*cols+y)*f.Stride+f.Cols]
@@ -149,11 +149,11 @@ func DirectSum(d Dim, a, b Algorithm) Algorithm {
 			panic("core: DirectSum(DimM) needs matching k,n")
 		}
 		m, k, n := a.M+b.M, a.K, a.N
-		u := matrix.New(m*k, r)
+		u := matrix.New[float64](m*k, r)
 		stackPair(u, a.U, b.U, a.M, k, b.M, k, a.R)
-		v := matrix.New(k*n, r)
+		v := matrix.New[float64](k*n, r)
 		concatCols(v, a.V, b.V)
-		w := matrix.New(m*n, r)
+		w := matrix.New[float64](m*n, r)
 		stackPair(w, a.W, b.W, a.M, n, b.M, n, a.R)
 		return Algorithm{Name: name, M: m, K: k, N: n, R: r, U: u, V: v, W: w}
 	case DimN:
@@ -161,11 +161,11 @@ func DirectSum(d Dim, a, b Algorithm) Algorithm {
 			panic("core: DirectSum(DimN) needs matching m,k")
 		}
 		m, k, n := a.M, a.K, a.N+b.N
-		u := matrix.New(m*k, r)
+		u := matrix.New[float64](m*k, r)
 		concatCols(u, a.U, b.U)
-		v := matrix.New(k*n, r)
+		v := matrix.New[float64](k*n, r)
 		interleavePair(v, a.V, b.V, k, a.N, b.N, a.R)
-		w := matrix.New(m*n, r)
+		w := matrix.New[float64](m*n, r)
 		interleavePair(w, a.W, b.W, m, a.N, b.N, a.R)
 		return Algorithm{Name: name, M: m, K: k, N: n, R: r, U: u, V: v, W: w}
 	case DimK:
@@ -173,11 +173,11 @@ func DirectSum(d Dim, a, b Algorithm) Algorithm {
 			panic("core: DirectSum(DimK) needs matching m,n")
 		}
 		m, k, n := a.M, a.K+b.K, a.N
-		u := matrix.New(m*k, r)
+		u := matrix.New[float64](m*k, r)
 		interleavePair(u, a.U, b.U, m, a.K, b.K, a.R)
-		v := matrix.New(k*n, r)
+		v := matrix.New[float64](k*n, r)
 		stackPair(v, a.V, b.V, a.K, n, b.K, n, a.R)
-		w := matrix.New(m*n, r)
+		w := matrix.New[float64](m*n, r)
 		concatCols(w, a.W, b.W)
 		return Algorithm{Name: name, M: m, K: k, N: n, R: r, U: u, V: v, W: w}
 	}
@@ -185,7 +185,7 @@ func DirectSum(d Dim, a, b Algorithm) Algorithm {
 }
 
 // concatCols writes [fa | fb] into dst (same row space, disjoint columns).
-func concatCols(dst, fa, fb matrix.Mat) {
+func concatCols(dst, fa, fb matrix.Mat[float64]) {
 	for i := 0; i < fa.Rows; i++ {
 		copy(dst.Data[i*dst.Stride:], fa.Data[i*fa.Stride:i*fa.Stride+fa.Cols])
 		copy(dst.Data[i*dst.Stride+fa.Cols:], fb.Data[i*fb.Stride:i*fb.Stride+fb.Cols])
@@ -195,7 +195,7 @@ func concatCols(dst, fa, fb matrix.Mat) {
 // stackPair places fa's rows (grid ra×ca) before fb's rows (grid rb×cb, with
 // ca == cb) in dst, fa occupying columns [0,colsA) and fb [colsA,R): the row
 // grids are stacked along the first coordinate.
-func stackPair(dst, fa, fb matrix.Mat, ra, ca, rb, cb, colsA int) {
+func stackPair(dst, fa, fb matrix.Mat[float64], ra, ca, rb, cb, colsA int) {
 	for i := 0; i < fa.Rows; i++ {
 		copy(dst.Data[i*dst.Stride:], fa.Data[i*fa.Stride:i*fa.Stride+fa.Cols])
 	}
@@ -207,7 +207,7 @@ func stackPair(dst, fa, fb matrix.Mat, ra, ca, rb, cb, colsA int) {
 // interleavePair merges row grids split along the *second* coordinate: dst
 // rows are indexed (x, y) over rows×(ca+cb); y < ca rows come from fa
 // (columns [0,colsA)), the rest from fb (columns [colsA,R)).
-func interleavePair(dst, fa, fb matrix.Mat, rows, ca, cb, colsA int) {
+func interleavePair(dst, fa, fb matrix.Mat[float64], rows, ca, cb, colsA int) {
 	for x := 0; x < rows; x++ {
 		for y := 0; y < ca; y++ {
 			copy(dst.Data[(x*(ca+cb)+y)*dst.Stride:], fa.Data[(x*ca+y)*fa.Stride:(x*ca+y)*fa.Stride+fa.Cols])

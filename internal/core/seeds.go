@@ -14,9 +14,9 @@ func Classical(m, k, n int) Algorithm {
 		panic(fmt.Sprintf("core: Classical(%d,%d,%d)", m, k, n))
 	}
 	r := m * k * n
-	u := matrix.New(m*k, r)
-	v := matrix.New(k*n, r)
-	w := matrix.New(m*n, r)
+	u := matrix.New[float64](m*k, r)
+	v := matrix.New[float64](k*n, r)
+	w := matrix.New[float64](m*n, r)
 	idx := 0
 	for im := 0; im < m; im++ {
 		for ik := 0; ik < k; ik++ {

@@ -89,16 +89,16 @@ func tensorNonzeros(m, k, n int) []nonzero {
 // factors is a working CP decomposition.
 type factors struct {
 	p       Problem
-	u, v, w matrix.Mat
+	u, v, w matrix.Mat[float64]
 	nz      []nonzero
 }
 
 func newFactors(p Problem, rng *rand.Rand) *factors {
 	f := &factors{
 		p:  p,
-		u:  matrix.New(p.M*p.K, p.R),
-		v:  matrix.New(p.K*p.N, p.R),
-		w:  matrix.New(p.M*p.N, p.R),
+		u:  matrix.New[float64](p.M*p.K, p.R),
+		v:  matrix.New[float64](p.K*p.N, p.R),
+		w:  matrix.New[float64](p.M*p.N, p.R),
 		nz: tensorNonzeros(p.M, p.K, p.N),
 	}
 	f.u.FillRand(rng)
@@ -152,7 +152,7 @@ func (f *factors) alsSweep(ridge float64) {
 // updateFactor solves, for every row x_i of target, the ridge system
 // (G + ridge·I)·x_i = b_i with G = (AᵀA)∘(BᵀB) and b_i[r] = Σ_nz A[a,r]·B[b,r]
 // over the tensor non-zeros whose target index is i.
-func (f *factors) updateFactor(target, fa, fb matrix.Mat, pick func(nonzero) (int, int, int), ridge float64) {
+func (f *factors) updateFactor(target, fa, fb matrix.Mat[float64], pick func(nonzero) (int, int, int), ridge float64) {
 	r := f.p.R
 	g := make([]float64, r*r)
 	ga := gram(fa)
@@ -188,7 +188,7 @@ func (f *factors) updateFactor(target, fa, fb matrix.Mat, pick func(nonzero) (in
 	}
 }
 
-func gram(m matrix.Mat) []float64 {
+func gram(m matrix.Mat[float64]) []float64 {
 	r := m.Cols
 	g := make([]float64, r*r)
 	for x := 0; x < r; x++ {
@@ -260,7 +260,7 @@ func (f *factors) canonicalize() {
 	}
 }
 
-func colMaxAbs(m matrix.Mat, c int) float64 {
+func colMaxAbs(m matrix.Mat[float64], c int) float64 {
 	v := 0.0
 	for i := 0; i < m.Rows; i++ {
 		if a := math.Abs(m.At(i, c)); a > v {
@@ -270,14 +270,14 @@ func colMaxAbs(m matrix.Mat, c int) float64 {
 	return v
 }
 
-func scaleCol(m matrix.Mat, c int, s float64) {
+func scaleCol(m matrix.Mat[float64], c int, s float64) {
 	for i := 0; i < m.Rows; i++ {
 		m.Set(i, c, m.At(i, c)*s)
 	}
 }
 
 // snap rounds every coefficient to the nearest half-integer in [-2, 2].
-func snap(m matrix.Mat) matrix.Mat {
+func snap(m matrix.Mat[float64]) matrix.Mat[float64] {
 	out := m.Clone()
 	for i := 0; i < out.Rows; i++ {
 		for j := 0; j < out.Cols; j++ {
@@ -298,7 +298,7 @@ func snap(m matrix.Mat) matrix.Mat {
 // solutions without forcing them.
 func (f *factors) blendTowardGrid(gamma float64) {
 	f.canonicalize()
-	for _, m := range []matrix.Mat{f.u, f.v, f.w} {
+	for _, m := range []matrix.Mat[float64]{f.u, f.v, f.w} {
 		for i := 0; i < m.Rows; i++ {
 			for j := 0; j < m.Cols; j++ {
 				v := m.At(i, j)
@@ -316,7 +316,7 @@ func (f *factors) blendTowardGrid(gamma float64) {
 
 // perturb adds uniform noise of the given amplitude to every factor entry.
 func (f *factors) perturb(rng *rand.Rand, amp float64) {
-	for _, m := range []matrix.Mat{f.u, f.v, f.w} {
+	for _, m := range []matrix.Mat[float64]{f.u, f.v, f.w} {
 		for i := 0; i < m.Rows; i++ {
 			for j := 0; j < m.Cols; j++ {
 				m.Add(i, j, amp*(2*rng.Float64()-1))

@@ -11,6 +11,11 @@
 //	ABC   — AB plus the fused micro-kernel that adds each register tile of
 //	        Mr directly into every target submatrix of C (no temporaries).
 //
+// Plans are generic over the element type: Plan[float64] is the historical
+// bit-stable executor, Plan[float32] evaluates the same ⟦U,V,W⟧ (whose
+// coefficients are small exact rationals, so the float64→float32 coefficient
+// conversion is exact for every generated algorithm) over float32 operands.
+//
 // Matrix sizes that are not multiples of the composite partition are handled
 // by dynamic peeling [16]: the divisible core runs the FMM, the fringes run
 // plain GEMM through the same driver, requiring no extra workspace.
@@ -55,9 +60,9 @@ type coefIdx struct {
 	coef float64
 }
 
-// Plan is a ready-to-run FMM implementation: per-level algorithms composed
-// into a flat algorithm, a variant, and the precomputed non-zero column
-// lists of ⟦U,V,W⟧. Create with NewPlan.
+// Plan is a ready-to-run FMM implementation for one element type: per-level
+// algorithms composed into a flat algorithm, a variant, and the precomputed
+// non-zero column lists of ⟦U,V,W⟧. Create with NewPlan.
 //
 // Concurrency contract: a Plan is immutable after construction and safe for
 // unlimited concurrent callers. The mutable scratch of the Naive and AB
@@ -66,17 +71,17 @@ type coefIdx struct {
 // its packing workspaces the same way, so concurrent MulAdd calls never
 // share state. Each call additionally parallelizes internally across the
 // configured worker count.
-type Plan struct {
+type Plan[E matrix.Element] struct {
 	Levels  []core.Algorithm
 	Flat    core.Algorithm
 	Variant Variant
 
-	ctx *gemm.Context
+	ctx *gemm.Context[E]
 
 	uCols, vCols, wCols [][]coefIdx
 
-	// states maps stateKey → *sync.Pool of *execState: per-call scratch for
-	// the Naive and AB variants, keyed by block shape so a pooled state's
+	// states maps stateKey → *sync.Pool of *execState[E]: per-call scratch
+	// for the Naive and AB variants, keyed by block shape so a pooled state's
 	// backing arrays always fit exactly and mixed-shape callers do not
 	// thrash one another's buffers.
 	states sync.Map
@@ -85,8 +90,8 @@ type Plan struct {
 // execState is the mutable per-call scratch of the Naive and AB variants:
 // the explicit operand sums ΣuᵢAᵢ, ΣvⱼBⱼ and the product temporary Mr. The
 // ABC variant fuses all three away and needs no state.
-type execState struct {
-	asum, bsum, mtmp matrix.Mat
+type execState[E matrix.Element] struct {
+	asum, bsum, mtmp matrix.Mat[E]
 }
 
 // stateKey identifies the submatrix-block shape (sm×sk)·(sk×sn) an execState
@@ -95,20 +100,20 @@ type stateKey struct{ sm, sk, sn int }
 
 // stateFor rents an execState for block shape (sm, sk, sn); release returns
 // it to the shape's pool.
-func (p *Plan) stateFor(sm, sk, sn int) (st *execState, release func()) {
+func (p *Plan[E]) stateFor(sm, sk, sn int) (st *execState[E], release func()) {
 	key := stateKey{sm, sk, sn}
 	v, ok := p.states.Load(key)
 	if !ok {
-		v, _ = p.states.LoadOrStore(key, &sync.Pool{New: func() any { return new(execState) }})
+		v, _ = p.states.LoadOrStore(key, &sync.Pool{New: func() any { return new(execState[E]) }})
 	}
 	pool := v.(*sync.Pool)
-	st = pool.Get().(*execState)
+	st = pool.Get().(*execState[E])
 	return st, func() { pool.Put(st) }
 }
 
 // NewPlan composes the given per-level algorithms (outermost first) into an
 // executable plan. Every level must verify; at least one level is required.
-func NewPlan(cfg gemm.Config, variant Variant, levels ...core.Algorithm) (*Plan, error) {
+func NewPlan[E matrix.Element](cfg gemm.Config, variant Variant, levels ...core.Algorithm) (*Plan[E], error) {
 	if len(levels) == 0 {
 		return nil, fmt.Errorf("fmmexec: no levels")
 	}
@@ -120,11 +125,11 @@ func NewPlan(cfg gemm.Config, variant Variant, levels ...core.Algorithm) (*Plan,
 			return nil, fmt.Errorf("fmmexec: level %d: %w", i, err)
 		}
 	}
-	ctx, err := gemm.NewContext(cfg)
+	ctx, err := gemm.NewContext[E](cfg)
 	if err != nil {
 		return nil, err
 	}
-	p := &Plan{
+	p := &Plan[E]{
 		Levels:  append([]core.Algorithm(nil), levels...),
 		Flat:    core.KronAll(levels...),
 		Variant: variant,
@@ -137,8 +142,8 @@ func NewPlan(cfg gemm.Config, variant Variant, levels ...core.Algorithm) (*Plan,
 }
 
 // MustNewPlan is NewPlan for known-good inputs.
-func MustNewPlan(cfg gemm.Config, variant Variant, levels ...core.Algorithm) *Plan {
-	p, err := NewPlan(cfg, variant, levels...)
+func MustNewPlan[E matrix.Element](cfg gemm.Config, variant Variant, levels ...core.Algorithm) *Plan[E] {
+	p, err := NewPlan[E](cfg, variant, levels...)
 	if err != nil {
 		panic(err)
 	}
@@ -146,7 +151,7 @@ func MustNewPlan(cfg gemm.Config, variant Variant, levels ...core.Algorithm) *Pl
 }
 
 // columns extracts the non-zero (row, coef) list of every column.
-func columns(m matrix.Mat) [][]coefIdx {
+func columns(m matrix.Mat[float64]) [][]coefIdx {
 	out := make([][]coefIdx, m.Cols)
 	for r := 0; r < m.Cols; r++ {
 		for i := 0; i < m.Rows; i++ {
@@ -159,7 +164,7 @@ func columns(m matrix.Mat) [][]coefIdx {
 }
 
 // String describes the plan, e.g. "<2,2,2>+<3,3,3> ABC".
-func (p *Plan) String() string {
+func (p *Plan[E]) String() string {
 	s := ""
 	for i, l := range p.Levels {
 		if i > 0 {
@@ -172,11 +177,11 @@ func (p *Plan) String() string {
 
 // Context exposes the plan's gemm context (e.g. for running the baseline
 // with identical blocking).
-func (p *Plan) Context() *gemm.Context { return p.ctx }
+func (p *Plan[E]) Context() *gemm.Context[E] { return p.ctx }
 
 // MulAdd computes c += a·b. Arbitrary sizes are supported via dynamic
 // peeling; inputs may be views. c must not alias a or b.
-func (p *Plan) MulAdd(c, a, b matrix.Mat) {
+func (p *Plan[E]) MulAdd(c, a, b matrix.Mat[E]) {
 	m, k, n := a.Rows, a.Cols, b.Cols
 	if b.Rows != k || c.Rows != m || c.Cols != n {
 		panic(fmt.Sprintf("fmmexec: dims C(%d×%d) += A(%d×%d)·B(%d×%d)", c.Rows, c.Cols, m, k, b.Rows, n))
@@ -213,27 +218,29 @@ func (p *Plan) MulAdd(c, a, b matrix.Mat) {
 }
 
 // mulCore runs the iterative FMM of (5) on a region whose dimensions divide
-// evenly by the composite partition.
-func (p *Plan) mulCore(ws *gemm.Workspace, c, a, b matrix.Mat) {
+// evenly by the composite partition. The ⟦U,V,W⟧ coefficients are small
+// exact rationals (±1, ±1/2, ±1/4, …), so the E(coef) conversions below are
+// exact for float32 as well as float64.
+func (p *Plan[E]) mulCore(ws *gemm.Workspace[E], c, a, b matrix.Mat[E]) {
 	mt, kt, nt := p.Flat.M, p.Flat.K, p.Flat.N
 	sm, sk, sn := a.Rows/mt, a.Cols/kt, b.Cols/nt
 	switch p.Variant {
 	case ABC:
-		aTerms := make([]gemm.Term, 0, 8)
-		bTerms := make([]gemm.Term, 0, 8)
-		cTerms := make([]gemm.Term, 0, 8)
+		aTerms := make([]gemm.Term[E], 0, 8)
+		bTerms := make([]gemm.Term[E], 0, 8)
+		cTerms := make([]gemm.Term[E], 0, 8)
 		for r := 0; r < p.Flat.R; r++ {
 			aTerms = aTerms[:0]
 			for _, ci := range p.uCols[r] {
-				aTerms = append(aTerms, gemm.Term{Coef: ci.coef, M: a.Block(ci.idx/kt, ci.idx%kt, mt, kt)})
+				aTerms = append(aTerms, gemm.Term[E]{Coef: E(ci.coef), M: a.Block(ci.idx/kt, ci.idx%kt, mt, kt)})
 			}
 			bTerms = bTerms[:0]
 			for _, ci := range p.vCols[r] {
-				bTerms = append(bTerms, gemm.Term{Coef: ci.coef, M: b.Block(ci.idx/nt, ci.idx%nt, kt, nt)})
+				bTerms = append(bTerms, gemm.Term[E]{Coef: E(ci.coef), M: b.Block(ci.idx/nt, ci.idx%nt, kt, nt)})
 			}
 			cTerms = cTerms[:0]
 			for _, ci := range p.wCols[r] {
-				cTerms = append(cTerms, gemm.Term{Coef: ci.coef, M: c.Block(ci.idx/nt, ci.idx%nt, mt, nt)})
+				cTerms = append(cTerms, gemm.Term[E]{Coef: E(ci.coef), M: c.Block(ci.idx/nt, ci.idx%nt, mt, nt)})
 			}
 			p.ctx.FusedMulAddWS(ws, cTerms, aTerms, bTerms)
 		}
@@ -241,21 +248,21 @@ func (p *Plan) mulCore(ws *gemm.Workspace, c, a, b matrix.Mat) {
 		st, release := p.stateFor(sm, sk, sn)
 		defer release()
 		st.mtmp = grow(st.mtmp, sm, sn)
-		aTerms := make([]gemm.Term, 0, 8)
-		bTerms := make([]gemm.Term, 0, 8)
+		aTerms := make([]gemm.Term[E], 0, 8)
+		bTerms := make([]gemm.Term[E], 0, 8)
 		for r := 0; r < p.Flat.R; r++ {
 			aTerms = aTerms[:0]
 			for _, ci := range p.uCols[r] {
-				aTerms = append(aTerms, gemm.Term{Coef: ci.coef, M: a.Block(ci.idx/kt, ci.idx%kt, mt, kt)})
+				aTerms = append(aTerms, gemm.Term[E]{Coef: E(ci.coef), M: a.Block(ci.idx/kt, ci.idx%kt, mt, kt)})
 			}
 			bTerms = bTerms[:0]
 			for _, ci := range p.vCols[r] {
-				bTerms = append(bTerms, gemm.Term{Coef: ci.coef, M: b.Block(ci.idx/nt, ci.idx%nt, kt, nt)})
+				bTerms = append(bTerms, gemm.Term[E]{Coef: E(ci.coef), M: b.Block(ci.idx/nt, ci.idx%nt, kt, nt)})
 			}
 			st.mtmp.Zero()
 			p.ctx.FusedMulAddWS(ws, gemm.SingleTerm(st.mtmp), aTerms, bTerms)
 			for _, ci := range p.wCols[r] {
-				p.addScaled(c.Block(ci.idx/nt, ci.idx%nt, mt, nt), ci.coef, st.mtmp)
+				p.addScaled(c.Block(ci.idx/nt, ci.idx%nt, mt, nt), E(ci.coef), st.mtmp)
 			}
 		}
 	case Naive:
@@ -267,16 +274,16 @@ func (p *Plan) mulCore(ws *gemm.Workspace, c, a, b matrix.Mat) {
 		for r := 0; r < p.Flat.R; r++ {
 			st.asum.Zero()
 			for _, ci := range p.uCols[r] {
-				p.addScaled(st.asum, ci.coef, a.Block(ci.idx/kt, ci.idx%kt, mt, kt))
+				p.addScaled(st.asum, E(ci.coef), a.Block(ci.idx/kt, ci.idx%kt, mt, kt))
 			}
 			st.bsum.Zero()
 			for _, ci := range p.vCols[r] {
-				p.addScaled(st.bsum, ci.coef, b.Block(ci.idx/nt, ci.idx%nt, kt, nt))
+				p.addScaled(st.bsum, E(ci.coef), b.Block(ci.idx/nt, ci.idx%nt, kt, nt))
 			}
 			st.mtmp.Zero()
 			p.ctx.MulAddWS(ws, st.mtmp, st.asum, st.bsum)
 			for _, ci := range p.wCols[r] {
-				p.addScaled(c.Block(ci.idx/nt, ci.idx%nt, mt, nt), ci.coef, st.mtmp)
+				p.addScaled(c.Block(ci.idx/nt, ci.idx%nt, mt, nt), E(ci.coef), st.mtmp)
 			}
 		}
 	}
@@ -289,7 +296,7 @@ const addScaledParThreshold = 1 << 15
 // addScaled computes dst += coef·src, splitting rows across the plan's
 // workers for large operands — the explicit submatrix additions of the Naive
 // and AB variants are memory-bound streams that parallelize like the packing.
-func (p *Plan) addScaled(dst matrix.Mat, coef float64, src matrix.Mat) {
+func (p *Plan[E]) addScaled(dst matrix.Mat[E], coef E, src matrix.Mat[E]) {
 	threads := p.ctx.Config().Threads
 	if threads <= 1 || dst.Rows*dst.Cols < addScaledParThreshold || dst.Rows < threads {
 		dst.AddScaled(coef, src)
@@ -313,9 +320,9 @@ func (p *Plan) addScaled(dst matrix.Mat, coef float64, src matrix.Mat) {
 
 // grow returns a matrix of exactly r×c, reusing ws's backing array when it is
 // large enough.
-func grow(ws matrix.Mat, r, c int) matrix.Mat {
+func grow[E matrix.Element](ws matrix.Mat[E], r, c int) matrix.Mat[E] {
 	if cap(ws.Data) >= r*c {
-		return matrix.Mat{Rows: r, Cols: c, Stride: c, Data: ws.Data[:r*c]}
+		return matrix.Mat[E]{Rows: r, Cols: c, Stride: c, Data: ws.Data[:r*c]}
 	}
-	return matrix.New(r, c)
+	return matrix.New[E](r, c)
 }

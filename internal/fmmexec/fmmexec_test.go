@@ -13,13 +13,13 @@ import (
 
 func smallCfg() gemm.Config { return gemm.Config{MC: 8, KC: 8, NC: 16, Threads: 1} }
 
-func check(t *testing.T, p *Plan, m, k, n int, seed int64) {
+func check(t *testing.T, p *Plan[float64], m, k, n int, seed int64) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	a, b := matrix.New(m, k), matrix.New(k, n)
+	a, b := matrix.New[float64](m, k), matrix.New[float64](k, n)
 	a.FillRand(rng)
 	b.FillRand(rng)
-	c := matrix.New(m, n)
+	c := matrix.New[float64](m, n)
 	c.FillRand(rng)
 	want := c.Clone()
 	matrix.MulAdd(want, a, b)
@@ -31,7 +31,7 @@ func check(t *testing.T, p *Plan, m, k, n int, seed int64) {
 
 func TestOneLevelStrassenAllVariants(t *testing.T) {
 	for _, v := range Variants {
-		p := MustNewPlan(smallCfg(), v, core.Strassen())
+		p := MustNewPlan[float64](smallCfg(), v, core.Strassen())
 		check(t, p, 16, 16, 16, 1)
 		check(t, p, 32, 16, 24, 2)
 	}
@@ -39,7 +39,7 @@ func TestOneLevelStrassenAllVariants(t *testing.T) {
 
 func TestDynamicPeelingAllResidues(t *testing.T) {
 	// Every residue combination modulo the <2,2,2> partition.
-	p := MustNewPlan(smallCfg(), ABC, core.Strassen())
+	p := MustNewPlan[float64](smallCfg(), ABC, core.Strassen())
 	seed := int64(10)
 	for dm := 0; dm < 2; dm++ {
 		for dk := 0; dk < 2; dk++ {
@@ -52,20 +52,20 @@ func TestDynamicPeelingAllResidues(t *testing.T) {
 }
 
 func TestOddPartitionPeeling(t *testing.T) {
-	p := MustNewPlan(smallCfg(), ABC, core.Generate(2, 3, 2))
+	p := MustNewPlan[float64](smallCfg(), ABC, core.Generate(2, 3, 2))
 	for _, s := range [][3]int{{13, 17, 11}, {6, 9, 4}, {7, 8, 9}} {
 		check(t, p, s[0], s[1], s[2], 77)
 	}
 }
 
 func TestProblemSmallerThanPartition(t *testing.T) {
-	p := MustNewPlan(smallCfg(), ABC, core.Strassen(), core.Strassen(), core.Strassen())
+	p := MustNewPlan[float64](smallCfg(), ABC, core.Strassen(), core.Strassen(), core.Strassen())
 	check(t, p, 5, 5, 5, 3) // 8×8×8 partition > problem → plain GEMM path
 }
 
 func TestTwoLevelStrassenAllVariants(t *testing.T) {
 	for _, v := range Variants {
-		p := MustNewPlan(smallCfg(), v, core.Strassen(), core.Strassen())
+		p := MustNewPlan[float64](smallCfg(), v, core.Strassen(), core.Strassen())
 		if p.Flat.R != 49 {
 			t.Fatalf("two-level rank %d", p.Flat.R)
 		}
@@ -75,14 +75,14 @@ func TestTwoLevelStrassenAllVariants(t *testing.T) {
 
 func TestHybridPartitions(t *testing.T) {
 	// The paper's Figure-9 hybrids: <2,2,2>+<2,3,2> and <2,2,2>+<3,3,3>.
-	h1 := MustNewPlan(smallCfg(), ABC, core.Strassen(), core.Generate(2, 3, 2))
+	h1 := MustNewPlan[float64](smallCfg(), ABC, core.Strassen(), core.Generate(2, 3, 2))
 	if h1.Flat.M != 4 || h1.Flat.K != 6 || h1.Flat.N != 4 {
 		t.Fatalf("hybrid shape %s", h1.Flat.ShapeString())
 	}
 	check(t, h1, 12, 18, 12, 5)
 	check(t, h1, 25, 31, 17, 6)
 
-	h2 := MustNewPlan(smallCfg(), AB, core.Strassen(), core.Generate(3, 3, 3))
+	h2 := MustNewPlan[float64](smallCfg(), AB, core.Strassen(), core.Generate(3, 3, 3))
 	check(t, h2, 24, 36, 18, 7)
 }
 
@@ -91,19 +91,19 @@ func TestAllCatalogShapesOneLevelABC(t *testing.T) {
 		t.Skip("catalog sweep in -short mode")
 	}
 	for _, e := range core.Catalog() {
-		p := MustNewPlan(smallCfg(), ABC, e.Algorithm)
+		p := MustNewPlan[float64](smallCfg(), ABC, e.Algorithm)
 		check(t, p, e.M*5+1, e.K*5+2, e.N*5+1, int64(e.M*100+e.K*10+e.N))
 	}
 }
 
 func TestParallelPlanMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
-	a, b := matrix.New(52, 38), matrix.New(38, 44)
+	a, b := matrix.New[float64](52, 38), matrix.New[float64](38, 44)
 	a.FillRand(rng)
 	b.FillRand(rng)
-	c1, c2 := matrix.New(52, 44), matrix.New(52, 44)
-	ps := MustNewPlan(gemm.Config{MC: 8, KC: 8, NC: 16, Threads: 1}, ABC, core.Strassen())
-	pp := MustNewPlan(gemm.Config{MC: 8, KC: 8, NC: 16, Threads: 4}, ABC, core.Strassen())
+	c1, c2 := matrix.New[float64](52, 44), matrix.New[float64](52, 44)
+	ps := MustNewPlan[float64](gemm.Config{MC: 8, KC: 8, NC: 16, Threads: 1}, ABC, core.Strassen())
+	pp := MustNewPlan[float64](gemm.Config{MC: 8, KC: 8, NC: 16, Threads: 4}, ABC, core.Strassen())
 	ps.MulAdd(c1, a, b)
 	pp.MulAdd(c2, a, b)
 	if d := c1.MaxAbsDiff(c2); d != 0 {
@@ -113,13 +113,13 @@ func TestParallelPlanMatchesSerial(t *testing.T) {
 
 func TestVariantsAgreeExactly(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	a, b := matrix.New(24, 18), matrix.New(18, 12)
+	a, b := matrix.New[float64](24, 18), matrix.New[float64](18, 12)
 	a.FillRand(rng)
 	b.FillRand(rng)
-	var results []matrix.Mat
+	var results []matrix.Mat[float64]
 	for _, v := range Variants {
-		c := matrix.New(24, 12)
-		MustNewPlan(smallCfg(), v, core.Generate(2, 3, 2)).MulAdd(c, a, b)
+		c := matrix.New[float64](24, 12)
+		MustNewPlan[float64](smallCfg(), v, core.Generate(2, 3, 2)).MulAdd(c, a, b)
 		results = append(results, c)
 	}
 	// All variants compute the same bilinear formula; tiny differences can
@@ -131,14 +131,14 @@ func TestVariantsAgreeExactly(t *testing.T) {
 
 func TestAccumulatesIntoC(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
-	a, b := matrix.New(8, 8), matrix.New(8, 8)
+	a, b := matrix.New[float64](8, 8), matrix.New[float64](8, 8)
 	a.FillRand(rng)
 	b.FillRand(rng)
-	c := matrix.New(8, 8)
+	c := matrix.New[float64](8, 8)
 	c.Fill(1)
-	p := MustNewPlan(smallCfg(), ABC, core.Strassen())
+	p := MustNewPlan[float64](smallCfg(), ABC, core.Strassen())
 	p.MulAdd(c, a, b)
-	want := matrix.New(8, 8)
+	want := matrix.New[float64](8, 8)
 	want.Fill(1)
 	matrix.MulAdd(want, a, b)
 	if d := c.MaxAbsDiff(want); d > 1e-10 {
@@ -152,14 +152,14 @@ func TestAccumulatesIntoC(t *testing.T) {
 // concurrent calls.
 func TestPlanConcurrentMulAdd(t *testing.T) {
 	rng := rand.New(rand.NewSource(30))
-	type job struct{ a, b, want matrix.Mat }
+	type job struct{ a, b, want matrix.Mat[float64] }
 	sizes := [][3]int{{16, 16, 16}, {24, 20, 28}, {15, 17, 13}, {32, 8, 32}}
 	jobs := make([]job, len(sizes))
 	for i, s := range sizes {
-		a, b := matrix.New(s[0], s[1]), matrix.New(s[1], s[2])
+		a, b := matrix.New[float64](s[0], s[1]), matrix.New[float64](s[1], s[2])
 		a.FillRand(rng)
 		b.FillRand(rng)
-		want := matrix.New(s[0], s[2])
+		want := matrix.New[float64](s[0], s[2])
 		matrix.MulAdd(want, a, b)
 		jobs[i] = job{a, b, want}
 	}
@@ -167,7 +167,7 @@ func TestPlanConcurrentMulAdd(t *testing.T) {
 		v := v
 		t.Run(v.String(), func(t *testing.T) {
 			t.Parallel()
-			p := MustNewPlan(gemm.Config{MC: 8, KC: 8, NC: 16, Threads: 2}, v, core.Strassen())
+			p := MustNewPlan[float64](gemm.Config{MC: 8, KC: 8, NC: 16, Threads: 2}, v, core.Strassen())
 			var wg sync.WaitGroup
 			for g := 0; g < 6; g++ {
 				wg.Add(1)
@@ -175,7 +175,7 @@ func TestPlanConcurrentMulAdd(t *testing.T) {
 					defer wg.Done()
 					for it := 0; it < 4; it++ {
 						j := jobs[(g+it)%len(jobs)]
-						c := matrix.New(j.want.Rows, j.want.Cols)
+						c := matrix.New[float64](j.want.Rows, j.want.Cols)
 						p.MulAdd(c, j.a, j.b)
 						if d := c.MaxAbsDiff(j.want); d > 1e-9 {
 							t.Errorf("goroutine %d: diff %g", g, d)
@@ -190,7 +190,7 @@ func TestPlanConcurrentMulAdd(t *testing.T) {
 }
 
 func TestWorkspaceReuseAcrossCalls(t *testing.T) {
-	p := MustNewPlan(smallCfg(), Naive, core.Strassen())
+	p := MustNewPlan[float64](smallCfg(), Naive, core.Strassen())
 	check(t, p, 16, 16, 16, 11)
 	check(t, p, 32, 32, 32, 12) // grow
 	check(t, p, 8, 8, 8, 13)    // shrink (reuse)
@@ -198,38 +198,38 @@ func TestWorkspaceReuseAcrossCalls(t *testing.T) {
 }
 
 func TestNewPlanErrors(t *testing.T) {
-	if _, err := NewPlan(smallCfg(), ABC); err == nil {
+	if _, err := NewPlan[float64](smallCfg(), ABC); err == nil {
 		t.Fatal("empty levels accepted")
 	}
-	if _, err := NewPlan(smallCfg(), Variant(9), core.Strassen()); err == nil {
+	if _, err := NewPlan[float64](smallCfg(), Variant(9), core.Strassen()); err == nil {
 		t.Fatal("bad variant accepted")
 	}
 	bad := core.Strassen()
 	bad.U = bad.U.Clone()
 	bad.U.Set(0, 0, 3)
-	if _, err := NewPlan(smallCfg(), ABC, bad); err == nil {
+	if _, err := NewPlan[float64](smallCfg(), ABC, bad); err == nil {
 		t.Fatal("invalid level accepted")
 	}
-	if _, err := NewPlan(gemm.Config{MC: 1, KC: 1, NC: 1, Threads: 1}, ABC, core.Strassen()); err == nil {
+	if _, err := NewPlan[float64](gemm.Config{MC: 1, KC: 1, NC: 1, Threads: 1}, ABC, core.Strassen()); err == nil {
 		t.Fatal("bad gemm config accepted")
 	}
 }
 
 func TestMulAddDimMismatchPanics(t *testing.T) {
-	p := MustNewPlan(smallCfg(), ABC, core.Strassen())
+	p := MustNewPlan[float64](smallCfg(), ABC, core.Strassen())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
-	p.MulAdd(matrix.New(4, 4), matrix.New(4, 5), matrix.New(4, 4))
+	p.MulAdd(matrix.New[float64](4, 4), matrix.New[float64](4, 5), matrix.New[float64](4, 4))
 }
 
 func TestZeroSizeNoop(t *testing.T) {
-	p := MustNewPlan(smallCfg(), ABC, core.Strassen())
-	c := matrix.New(4, 4)
+	p := MustNewPlan[float64](smallCfg(), ABC, core.Strassen())
+	c := matrix.New[float64](4, 4)
 	c.Fill(2)
-	p.MulAdd(c, matrix.New(4, 0), matrix.New(0, 4))
+	p.MulAdd(c, matrix.New[float64](4, 0), matrix.New[float64](0, 4))
 	if c.At(0, 0) != 2 {
 		t.Fatal("k=0 must not touch C")
 	}
@@ -245,7 +245,7 @@ func TestVariantString(t *testing.T) {
 }
 
 func TestPlanString(t *testing.T) {
-	p := MustNewPlan(smallCfg(), ABC, core.Strassen(), core.Generate(2, 3, 2))
+	p := MustNewPlan[float64](smallCfg(), ABC, core.Strassen(), core.Generate(2, 3, 2))
 	if got := p.String(); got != "<2,2,2>+<2,3,2> ABC" {
 		t.Fatalf("got %q", got)
 	}
@@ -269,12 +269,12 @@ func TestExecutorEqualsReferenceProperty(t *testing.T) {
 			levels[i] = pool[rng.Intn(len(pool))]
 		}
 		v := Variants[rng.Intn(3)]
-		p := MustNewPlan(gemm.Config{MC: 4 + 4*rng.Intn(3), KC: 4 + rng.Intn(12), NC: 8 + 4*rng.Intn(4), Threads: 1 + rng.Intn(2)}, v, levels...)
+		p := MustNewPlan[float64](gemm.Config{MC: 4 + 4*rng.Intn(3), KC: 4 + rng.Intn(12), NC: 8 + 4*rng.Intn(4), Threads: 1 + rng.Intn(2)}, v, levels...)
 		m, k, n := 1+rng.Intn(40), 1+rng.Intn(40), 1+rng.Intn(40)
-		a, b := matrix.New(m, k), matrix.New(k, n)
+		a, b := matrix.New[float64](m, k), matrix.New[float64](k, n)
 		a.FillRand(rng)
 		b.FillRand(rng)
-		c := matrix.New(m, n)
+		c := matrix.New[float64](m, n)
 		c.FillRand(rng)
 		want := c.Clone()
 		matrix.MulAdd(want, a, b)
@@ -293,13 +293,13 @@ func TestExecutorEqualsReferenceProperty(t *testing.T) {
 func TestParallelAddScaledPathMatchesSerial(t *testing.T) {
 	// Sizes large enough to cross addScaledParThreshold with several workers.
 	rng := rand.New(rand.NewSource(20))
-	a, b := matrix.New(260, 260), matrix.New(260, 260)
+	a, b := matrix.New[float64](260, 260), matrix.New[float64](260, 260)
 	a.FillRand(rng)
 	b.FillRand(rng)
 	for _, v := range []Variant{AB, Naive} {
-		c1, c2 := matrix.New(260, 260), matrix.New(260, 260)
-		MustNewPlan(gemm.Config{MC: 32, KC: 32, NC: 64, Threads: 1}, v, core.Strassen()).MulAdd(c1, a, b)
-		MustNewPlan(gemm.Config{MC: 32, KC: 32, NC: 64, Threads: 6}, v, core.Strassen()).MulAdd(c2, a, b)
+		c1, c2 := matrix.New[float64](260, 260), matrix.New[float64](260, 260)
+		MustNewPlan[float64](gemm.Config{MC: 32, KC: 32, NC: 64, Threads: 1}, v, core.Strassen()).MulAdd(c1, a, b)
+		MustNewPlan[float64](gemm.Config{MC: 32, KC: 32, NC: 64, Threads: 6}, v, core.Strassen()).MulAdd(c2, a, b)
 		if d := c1.MaxAbsDiff(c2); d != 0 {
 			t.Fatalf("%s: parallel scatter differs by %g", v, d)
 		}

@@ -28,6 +28,6 @@ func FuzzFusedMulAddVsNaive(f *testing.F) {
 	f.Add(int64(4), uint16(1), uint16(1), uint16(1), uint8(1), uint8(1), uint8(3))
 	f.Add(int64(5), uint16(37), uint16(23), uint16(45), uint8(3), uint8(3), uint8(2))
 	f.Fuzz(func(t *testing.T, seed int64, m16, k16, n16 uint16, nA8, nB8, nC8 uint8) {
-		conformance.DifferentialCheck(t, "", seed, m16, k16, n16, nA8, nB8, nC8)
+		conformance.DifferentialCheck[float64](t, "", seed, m16, k16, n16, nA8, nB8, nC8)
 	})
 }

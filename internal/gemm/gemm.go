@@ -9,6 +9,12 @@
 // Plain GEMM is the degenerate single-term call, so the baseline and all FMM
 // implementations share packing and kernel code exactly as in the paper.
 //
+// The driver is generic over the element type: Context[float64] is the
+// historical bit-stable engine, Context[float32] runs the same five loops
+// over float32 panels with half the memory traffic. Each instantiation is
+// fully specialized — there is no boxing or dynamic dtype dispatch on the
+// hot path.
+//
 // Parallelism mirrors the paper (§5.1): the third loop around the
 // micro-kernel (the ic loop over mC-sized row panels of A) is divided among
 // goroutines, the Go analogue of the OpenMP data parallelism of [20].
@@ -29,15 +35,17 @@ import (
 )
 
 // Term re-exports kernel.Term: one weighted operand of a fused combination.
-type Term = kernel.Term
+type Term[E matrix.Element] = kernel.Term[E]
 
 // SingleTerm wraps a matrix as the trivial combination 1.0·M.
-func SingleTerm(m matrix.Mat) []Term { return kernel.SingleTerm(m) }
+func SingleTerm[E matrix.Element](m matrix.Mat[E]) []Term[E] { return kernel.SingleTerm(m) }
 
 // Config carries the cache blocking parameters {mC, kC, nC} of Figure 1, the
 // worker count, and the micro-kernel backend selection. The defaults suit the
 // pure-Go micro-kernel: Ã(mC×kC) ≈ 192 KiB target L2 residency, B̃(kC×nC)
-// sized for L3, as in §5.1.
+// sized for L3, as in §5.1. The blocking is expressed in elements, so one
+// Config serves both dtypes (a float32 context simply fits twice the
+// elements per cache byte).
 type Config struct {
 	MC, KC, NC int
 	Threads    int
@@ -59,19 +67,27 @@ func (c Config) Parallel() Config {
 	return c
 }
 
-// Validate checks the driver-facing configuration: the kernel backend must
-// be registered, Threads ≥ 1, and the blocking must fit the backend's
-// micro-tile (MC ≥ MR, KC ≥ 1, NC ≥ NR). It is the single source of these
-// rules — the top-level fmmfam.Config.Validate delegates here.
+// Validate checks the driver-facing configuration for the default (float64)
+// element type: the kernel backend must be registered, Threads ≥ 1, and the
+// blocking must fit the backend's micro-tile (MC ≥ MR, KC ≥ 1, NC ≥ NR).
+// ValidateFor is the dtype-explicit form; together they are the single
+// source of these rules — the top-level fmmfam.Config.Validate delegates
+// here.
 func (c Config) Validate() error {
-	_, err := c.resolveBackend()
+	return ValidateFor[float64](c)
+}
+
+// ValidateFor checks the driver-facing configuration against the backends
+// registered for element type E; see Config.Validate.
+func ValidateFor[E matrix.Element](c Config) error {
+	_, err := resolveBackend[E](c)
 	return err
 }
 
-// resolveBackend validates c and returns its micro-kernel backend, so
-// construction paths resolve the registry exactly once.
-func (c Config) resolveBackend() (kernel.Backend, error) {
-	bk, err := kernel.Resolve(c.Kernel)
+// resolveBackend validates c and returns its micro-kernel backend for
+// element type E, so construction paths resolve the registry exactly once.
+func resolveBackend[E matrix.Element](c Config) (kernel.Backend[E], error) {
+	bk, err := kernel.Resolve[E](c.Kernel)
 	if err != nil {
 		return nil, fmt.Errorf("gemm: %w", err)
 	}
@@ -85,15 +101,16 @@ func (c Config) resolveBackend() (kernel.Backend, error) {
 	return bk, nil
 }
 
-// Context is the immutable kernel driver: a validated Config plus a bounded
-// pool of packing Workspaces. It is safe for any number of concurrent
-// callers — every MulAdd/FusedMulAdd rents a Workspace from the pool for the
-// duration of the call, so calls never share mutable state — and each call
-// additionally exploits parallelism internally (Config.Threads workers).
-type Context struct {
+// Context is the immutable kernel driver for one element type: a validated
+// Config plus a bounded pool of packing Workspaces. It is safe for any
+// number of concurrent callers — every MulAdd/FusedMulAdd rents a Workspace
+// from the pool for the duration of the call, so calls never share mutable
+// state — and each call additionally exploits parallelism internally
+// (Config.Threads workers).
+type Context[E matrix.Element] struct {
 	cfg  Config
-	bk   kernel.Backend
-	pool *workspacePool
+	bk   kernel.Backend[E]
+	pool *workspacePool[E]
 
 	// fast marks the default backend, whose inner loops run through the
 	// specialized free functions of internal/kernel (direct calls, constant
@@ -103,22 +120,22 @@ type Context struct {
 	fast bool
 }
 
-// NewContext validates cfg, resolves its micro-kernel backend, and prepares
-// the workspace pool (one workspace is pre-allocated so the first call does
-// not pay the allocation).
-func NewContext(cfg Config) (*Context, error) {
-	bk, err := cfg.resolveBackend()
+// NewContext validates cfg, resolves its micro-kernel backend for element
+// type E, and prepares the workspace pool (one workspace is pre-allocated so
+// the first call does not pay the allocation).
+func NewContext[E matrix.Element](cfg Config) (*Context[E], error) {
+	bk, err := resolveBackend[E](cfg)
 	if err != nil {
 		return nil, err
 	}
-	ctx := &Context{cfg: cfg, bk: bk, pool: newWorkspacePool(cfg, bk), fast: bk.Name() == kernel.DefaultBackend}
-	ctx.pool.put(newWorkspace(cfg, bk))
+	ctx := &Context[E]{cfg: cfg, bk: bk, pool: newWorkspacePool[E](cfg, bk), fast: bk.Name() == kernel.DefaultBackend}
+	ctx.pool.put(newWorkspace[E](cfg, bk))
 	return ctx, nil
 }
 
 // MustNewContext is NewContext for known-good configs.
-func MustNewContext(cfg Config) *Context {
-	ctx, err := NewContext(cfg)
+func MustNewContext[E matrix.Element](cfg Config) *Context[E] {
+	ctx, err := NewContext[E](cfg)
 	if err != nil {
 		panic(err)
 	}
@@ -126,19 +143,19 @@ func MustNewContext(cfg Config) *Context {
 }
 
 // Config returns the context's configuration.
-func (ctx *Context) Config() Config { return ctx.cfg }
+func (ctx *Context[E]) Config() Config { return ctx.cfg }
 
 // Backend returns the micro-kernel backend the context drives.
-func (ctx *Context) Backend() kernel.Backend { return ctx.bk }
+func (ctx *Context[E]) Backend() kernel.Backend[E] { return ctx.bk }
 
 // MulAdd computes c += a·b (plain GEMM through the fused path). Safe for
 // concurrent callers.
-func (ctx *Context) MulAdd(c, a, b matrix.Mat) {
+func (ctx *Context[E]) MulAdd(c, a, b matrix.Mat[E]) {
 	ctx.FusedMulAdd(kernel.SingleTerm(c), kernel.SingleTerm(a), kernel.SingleTerm(b))
 }
 
 // MulAddWS is MulAdd with a caller-managed Workspace; see FusedMulAddWS.
-func (ctx *Context) MulAddWS(ws *Workspace, c, a, b matrix.Mat) {
+func (ctx *Context[E]) MulAddWS(ws *Workspace[E], c, a, b matrix.Mat[E]) {
 	ctx.FusedMulAddWS(ws, kernel.SingleTerm(c), kernel.SingleTerm(a), kernel.SingleTerm(b))
 }
 
@@ -146,14 +163,14 @@ func (ctx *Context) MulAddWS(ws *Workspace, c, a, b matrix.Mat) {
 // PutWorkspace. Callers issuing many back-to-back operations (e.g. the FMM
 // executor's per-term loop) rent once and use the *WS entry points so the
 // pool is not hit once per operation.
-func (ctx *Context) GetWorkspace() *Workspace { return ctx.pool.get() }
+func (ctx *Context[E]) GetWorkspace() *Workspace[E] { return ctx.pool.get() }
 
 // PutWorkspace returns a rented workspace to the pool.
-func (ctx *Context) PutWorkspace(ws *Workspace) { ctx.pool.put(ws) }
+func (ctx *Context[E]) PutWorkspace(ws *Workspace[E]) { ctx.pool.put(ws) }
 
 // FusedMulAdd executes the generalized operation. All A-side terms must have
 // equal dimensions m×k, B-side k×n, C-side m×n. Safe for concurrent callers.
-func (ctx *Context) FusedMulAdd(cTerms, aTerms, bTerms []Term) {
+func (ctx *Context[E]) FusedMulAdd(cTerms, aTerms, bTerms []Term[E]) {
 	ws := ctx.pool.get()
 	defer ctx.pool.put(ws)
 	ctx.FusedMulAddWS(ws, cTerms, aTerms, bTerms)
@@ -161,8 +178,8 @@ func (ctx *Context) FusedMulAdd(cTerms, aTerms, bTerms []Term) {
 
 // FusedMulAddWS is FusedMulAdd with a caller-managed Workspace (see
 // NewWorkspace). The workspace must have been sized for this context's
-// Config and must not be used by another call concurrently.
-func (ctx *Context) FusedMulAddWS(ws *Workspace, cTerms, aTerms, bTerms []Term) {
+// Config and element type and must not be used by another call concurrently.
+func (ctx *Context[E]) FusedMulAddWS(ws *Workspace[E], cTerms, aTerms, bTerms []Term[E]) {
 	m, k := dims(aTerms, "A")
 	k2, n := dims(bTerms, "B")
 	mc, nc2 := dims(cTerms, "C")
@@ -186,7 +203,7 @@ func (ctx *Context) FusedMulAddWS(ws *Workspace, cTerms, aTerms, bTerms []Term) 
 // packB fills the B̃ buffer, splitting the column-panel range across workers
 // when parallel (packing is memory-bound and, for FMM term lists, a large
 // serial fraction otherwise — BLIS likewise packs in parallel).
-func (ctx *Context) packB(ws *Workspace, bTerms []Term, pc, jc, kcur, ncur int) {
+func (ctx *Context[E]) packB(ws *Workspace[E], bTerms []Term[E], pc, jc, kcur, ncur int) {
 	nr := ctx.bk.NR()
 	panels := (ncur + nr - 1) / nr
 	workers := min(ctx.cfg.Threads, panels)
@@ -209,7 +226,7 @@ func (ctx *Context) packB(ws *Workspace, bTerms []Term, pc, jc, kcur, ncur int) 
 
 // icLoop runs the third loop around the micro-kernel, parallelized over
 // mC-sized row panels.
-func (ctx *Context) icLoop(ws *Workspace, cTerms, aTerms []Term, pc, jc, m, kcur, ncur int) {
+func (ctx *Context[E]) icLoop(ws *Workspace[E], cTerms, aTerms []Term[E], pc, jc, m, kcur, ncur int) {
 	cfg := ctx.cfg
 	nBlocks := (m + cfg.MC - 1) / cfg.MC
 	workers := min(cfg.Threads, nBlocks)
@@ -227,7 +244,7 @@ func (ctx *Context) icLoop(ws *Workspace, cTerms, aTerms []Term, pc, jc, m, kcur
 	close(next)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(abuf, acc []float64) {
+		go func(abuf, acc []E) {
 			defer wg.Done()
 			for b := range next {
 				ic := b * cfg.MC
@@ -242,7 +259,7 @@ func (ctx *Context) icLoop(ws *Workspace, cTerms, aTerms []Term, pc, jc, m, kcur
 // the micro-kernel, scattering each register tile into every C-side term.
 // abuf and acc are the calling worker's private Ã buffer and accumulator
 // tile.
-func (ctx *Context) macroKernel(ws *Workspace, abuf, acc []float64, cTerms, aTerms []Term, ic, pc, jc, mcur, kcur, ncur int) {
+func (ctx *Context[E]) macroKernel(ws *Workspace[E], abuf, acc []E, cTerms, aTerms []Term[E], ic, pc, jc, mcur, kcur, ncur int) {
 	if ctx.fast {
 		macroKernelDefault(ws, abuf, cTerms, aTerms, ic, pc, jc, mcur, kcur, ncur)
 		return
@@ -268,11 +285,12 @@ func (ctx *Context) macroKernel(ws *Workspace, abuf, acc []float64, cTerms, aTer
 // identical loop structure, but the packing, micro-kernel, and scatter are
 // the specialized free functions with MR/NR as compile-time constants and a
 // stack-resident accumulator tile — byte-for-byte the pre-interface hot
-// loop. It performs the same arithmetic in the same order as the generic
-// path over the go4x4 backend, so results stay bit-identical either way.
-func macroKernelDefault(ws *Workspace, abuf []float64, cTerms, aTerms []Term, ic, pc, jc, mcur, kcur, ncur int) {
+// loop, instantiated once per element type. It performs the same arithmetic
+// in the same order as the generic path over the go4x4 backend, so results
+// stay bit-identical either way.
+func macroKernelDefault[E matrix.Element](ws *Workspace[E], abuf []E, cTerms, aTerms []Term[E], ic, pc, jc, mcur, kcur, ncur int) {
 	kernel.PackA(abuf, aTerms, ic, pc, mcur, kcur)
-	var acc [kernel.MR * kernel.NR]float64
+	var acc [kernel.MR * kernel.NR]E
 	for jr := 0; jr < ncur; jr += kernel.NR {
 		nr := min(kernel.NR, ncur-jr)
 		bp := ws.bbuf[(jr/kernel.NR)*kcur*kernel.NR:]
@@ -287,7 +305,7 @@ func macroKernelDefault(ws *Workspace, abuf []float64, cTerms, aTerms []Term, ic
 	}
 }
 
-func dims(terms []Term, side string) (r, c int) {
+func dims[E matrix.Element](terms []Term[E], side string) (r, c int) {
 	if len(terms) == 0 {
 		panic("gemm: empty " + side + " term list")
 	}

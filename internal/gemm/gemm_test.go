@@ -14,15 +14,15 @@ import (
 
 func smallCfg() Config { return Config{MC: 8, KC: 8, NC: 16, Threads: 1} }
 
-func randMat(rng *rand.Rand, r, c int) matrix.Mat {
-	m := matrix.New(r, c)
+func randMat(rng *rand.Rand, r, c int) matrix.Mat[float64] {
+	m := matrix.New[float64](r, c)
 	m.FillRand(rng)
 	return m
 }
 
 func TestMulAddMatchesReferenceVariedShapes(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	ctx := MustNewContext(smallCfg())
+	ctx := MustNewContext[float64](smallCfg())
 	shapes := [][3]int{
 		{1, 1, 1}, {4, 4, 4}, {5, 7, 3}, {8, 8, 8}, {9, 17, 33},
 		{16, 1, 16}, {1, 32, 1}, {33, 9, 2}, {40, 40, 40},
@@ -42,7 +42,7 @@ func TestMulAddMatchesReferenceVariedShapes(t *testing.T) {
 
 func TestMulAddLargeBlocksCrossingAllLoops(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	ctx := MustNewContext(Config{MC: 12, KC: 10, NC: 20, Threads: 1})
+	ctx := MustNewContext[float64](Config{MC: 12, KC: 10, NC: 20, Threads: 1})
 	// Sizes chosen to exercise partial blocks in every one of the 5 loops.
 	m, k, n := 37, 23, 45
 	a, b := randMat(rng, m, k), randMat(rng, k, n)
@@ -57,12 +57,12 @@ func TestMulAddLargeBlocksCrossingAllLoops(t *testing.T) {
 
 func TestMulAddOnViews(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	ctx := MustNewContext(smallCfg())
+	ctx := MustNewContext[float64](smallCfg())
 	big := randMat(rng, 30, 30)
 	a := big.View(2, 3, 10, 9)
 	b := big.View(12, 0, 9, 11)
-	c := matrix.New(10, 11)
-	want := matrix.New(10, 11)
+	c := matrix.New[float64](10, 11)
+	want := matrix.New[float64](10, 11)
 	matrix.MulAdd(want, a, b)
 	ctx.MulAdd(c, a, b)
 	if d := c.MaxAbsDiff(want); d > 1e-10 {
@@ -74,7 +74,7 @@ func TestFusedMulAddStrassenRow(t *testing.T) {
 	// The representative computation of Fig. 1 (right):
 	// M = (X+Y)(V+W); C += M; D -= M.
 	rng := rand.New(rand.NewSource(4))
-	ctx := MustNewContext(smallCfg())
+	ctx := MustNewContext[float64](smallCfg())
 	x, y := randMat(rng, 12, 10), randMat(rng, 12, 10)
 	v, w := randMat(rng, 10, 14), randMat(rng, 10, 14)
 	c, d := randMat(rng, 12, 14), randMat(rng, 12, 14)
@@ -84,15 +84,15 @@ func TestFusedMulAddStrassenRow(t *testing.T) {
 	xs.AddScaled(1, y)
 	vs := v.Clone()
 	vs.AddScaled(1, w)
-	mtmp := matrix.New(12, 14)
+	mtmp := matrix.New[float64](12, 14)
 	matrix.MulAdd(mtmp, xs, vs)
 	wantC.AddScaled(1, mtmp)
 	wantD.AddScaled(-1, mtmp)
 
 	ctx.FusedMulAdd(
-		[]Term{{Coef: 1, M: c}, {Coef: -1, M: d}},
-		[]Term{{Coef: 1, M: x}, {Coef: 1, M: y}},
-		[]Term{{Coef: 1, M: v}, {Coef: 1, M: w}},
+		[]Term[float64]{{Coef: 1, M: c}, {Coef: -1, M: d}},
+		[]Term[float64]{{Coef: 1, M: x}, {Coef: 1, M: y}},
+		[]Term[float64]{{Coef: 1, M: v}, {Coef: 1, M: w}},
 	)
 	if c.MaxAbsDiff(wantC) > 1e-10 || d.MaxAbsDiff(wantD) > 1e-10 {
 		t.Fatal("fused Strassen row diverges from explicit computation")
@@ -101,18 +101,18 @@ func TestFusedMulAddStrassenRow(t *testing.T) {
 
 func TestFusedMulAddFractionalCoefs(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	ctx := MustNewContext(smallCfg())
+	ctx := MustNewContext[float64](smallCfg())
 	a1, a2 := randMat(rng, 9, 9), randMat(rng, 9, 9)
 	b1 := randMat(rng, 9, 9)
-	c := matrix.New(9, 9)
+	c := matrix.New[float64](9, 9)
 	as := a1.Clone()
 	as.Scale(0.5)
 	as.AddScaled(-1.5, a2)
-	want := matrix.New(9, 9)
+	want := matrix.New[float64](9, 9)
 	matrix.MulAdd(want, as, b1)
 	ctx.FusedMulAdd(
 		kernel.SingleTerm(c),
-		[]Term{{Coef: 0.5, M: a1}, {Coef: -1.5, M: a2}},
+		[]Term[float64]{{Coef: 0.5, M: a1}, {Coef: -1.5, M: a2}},
 		kernel.SingleTerm(b1),
 	)
 	if d := c.MaxAbsDiff(want); d > 1e-10 {
@@ -124,9 +124,9 @@ func TestParallelMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	m, k, n := 67, 41, 53
 	a, b := randMat(rng, m, k), randMat(rng, k, n)
-	c1, c2 := matrix.New(m, n), matrix.New(m, n)
-	serial := MustNewContext(Config{MC: 8, KC: 16, NC: 32, Threads: 1})
-	parallel := MustNewContext(Config{MC: 8, KC: 16, NC: 32, Threads: 4})
+	c1, c2 := matrix.New[float64](m, n), matrix.New[float64](m, n)
+	serial := MustNewContext[float64](Config{MC: 8, KC: 16, NC: 32, Threads: 1})
+	parallel := MustNewContext[float64](Config{MC: 8, KC: 16, NC: 32, Threads: 4})
 	serial.MulAdd(c1, a, b)
 	parallel.MulAdd(c2, a, b)
 	if d := c1.MaxAbsDiff(c2); d != 0 {
@@ -137,22 +137,22 @@ func TestParallelMatchesSerial(t *testing.T) {
 func TestParallelFusedMultiC(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	a, b := randMat(rng, 40, 24), randMat(rng, 24, 36)
-	c1a, c1b := matrix.New(40, 36), matrix.New(40, 36)
-	c2a, c2b := matrix.New(40, 36), matrix.New(40, 36)
-	serial := MustNewContext(Config{MC: 8, KC: 8, NC: 16, Threads: 1})
-	parallel := MustNewContext(Config{MC: 8, KC: 8, NC: 16, Threads: 3})
-	serial.FusedMulAdd([]Term{{Coef: 1, M: c1a}, {Coef: -2, M: c1b}}, kernel.SingleTerm(a), kernel.SingleTerm(b))
-	parallel.FusedMulAdd([]Term{{Coef: 1, M: c2a}, {Coef: -2, M: c2b}}, kernel.SingleTerm(a), kernel.SingleTerm(b))
+	c1a, c1b := matrix.New[float64](40, 36), matrix.New[float64](40, 36)
+	c2a, c2b := matrix.New[float64](40, 36), matrix.New[float64](40, 36)
+	serial := MustNewContext[float64](Config{MC: 8, KC: 8, NC: 16, Threads: 1})
+	parallel := MustNewContext[float64](Config{MC: 8, KC: 8, NC: 16, Threads: 3})
+	serial.FusedMulAdd([]Term[float64]{{Coef: 1, M: c1a}, {Coef: -2, M: c1b}}, kernel.SingleTerm(a), kernel.SingleTerm(b))
+	parallel.FusedMulAdd([]Term[float64]{{Coef: 1, M: c2a}, {Coef: -2, M: c2b}}, kernel.SingleTerm(a), kernel.SingleTerm(b))
 	if c1a.MaxAbsDiff(c2a) != 0 || c1b.MaxAbsDiff(c2b) != 0 {
 		t.Fatal("parallel fused result differs")
 	}
 }
 
 func TestEmptyDimsNoop(t *testing.T) {
-	ctx := MustNewContext(smallCfg())
-	c := matrix.New(3, 3)
+	ctx := MustNewContext[float64](smallCfg())
+	c := matrix.New[float64](3, 3)
 	c.Fill(1)
-	ctx.MulAdd(c, matrix.New(3, 0), matrix.New(0, 3))
+	ctx.MulAdd(c, matrix.New[float64](3, 0), matrix.New[float64](0, 3))
 	for i := 0; i < 3; i++ {
 		for j := 0; j < 3; j++ {
 			if c.At(i, j) != 1 {
@@ -163,35 +163,35 @@ func TestEmptyDimsNoop(t *testing.T) {
 }
 
 func TestNewContextRejectsBadConfig(t *testing.T) {
-	if _, err := NewContext(Config{MC: 2, KC: 8, NC: 16, Threads: 1}); err == nil {
+	if _, err := NewContext[float64](Config{MC: 2, KC: 8, NC: 16, Threads: 1}); err == nil {
 		t.Fatal("MC < MR accepted")
 	}
-	if _, err := NewContext(Config{MC: 8, KC: 8, NC: 16, Threads: 0}); err == nil {
+	if _, err := NewContext[float64](Config{MC: 8, KC: 8, NC: 16, Threads: 0}); err == nil {
 		t.Fatal("0 threads accepted")
 	}
 }
 
 func TestDimMismatchPanics(t *testing.T) {
-	ctx := MustNewContext(smallCfg())
+	ctx := MustNewContext[float64](smallCfg())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
-	ctx.MulAdd(matrix.New(3, 3), matrix.New(3, 4), matrix.New(3, 3))
+	ctx.MulAdd(matrix.New[float64](3, 3), matrix.New[float64](3, 4), matrix.New[float64](3, 3))
 }
 
 func TestRaggedTermsPanics(t *testing.T) {
-	ctx := MustNewContext(smallCfg())
+	ctx := MustNewContext[float64](smallCfg())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
 	ctx.FusedMulAdd(
-		kernel.SingleTerm(matrix.New(4, 4)),
-		[]Term{{Coef: 1, M: matrix.New(4, 4)}, {Coef: 1, M: matrix.New(4, 5)}},
-		kernel.SingleTerm(matrix.New(4, 4)),
+		kernel.SingleTerm(matrix.New[float64](4, 4)),
+		[]Term[float64]{{Coef: 1, M: matrix.New[float64](4, 4)}, {Coef: 1, M: matrix.New[float64](4, 5)}},
+		kernel.SingleTerm(matrix.New[float64](4, 4)),
 	)
 }
 
@@ -206,7 +206,7 @@ func TestBlockedEqualsReferenceProperty(t *testing.T) {
 			NC:      4 * (1 + rng.Intn(6)),
 			Threads: 1 + rng.Intn(3),
 		}
-		ctx := MustNewContext(cfg)
+		ctx := MustNewContext[float64](cfg)
 		m, k, n := 1+rng.Intn(30), 1+rng.Intn(30), 1+rng.Intn(30)
 		a, b := randMat(rng, m, k), randMat(rng, k, n)
 		c := randMat(rng, m, n)
@@ -222,10 +222,10 @@ func TestBlockedEqualsReferenceProperty(t *testing.T) {
 
 func TestExtremeBlockingKC1(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	ctx := MustNewContext(Config{MC: 4, KC: 1, NC: 4, Threads: 1})
+	ctx := MustNewContext[float64](Config{MC: 4, KC: 1, NC: 4, Threads: 1})
 	a, b := randMat(rng, 9, 7), randMat(rng, 7, 5)
-	c := matrix.New(9, 5)
-	want := matrix.New(9, 5)
+	c := matrix.New[float64](9, 5)
+	want := matrix.New[float64](9, 5)
 	matrix.MulAdd(want, a, b)
 	ctx.MulAdd(c, a, b)
 	if d := c.MaxAbsDiff(want); d > 1e-10 {
@@ -238,13 +238,13 @@ func TestExtremeBlockingKC1(t *testing.T) {
 // reference — the workspace-pool contract, meaningful under -race.
 func TestContextConcurrentCallers(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	ctx := MustNewContext(Config{MC: 8, KC: 8, NC: 16, Threads: 2})
-	type job struct{ a, b, want matrix.Mat }
+	ctx := MustNewContext[float64](Config{MC: 8, KC: 8, NC: 16, Threads: 2})
+	type job struct{ a, b, want matrix.Mat[float64] }
 	shapes := [][3]int{{20, 14, 18}, {33, 9, 25}, {8, 8, 8}, {17, 40, 5}}
 	jobs := make([]job, len(shapes))
 	for i, s := range shapes {
 		a, b := randMat(rng, s[0], s[1]), randMat(rng, s[1], s[2])
-		want := matrix.New(s[0], s[2])
+		want := matrix.New[float64](s[0], s[2])
 		matrix.MulAdd(want, a, b)
 		jobs[i] = job{a, b, want}
 	}
@@ -255,7 +255,7 @@ func TestContextConcurrentCallers(t *testing.T) {
 			defer wg.Done()
 			for it := 0; it < 5; it++ {
 				j := jobs[(g+it)%len(jobs)]
-				c := matrix.New(j.want.Rows, j.want.Cols)
+				c := matrix.New[float64](j.want.Rows, j.want.Cols)
 				ctx.MulAdd(c, j.a, j.b)
 				if d := c.MaxAbsDiff(j.want); d > 1e-10 {
 					t.Errorf("goroutine %d: diff %g", g, d)
@@ -271,10 +271,10 @@ func TestContextConcurrentCallers(t *testing.T) {
 // beyond the bound are dropped rather than queued or blocking.
 func TestWorkspacePoolBounded(t *testing.T) {
 	cfg := smallCfg()
-	p := newWorkspacePool(cfg, kernel.MustResolve(cfg.Kernel))
-	bound := workspacePoolBound(cfg, kernel.MustResolve(cfg.Kernel))
+	p := newWorkspacePool(cfg, kernel.MustResolve[float64](cfg.Kernel))
+	bound := workspacePoolBound[float64](cfg, kernel.MustResolve[float64](cfg.Kernel))
 	for i := 0; i < bound+3; i++ {
-		p.put(NewWorkspace(cfg)) // must not block past the bound
+		p.put(NewWorkspace[float64](cfg)) // must not block past the bound
 	}
 	if got := len(p.free); got != bound {
 		t.Fatalf("pool retained %d workspaces, bound is %d", got, bound)
@@ -296,11 +296,11 @@ func TestWorkspacePoolBoundRespectsMemoryCap(t *testing.T) {
 	if per <= maxRetainedFloats {
 		t.Fatalf("test config too small to exceed the cap: %d ≤ %d", per, maxRetainedFloats)
 	}
-	if got := workspacePoolBound(huge, kernel.MustResolve(huge.Kernel)); got != 0 {
+	if got := workspacePoolBound[float64](huge, kernel.MustResolve[float64](huge.Kernel)); got != 0 {
 		t.Fatalf("bound %d for an over-cap workspace, want 0", got)
 	}
 	// An empty pool must still serve gets (fresh allocations) and drop puts.
-	p := newWorkspacePool(huge, kernel.MustResolve(huge.Kernel))
+	p := newWorkspacePool(huge, kernel.MustResolve[float64](huge.Kernel))
 	ws := p.get()
 	if ws == nil {
 		t.Fatal("nil workspace from empty pool")
@@ -311,7 +311,7 @@ func TestWorkspacePoolBoundRespectsMemoryCap(t *testing.T) {
 	}
 	// Small configs still retain 2×Threads.
 	small := smallCfg()
-	if got, want := workspacePoolBound(small, kernel.MustResolve(small.Kernel)), 2*small.Threads; got != want {
+	if got, want := workspacePoolBound[float64](small, kernel.MustResolve[float64](small.Kernel)), 2*small.Threads; got != want {
 		t.Fatalf("bound %d for small config, want %d", got, want)
 	}
 }
@@ -321,11 +321,11 @@ func TestOperandsAsStridedViews(t *testing.T) {
 	big := randMat(rng, 64, 64)
 	a := big.View(1, 1, 20, 30)
 	b := big.View(25, 10, 30, 22)
-	cHost := matrix.New(40, 40)
+	cHost := matrix.New[float64](40, 40)
 	c := cHost.View(3, 5, 20, 22)
-	want := matrix.New(20, 22)
+	want := matrix.New[float64](20, 22)
 	matrix.MulAdd(want, a, b)
-	MustNewContext(Config{MC: 8, KC: 8, NC: 16, Threads: 2}).MulAdd(c, a, b)
+	MustNewContext[float64](Config{MC: 8, KC: 8, NC: 16, Threads: 2}).MulAdd(c, a, b)
 	if d := c.Clone().MaxAbsDiff(want); d > 1e-10 {
 		t.Fatalf("view diff %g", d)
 	}
@@ -338,15 +338,15 @@ func TestOperandsAsStridedViews(t *testing.T) {
 func TestManyCTermsScatter(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	a, b := randMat(rng, 12, 12), randMat(rng, 12, 12)
-	targets := make([]Term, 5)
+	targets := make([]Term[float64], 5)
 	for i := range targets {
-		targets[i] = Term{Coef: float64(i) - 2, M: matrix.New(12, 12)}
+		targets[i] = Term[float64]{Coef: float64(i) - 2, M: matrix.New[float64](12, 12)}
 	}
-	MustNewContext(smallCfg()).FusedMulAdd(targets, kernel.SingleTerm(a), kernel.SingleTerm(b))
-	prod := matrix.New(12, 12)
+	MustNewContext[float64](smallCfg()).FusedMulAdd(targets, kernel.SingleTerm(a), kernel.SingleTerm(b))
+	prod := matrix.New[float64](12, 12)
 	matrix.MulAdd(prod, a, b)
 	for i, tm := range targets {
-		want := matrix.New(12, 12)
+		want := matrix.New[float64](12, 12)
 		want.AddScaled(float64(i)-2, prod)
 		if d := tm.M.MaxAbsDiff(want); d > 1e-10 {
 			t.Fatalf("target %d diff %g", i, d)
@@ -369,7 +369,7 @@ func TestDefaultBackendBitIdenticalGolden(t *testing.T) {
 	rng := rand.New(rand.NewSource(2024))
 	a, b := randMat(rng, 129, 67), randMat(rng, 67, 93)
 	c := randMat(rng, 129, 93)
-	MustNewContext(Config{MC: 96, KC: 256, NC: 2048, Threads: 1}).MulAdd(c, a, b)
+	MustNewContext[float64](Config{MC: 96, KC: 256, NC: 2048, Threads: 1}).MulAdd(c, a, b)
 	if got := c.Fingerprint(); got != 0xc8256f6c555923f0 {
 		t.Errorf("plain MulAdd fingerprint %#x, want %#x (default backend no longer bit-identical)", got, uint64(0xc8256f6c555923f0))
 	}
@@ -378,10 +378,10 @@ func TestDefaultBackendBitIdenticalGolden(t *testing.T) {
 	x, y := randMat(rng, 40, 24), randMat(rng, 40, 24)
 	v, w := randMat(rng, 24, 36), randMat(rng, 24, 36)
 	c1, c2 := randMat(rng, 40, 36), randMat(rng, 40, 36)
-	MustNewContext(Config{MC: 8, KC: 8, NC: 16, Threads: 3}).FusedMulAdd(
-		[]Term{{Coef: 1, M: c1}, {Coef: -0.5, M: c2}},
-		[]Term{{Coef: 1, M: x}, {Coef: 0.25, M: y}},
-		[]Term{{Coef: 1, M: v}, {Coef: -1, M: w}},
+	MustNewContext[float64](Config{MC: 8, KC: 8, NC: 16, Threads: 3}).FusedMulAdd(
+		[]Term[float64]{{Coef: 1, M: c1}, {Coef: -0.5, M: c2}},
+		[]Term[float64]{{Coef: 1, M: x}, {Coef: 0.25, M: y}},
+		[]Term[float64]{{Coef: 1, M: v}, {Coef: -1, M: w}},
 	)
 	if got := c1.Fingerprint(); got != 0x6f376137339adffa {
 		t.Errorf("fused C1 fingerprint %#x, want %#x", got, uint64(0x6f376137339adffa))
@@ -395,13 +395,13 @@ func TestDefaultBackendBitIdenticalGolden(t *testing.T) {
 // backend, its results match the reference, and an unknown name is rejected
 // at construction.
 func TestKernelSelection(t *testing.T) {
-	if _, err := NewContext(Config{MC: 8, KC: 8, NC: 16, Threads: 1, Kernel: "no-such-kernel"}); err == nil {
+	if _, err := NewContext[float64](Config{MC: 8, KC: 8, NC: 16, Threads: 1, Kernel: "no-such-kernel"}); err == nil {
 		t.Fatal("unknown kernel accepted")
 	}
 	for _, name := range kernel.Backends() {
-		bk := kernel.MustResolve(name)
+		bk := kernel.MustResolve[float64](name)
 		cfg := Config{MC: 2 * bk.MR(), KC: 8, NC: 2 * bk.NR(), Threads: 2, Kernel: name}
-		ctx, err := NewContext(cfg)
+		ctx, err := NewContext[float64](cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -410,8 +410,8 @@ func TestKernelSelection(t *testing.T) {
 		}
 		rng := rand.New(rand.NewSource(21))
 		a, b := randMat(rng, 37, 29), randMat(rng, 29, 41)
-		c := matrix.New(37, 41)
-		want := matrix.New(37, 41)
+		c := matrix.New[float64](37, 41)
+		want := matrix.New[float64](37, 41)
 		matrix.MulAdd(want, a, b)
 		ctx.MulAdd(c, a, b)
 		if d := c.MaxAbsDiff(want); d > 1e-10 {
@@ -424,10 +424,10 @@ func TestKernelSelection(t *testing.T) {
 // selected backend's micro-tile, not the package default's — MC=4 is fine
 // for go4x4 but must be rejected for the 8-row go8x4 tile.
 func TestValidateRejectsBlockingBelowBackendTile(t *testing.T) {
-	if _, err := NewContext(Config{MC: 4, KC: 8, NC: 16, Threads: 1}); err != nil {
+	if _, err := NewContext[float64](Config{MC: 4, KC: 8, NC: 16, Threads: 1}); err != nil {
 		t.Fatalf("MC=4 must be valid for the default 4×4 backend: %v", err)
 	}
-	if _, err := NewContext(Config{MC: 4, KC: 8, NC: 16, Threads: 1, Kernel: "go8x4"}); err == nil {
+	if _, err := NewContext[float64](Config{MC: 4, KC: 8, NC: 16, Threads: 1, Kernel: "go8x4"}); err == nil {
 		t.Fatal("MC=4 accepted for the 8×4 backend")
 	}
 }
@@ -437,7 +437,7 @@ func TestValidateRejectsBlockingBelowBackendTile(t *testing.T) {
 func TestAlignedBuf(t *testing.T) {
 	for _, align := range []int{1, 2, 4, 8} {
 		for _, n := range []int{0, 1, 5, 63, 64} {
-			buf := alignedBuf(n, align)
+			buf := alignedBuf[float64](n, align)
 			if len(buf) != n {
 				t.Fatalf("align=%d n=%d: len %d", align, n, len(buf))
 			}

@@ -4,6 +4,7 @@ import (
 	"unsafe"
 
 	"fmmfam/internal/kernel"
+	"fmmfam/internal/matrix"
 )
 
 // Workspace holds the mutable per-call state of one FusedMulAdd execution:
@@ -15,61 +16,66 @@ import (
 // Buffer sizes and the accumulator tile derive from the configured backend's
 // MR/NR, and buffer starts honor the backend's alignment requirement — a
 // Workspace is only valid for Contexts configured with the same Config
-// (including Kernel).
-type Workspace struct {
-	bbuf  []float64
-	abufs [][]float64 // one Ã per worker
+// (including Kernel) and the same element type: the buffers are typed []E,
+// so a float32 workspace can never be handed to a float64 call (the
+// mixed-dtype pooling tests at the top layer pin this).
+type Workspace[E matrix.Element] struct {
+	bbuf  []E
+	abufs [][]E // one Ã per worker
 	// accs holds one MR×NR accumulator tile per worker for the generic
 	// macro-kernel path; nil for the default backend, whose devirtualized
 	// path uses a stack-resident tile instead.
-	accs [][]float64
+	accs [][]E
 }
 
 // acc returns worker w's accumulator tile (nil for the default backend).
-func (ws *Workspace) acc(w int) []float64 {
+func (ws *Workspace[E]) acc(w int) []E {
 	if ws.accs == nil {
 		return nil
 	}
 	return ws.accs[w]
 }
 
-// NewWorkspace allocates packing buffers sized and aligned for cfg's backend.
-// Most callers never need this — Context rents workspaces internally — but it
-// is exposed for callers that want to manage workspace lifetime themselves
-// (e.g. arena-style reuse in tight custom loops). NewWorkspace panics on an
-// unknown cfg.Kernel; validate the config first (NewContext does).
-func NewWorkspace(cfg Config) *Workspace {
-	return newWorkspace(cfg, kernel.MustResolve(cfg.Kernel))
+// NewWorkspace allocates packing buffers sized and aligned for cfg's backend
+// at element type E. Most callers never need this — Context rents workspaces
+// internally — but it is exposed for callers that want to manage workspace
+// lifetime themselves (e.g. arena-style reuse in tight custom loops).
+// NewWorkspace panics on an unknown cfg.Kernel; validate the config first
+// (NewContext does).
+func NewWorkspace[E matrix.Element](cfg Config) *Workspace[E] {
+	return newWorkspace[E](cfg, kernel.MustResolve[E](cfg.Kernel))
 }
 
-func newWorkspace(cfg Config, bk kernel.Backend) *Workspace {
+func newWorkspace[E matrix.Element](cfg Config, bk kernel.Backend[E]) *Workspace[E] {
 	align := bk.Align()
-	ws := &Workspace{
-		bbuf:  alignedBuf(bk.PackBBufLen(cfg.KC, cfg.NC), align),
-		abufs: make([][]float64, cfg.Threads),
+	ws := &Workspace[E]{
+		bbuf:  alignedBuf[E](bk.PackBBufLen(cfg.KC, cfg.NC), align),
+		abufs: make([][]E, cfg.Threads),
 	}
 	generic := bk.Name() != kernel.DefaultBackend
 	if generic {
-		ws.accs = make([][]float64, cfg.Threads)
+		ws.accs = make([][]E, cfg.Threads)
 	}
 	for i := range ws.abufs {
-		ws.abufs[i] = alignedBuf(bk.PackABufLen(cfg.MC, cfg.KC), align)
+		ws.abufs[i] = alignedBuf[E](bk.PackABufLen(cfg.MC, cfg.KC), align)
 		if generic {
-			ws.accs[i] = alignedBuf(bk.MR()*bk.NR(), align)
+			ws.accs[i] = alignedBuf[E](bk.MR()*bk.NR(), align)
 		}
 	}
 	return ws
 }
 
-// alignedBuf returns a length-n float64 slice whose first element is aligned
-// to align·8 bytes, over-allocating by up to align−1 elements when needed.
-// Pure-Go backends use align=1 (any); SIMD backends need their vector width.
-func alignedBuf(n, align int) []float64 {
+// alignedBuf returns a length-n element slice whose first element is aligned
+// to align·sizeof(E) bytes, over-allocating by up to align−1 elements when
+// needed. Pure-Go backends use align=1 (any); SIMD backends need their
+// vector width in elements.
+func alignedBuf[E matrix.Element](n, align int) []E {
 	if align <= 1 || n == 0 {
-		return make([]float64, n)
+		return make([]E, n)
 	}
-	buf := make([]float64, n+align-1)
-	rem := int((uintptr(unsafe.Pointer(&buf[0])) / 8) % uintptr(align))
+	buf := make([]E, n+align-1)
+	size := unsafe.Sizeof(buf[0])
+	rem := int((uintptr(unsafe.Pointer(&buf[0])) / size) % uintptr(align))
 	off := 0
 	if rem != 0 {
 		off = align - rem
@@ -86,16 +92,17 @@ func alignedBuf(n, align int) []float64 {
 // A plain sync.Pool would also work, but its retention policy is opaque
 // (cleared on every GC cycle) and unbounded between cycles; a fixed-capacity
 // channel gives a hard cap on retained packing memory, which matters because
-// one Workspace is O(KC·NC + Threads·MC·KC) floats.
-type workspacePool struct {
+// one Workspace is O(KC·NC + Threads·MC·KC) elements.
+type workspacePool[E matrix.Element] struct {
 	cfg  Config
-	bk   kernel.Backend
-	free chan *Workspace
+	bk   kernel.Backend[E]
+	free chan *Workspace[E]
 }
 
-// maxRetainedFloats caps the idle packing memory one Context keeps warm
-// (≈64 MiB of float64s). Without it the retained memory would scale as
-// O(Threads²): 2·Threads pooled workspaces, each holding Threads Ã buffers.
+// maxRetainedFloats caps the idle packing memory one Context keeps warm, in
+// elements (≈64 MiB of float64s, ≈32 MiB of float32s). Without it the
+// retained memory would scale as O(Threads²): 2·Threads pooled workspaces,
+// each holding Threads Ã buffers.
 const maxRetainedFloats = 1 << 23
 
 // workspacePoolBound returns how many idle workspaces a context retains:
@@ -105,7 +112,7 @@ const maxRetainedFloats = 1 << 23
 // when a single workspace already exceeds the cap, nothing is retained and
 // every get allocates fresh (get and put handle an empty pool) — rather
 // than silently keeping oversized workspaces alive past the documented cap.
-func workspacePoolBound(cfg Config, bk kernel.Backend) int {
+func workspacePoolBound[E matrix.Element](cfg Config, bk kernel.Backend[E]) int {
 	per := bk.PackBBufLen(cfg.KC, cfg.NC) + cfg.Threads*bk.PackABufLen(cfg.MC, cfg.KC)
 	n := 2 * cfg.Threads
 	if lim := maxRetainedFloats / per; n > lim {
@@ -114,20 +121,20 @@ func workspacePoolBound(cfg Config, bk kernel.Backend) int {
 	return n
 }
 
-func newWorkspacePool(cfg Config, bk kernel.Backend) *workspacePool {
-	return &workspacePool{cfg: cfg, bk: bk, free: make(chan *Workspace, workspacePoolBound(cfg, bk))}
+func newWorkspacePool[E matrix.Element](cfg Config, bk kernel.Backend[E]) *workspacePool[E] {
+	return &workspacePool[E]{cfg: cfg, bk: bk, free: make(chan *Workspace[E], workspacePoolBound(cfg, bk))}
 }
 
-func (p *workspacePool) get() *Workspace {
+func (p *workspacePool[E]) get() *Workspace[E] {
 	select {
 	case ws := <-p.free:
 		return ws
 	default:
-		return newWorkspace(p.cfg, p.bk)
+		return newWorkspace[E](p.cfg, p.bk)
 	}
 }
 
-func (p *workspacePool) put(ws *Workspace) {
+func (p *workspacePool[E]) put(ws *Workspace[E]) {
 	select {
 	case p.free <- ws:
 	default: // pool full: drop, the GC reclaims it

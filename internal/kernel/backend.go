@@ -8,16 +8,19 @@ import (
 	"fmmfam/internal/matrix"
 )
 
-// Backend is a pluggable micro-kernel implementation: the register-blocked
-// rank-kC update of Figure 1 together with the packing routines that lay
-// operands out in the micro-panel formats the kernel consumes. The GEMM
-// driver (internal/gemm) is written against this interface only — swapping
-// the backend swaps the innermost loops while the five-loop structure,
-// workspace pooling, and FMM fusion stay fixed, which is exactly how the
-// paper ports across architectures.
+// Backend is a pluggable micro-kernel implementation for one element type:
+// the register-blocked rank-kC update of Figure 1 together with the packing
+// routines that lay operands out in the micro-panel formats the kernel
+// consumes. The GEMM driver (internal/gemm) is written against this
+// interface only — swapping the backend swaps the innermost loops while the
+// five-loop structure, workspace pooling, and FMM fusion stay fixed, which
+// is exactly how the paper ports across architectures. A backend is
+// registered under its (Name, dtype) pair; the two built-in pure-Go backends
+// register for both float64 and float32, while a SIMD backend may support
+// only the dtype its instruction mix targets.
 //
 // Contract (enforced by internal/kernel/conformance — every backend
-// registered with Register must pass that suite):
+// registered with Register must pass that suite for its dtype):
 //
 //   - PackA writes the mc×kc linear combination of the A-side terms in Ã
 //     layout: ⌈mc/MR⌉ consecutive row-panels, panel rows stored column-major
@@ -31,11 +34,12 @@ import (
 //     column-panel into acc (row-major MR×NR, len ≥ MR·NR), overwriting acc.
 //   - Scatter adds coef·acc[0:mr, 0:nr] into the mr×nr region of m at
 //     (r0, c0); mr ≤ MR and nr ≤ NR handle fringe tiles.
-//   - PackABufLen/PackBBufLen size packing buffers, including zero padding.
-//   - Align is the required alignment of packed-buffer starts, in float64
-//     elements (1 = any; an AVX backend would return 4 for 32-byte loads).
+//   - PackABufLen/PackBBufLen size packing buffers, including zero padding,
+//     in elements.
+//   - Align is the required alignment of packed-buffer starts, in elements
+//     (1 = any; an AVX2 float32 backend would return 8 for 32-byte loads).
 //     Workspace allocation (internal/gemm) honors it.
-type Backend interface {
+type Backend[E matrix.Element] interface {
 	// Name is the registry key, e.g. "go4x4". Stable across releases: users
 	// select backends by name via Config.Kernel / FMMFAM_KERNEL.
 	Name() string
@@ -43,29 +47,41 @@ type Backend interface {
 	NR() int
 	Align() int
 
-	PackA(dst []float64, terms []Term, r0, c0, mc, kc int) int
-	PackB(dst []float64, terms []Term, r0, c0, kc, nc int) int
-	PackBRange(dst []float64, terms []Term, r0, c0, kc, nc, panelLo, panelHi int)
-	Micro(kc int, ap, bp, acc []float64)
-	Scatter(m matrix.Mat, r0, c0 int, coef float64, acc []float64, mr, nr int)
+	PackA(dst []E, terms []Term[E], r0, c0, mc, kc int) int
+	PackB(dst []E, terms []Term[E], r0, c0, kc, nc int) int
+	PackBRange(dst []E, terms []Term[E], r0, c0, kc, nc, panelLo, panelHi int)
+	Micro(kc int, ap, bp, acc []E)
+	Scatter(m matrix.Mat[E], r0, c0 int, coef E, acc []E, mr, nr int)
 	PackABufLen(mc, kc int) int
 	PackBBufLen(kc, nc int) int
 }
 
 // DefaultBackend is the registry name an empty kernel selection resolves to:
-// the original MR=NR=4 pure-Go kernel, kept bit-identical across releases.
+// the original MR=NR=4 pure-Go kernel, kept bit-identical across releases
+// for float64.
 const DefaultBackend = "go4x4"
 
+// regKey identifies one registered backend: its registry name and the
+// element type it implements.
+type regKey struct {
+	name  string
+	dtype matrix.Dtype
+}
+
+// registry maps (name, dtype) → Backend[E] (stored as any; Resolve[E]
+// recovers the typed interface — the dtype key guarantees the assertion
+// succeeds).
 var registry = struct {
 	sync.RWMutex
-	m map[string]Backend
-}{m: make(map[string]Backend)}
+	m map[regKey]any
+}{m: make(map[regKey]any)}
 
-// Register adds a backend under its Name. It rejects empty or duplicate
-// names and degenerate tile shapes. Backends are expected to pass the
-// conformance suite (internal/kernel/conformance); register new backends
-// from an init function so Config.Kernel can select them by name.
-func Register(b Backend) error {
+// Register adds a backend under its (Name, dtype) pair. It rejects empty or
+// duplicate names and degenerate tile shapes. Backends are expected to pass
+// the conformance suite (internal/kernel/conformance) for every dtype they
+// register; register new backends from an init function so Config.Kernel can
+// select them by name.
+func Register[E matrix.Element](b Backend[E]) error {
 	if b == nil {
 		return fmt.Errorf("kernel: nil backend")
 	}
@@ -77,52 +93,90 @@ func Register(b Backend) error {
 		return fmt.Errorf("kernel: backend %q has degenerate MR=%d NR=%d Align=%d",
 			name, b.MR(), b.NR(), b.Align())
 	}
+	key := regKey{name: name, dtype: matrix.DtypeOf[E]()}
 	registry.Lock()
 	defer registry.Unlock()
-	if _, dup := registry.m[name]; dup {
-		return fmt.Errorf("kernel: backend %q already registered", name)
+	if _, dup := registry.m[key]; dup {
+		return fmt.Errorf("kernel: backend %q already registered for %s", name, key.dtype)
 	}
-	registry.m[name] = b
+	registry.m[key] = b
 	return nil
 }
 
 // MustRegister is Register for init-time registration of known-good backends.
-func MustRegister(b Backend) {
-	if err := Register(b); err != nil {
+func MustRegister[E matrix.Element](b Backend[E]) {
+	if err := Register[E](b); err != nil {
 		panic(err)
 	}
 }
 
-// Resolve returns the backend registered under name; the empty name selects
-// DefaultBackend. Unknown names error with the list of registered backends.
-func Resolve(name string) (Backend, error) {
+// Resolve returns the backend registered under name for element type E; the
+// empty name selects DefaultBackend. Unknown (name, dtype) pairs error with
+// the list of backends registered for that dtype.
+func Resolve[E matrix.Element](name string) (Backend[E], error) {
+	if name == "" {
+		name = DefaultBackend
+	}
+	d := matrix.DtypeOf[E]()
+	registry.RLock()
+	b, ok := registry.m[regKey{name: name, dtype: d}]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("kernel: unknown backend %q for %s (registered: %v)", name, d, BackendsFor(d))
+	}
+	return b.(Backend[E]), nil
+}
+
+// ResolveNameFor is the runtime-dtype form of Resolve for callers that hold
+// a matrix.Dtype value instead of a compile-time element type (the
+// performance model's Arch pricing): it canonicalizes name (empty selects
+// DefaultBackend) and reports whether that backend is registered for d.
+func ResolveNameFor(name string, d matrix.Dtype) (string, bool) {
 	if name == "" {
 		name = DefaultBackend
 	}
 	registry.RLock()
-	b, ok := registry.m[name]
+	_, ok := registry.m[regKey{name: name, dtype: d}]
 	registry.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("kernel: unknown backend %q (registered: %v)", name, Backends())
-	}
-	return b, nil
+	return name, ok
 }
 
 // MustResolve is Resolve for names already validated (e.g. by a Config check).
-func MustResolve(name string) Backend {
-	b, err := Resolve(name)
+func MustResolve[E matrix.Element](name string) Backend[E] {
+	b, err := Resolve[E](name)
 	if err != nil {
 		panic(err)
 	}
 	return b
 }
 
-// Backends lists the registered backend names, sorted.
+// Backends lists the registered backend names, sorted and deduplicated
+// across dtypes — the valid Config.Kernel values. Use BackendsFor to ask
+// which names support one specific element type.
 func Backends() []string {
 	registry.RLock()
+	seen := make(map[string]bool, len(registry.m))
 	names := make([]string, 0, len(registry.m))
-	for name := range registry.m {
-		names = append(names, name)
+	for key := range registry.m {
+		if !seen[key.name] {
+			seen[key.name] = true
+			names = append(names, key.name)
+		}
+	}
+	registry.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// BackendsFor lists the backend names registered for one element type,
+// sorted.
+func BackendsFor(d matrix.Dtype) []string {
+	registry.RLock()
+	names := make([]string, 0, len(registry.m))
+	for key := range registry.m {
+		if key.dtype == d {
+			names = append(names, key.name)
+		}
 	}
 	registry.RUnlock()
 	sort.Strings(names)
@@ -138,7 +192,7 @@ func packBBufLen(nr, kc, nc int) int { return ((nc + nr - 1) / nr) * nr * kc }
 // dst in Ã layout for an arbitrary row-panel height mr. It performs the same
 // element-order arithmetic as the specialized packers, so for a given mr the
 // two are bit-identical.
-func packAGeneric(mr int, dst []float64, terms []Term, r0, c0, mc, kc int) int {
+func packAGeneric[E matrix.Element](mr int, dst []E, terms []Term[E], r0, c0, mc, kc int) int {
 	n := packABufLen(mr, mc, kc)
 	dst = dst[:n]
 	for i := range dst {
@@ -170,9 +224,9 @@ func packAGeneric(mr int, dst []float64, terms []Term, r0, c0, mc, kc int) int {
 }
 
 // packBGeneric writes the whole kc×nc combination in B̃ layout for an
-// arbitrary column-panel width nr and returns the number of float64s
+// arbitrary column-panel width nr and returns the number of elements
 // written; see packAGeneric.
-func packBGeneric(nr int, dst []float64, terms []Term, r0, c0, kc, nc int) int {
+func packBGeneric[E matrix.Element](nr int, dst []E, terms []Term[E], r0, c0, kc, nc int) int {
 	panels := (nc + nr - 1) / nr
 	packBRangeGeneric(nr, dst, terms, r0, c0, kc, nc, 0, panels)
 	return panels * kc * nr
@@ -180,7 +234,7 @@ func packBGeneric(nr int, dst []float64, terms []Term, r0, c0, kc, nc int) int {
 
 // packBRangeGeneric packs column-panels [panelLo, panelHi) of the B̃ layout
 // for an arbitrary column-panel width nr; see packAGeneric.
-func packBRangeGeneric(nr int, dst []float64, terms []Term, r0, c0, kc, nc, panelLo, panelHi int) {
+func packBRangeGeneric[E matrix.Element](nr int, dst []E, terms []Term[E], r0, c0, kc, nc, panelLo, panelHi int) {
 	for panel := panelLo; panel < panelHi; panel++ {
 		j0 := panel * nr
 		w := nr
@@ -214,7 +268,7 @@ func packBRangeGeneric(nr int, dst []float64, terms []Term, r0, c0, kc, nc, pane
 
 // scatterGeneric adds coef·acc[0:mr, 0:nr] (acc row-major with row stride
 // nrFull) into the mr×nr region of m at (r0, c0).
-func scatterGeneric(nrFull int, m matrix.Mat, r0, c0 int, coef float64, acc []float64, mr, nr int) {
+func scatterGeneric[E matrix.Element](nrFull int, m matrix.Mat[E], r0, c0 int, coef E, acc []E, mr, nr int) {
 	for i := 0; i < mr; i++ {
 		row := m.Data[(r0+i)*m.Stride+c0 : (r0+i)*m.Stride+c0+nr]
 		a := acc[i*nrFull : i*nrFull+nr]

@@ -18,13 +18,13 @@ func (s stubBackend) Name() string { return s.name }
 func (s stubBackend) MR() int      { return s.mr }
 func (s stubBackend) NR() int      { return s.nr }
 func (s stubBackend) Align() int   { return s.align }
-func (s stubBackend) PackA(dst []float64, terms []Term, r0, c0, mc, kc int) int {
+func (s stubBackend) PackA(dst []float64, terms []Term[float64], r0, c0, mc, kc int) int {
 	return packAGeneric(s.mr, dst, terms, r0, c0, mc, kc)
 }
-func (s stubBackend) PackB(dst []float64, terms []Term, r0, c0, kc, nc int) int {
+func (s stubBackend) PackB(dst []float64, terms []Term[float64], r0, c0, kc, nc int) int {
 	return packBGeneric(s.nr, dst, terms, r0, c0, kc, nc)
 }
-func (s stubBackend) PackBRange(dst []float64, terms []Term, r0, c0, kc, nc, lo, hi int) {
+func (s stubBackend) PackBRange(dst []float64, terms []Term[float64], r0, c0, kc, nc, lo, hi int) {
 	packBRangeGeneric(s.nr, dst, terms, r0, c0, kc, nc, lo, hi)
 }
 func (s stubBackend) Micro(kc int, ap, bp, acc []float64) {
@@ -39,7 +39,7 @@ func (s stubBackend) Micro(kc int, ap, bp, acc []float64) {
 		}
 	}
 }
-func (s stubBackend) Scatter(m matrix.Mat, r0, c0 int, coef float64, acc []float64, mr, nr int) {
+func (s stubBackend) Scatter(m matrix.Mat[float64], r0, c0 int, coef float64, acc []float64, mr, nr int) {
 	scatterGeneric(s.nr, m, r0, c0, coef, acc, mr, nr)
 }
 func (s stubBackend) PackABufLen(mc, kc int) int { return packABufLen(s.mr, mc, kc) }
@@ -51,14 +51,14 @@ func TestRegistryBuiltins(t *testing.T) {
 		t.Fatalf("Backends() not sorted: %v", names)
 	}
 	for _, want := range []string{"go4x4", "go8x4"} {
-		if _, err := Resolve(want); err != nil {
+		if _, err := Resolve[float64](want); err != nil {
 			t.Fatalf("built-in backend %q missing: %v", want, err)
 		}
 	}
 	// Empty name resolves to the default backend.
-	def, err := Resolve("")
+	def, err := Resolve[float64]("")
 	if err != nil || def.Name() != DefaultBackend {
-		t.Fatalf("Resolve(\"\") = %v, %v; want %s", def, err, DefaultBackend)
+		t.Fatalf("Resolve[float64](\"\") = %v, %v; want %s", def, err, DefaultBackend)
 	}
 	if def.MR() != MR || def.NR() != NR {
 		t.Fatalf("default backend tile %d×%d, want %d×%d", def.MR(), def.NR(), MR, NR)
@@ -66,22 +66,22 @@ func TestRegistryBuiltins(t *testing.T) {
 }
 
 func TestRegisterRejectsBadBackends(t *testing.T) {
-	if err := Register(nil); err == nil {
+	if err := Register[float64](nil); err == nil {
 		t.Fatal("nil backend accepted")
 	}
-	if err := Register(stubBackend{name: "", mr: 4, nr: 4, align: 1}); err == nil {
+	if err := Register[float64](stubBackend{name: "", mr: 4, nr: 4, align: 1}); err == nil {
 		t.Fatal("empty name accepted")
 	}
-	if err := Register(stubBackend{name: "degenerate", mr: 0, nr: 4, align: 1}); err == nil {
+	if err := Register[float64](stubBackend{name: "degenerate", mr: 0, nr: 4, align: 1}); err == nil {
 		t.Fatal("MR=0 accepted")
 	}
-	if err := Register(stubBackend{name: "go4x4", mr: 4, nr: 4, align: 1}); err == nil {
+	if err := Register[float64](stubBackend{name: "go4x4", mr: 4, nr: 4, align: 1}); err == nil {
 		t.Fatal("duplicate name accepted")
 	}
 }
 
 func TestResolveUnknown(t *testing.T) {
-	if _, err := Resolve("no-such-backend"); err == nil {
+	if _, err := Resolve[float64]("no-such-backend"); err == nil {
 		t.Fatal("unknown backend resolved")
 	}
 	defer func() {
@@ -89,7 +89,7 @@ func TestResolveUnknown(t *testing.T) {
 			t.Fatal("MustResolve must panic on unknown backend")
 		}
 	}()
-	MustResolve("no-such-backend")
+	MustResolve[float64]("no-such-backend")
 }
 
 // TestRegisterThirdPartyBackend registers a stub 2×3 backend and checks it
@@ -97,10 +97,10 @@ func TestResolveUnknown(t *testing.T) {
 // the extension path a future asm/cgo backend takes.
 func TestRegisterThirdPartyBackend(t *testing.T) {
 	stub := stubBackend{name: "stub2x3-test", mr: 2, nr: 3, align: 2}
-	if err := Register(stub); err != nil {
+	if err := Register[float64](stub); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Resolve("stub2x3-test")
+	got, err := Resolve[float64]("stub2x3-test")
 	if err != nil || got.MR() != 2 || got.NR() != 3 {
 		t.Fatalf("stub did not resolve correctly: %v %v", got, err)
 	}

@@ -1,14 +1,20 @@
 // Package conformance is the shared acceptance suite every micro-kernel
 // backend must pass to be registered (see kernel.Backend). It drives a
-// backend — by registry name, exactly as Config.Kernel will — through the
-// pack-layout invariants, the micro-kernel and scatter contracts, fused
-// multi-term products against a naive reference, edge problem shapes around
-// the backend's own MR/NR, the driver's determinism guarantees, and a
-// differential fuzz target. A future AVX/asm or cgo backend only has to
-// register and pass:
+// backend — by registry name and element type, exactly as Config.Kernel and
+// the typed entry points will — through the pack-layout invariants, the
+// micro-kernel and scatter contracts, fused multi-term products against a
+// naive reference, edge problem shapes around the backend's own MR/NR, the
+// driver's determinism guarantees, and a differential fuzz target. All
+// comparison tolerances are FLOP-scaled in units of the element type's
+// machine epsilon, so the same suite gates float64 and float32 conformance.
+// A future AVX/asm or cgo backend only has to register and pass, once per
+// dtype it supports:
 //
-//	func TestMyBackend(t *testing.T) { conformance.Run(t, "avx512") }
-//	func FuzzMyBackend(f *testing.F) { conformance.FuzzDifferential(f, "avx512") }
+//	func TestMyBackend(t *testing.T) {
+//		conformance.Run[float64](t, "avx512")
+//		conformance.Run[float32](t, "avx512")
+//	}
+//	func FuzzMyBackend(f *testing.F) { conformance.FuzzDifferential[float32](f, "avx512") }
 //
 // The suite is intentionally written against the Backend interface and the
 // public gemm driver only, so it cannot accidentally depend on an
@@ -26,11 +32,11 @@ import (
 )
 
 // Run drives the full conformance suite against the named registered
-// backend. Every subtest failure names the backend, so a matrix run over
-// kernel.Backends() pinpoints the offender.
-func Run(t *testing.T, name string) {
+// backend at element type E. Every subtest failure names the backend, so a
+// matrix run over kernel.Backends() × dtypes pinpoints the offender.
+func Run[E matrix.Element](t *testing.T, name string) {
 	t.Helper()
-	bk, err := kernel.Resolve(name)
+	bk, err := kernel.Resolve[E](name)
 	if err != nil {
 		t.Fatalf("conformance: %v", err)
 	}
@@ -46,7 +52,7 @@ func Run(t *testing.T, name string) {
 	t.Run("DriverDeterminism", func(t *testing.T) { checkDriverDeterminism(t, bk) })
 }
 
-func checkRegistration(t *testing.T, bk kernel.Backend) {
+func checkRegistration[E matrix.Element](t *testing.T, bk kernel.Backend[E]) {
 	if bk.Name() == "" {
 		t.Fatal("empty backend name")
 	}
@@ -56,13 +62,13 @@ func checkRegistration(t *testing.T, bk kernel.Backend) {
 	if bk.Align() < 1 {
 		t.Fatalf("degenerate alignment %d", bk.Align())
 	}
-	again, err := kernel.Resolve(bk.Name())
+	again, err := kernel.Resolve[E](bk.Name())
 	if err != nil || again.Name() != bk.Name() {
 		t.Fatalf("backend does not resolve to itself: %v", err)
 	}
 }
 
-func checkBufLens(t *testing.T, bk kernel.Backend) {
+func checkBufLens[E matrix.Element](t *testing.T, bk kernel.Backend[E]) {
 	mr, nr := bk.MR(), bk.NR()
 	for _, d := range []struct{ blk, kc int }{{1, 1}, {mr - 1, 3}, {mr, 7}, {mr + 1, 8}, {3*mr + 2, 17}} {
 		if d.blk < 1 {
@@ -79,9 +85,9 @@ func checkBufLens(t *testing.T, bk kernel.Backend) {
 
 // unpackA reads an Ã buffer back into a dense mc×kc matrix using the
 // canonical panel layout with the backend's MR.
-func unpackA(bk kernel.Backend, buf []float64, mc, kc int) matrix.Mat {
+func unpackA[E matrix.Element](bk kernel.Backend[E], buf []E, mc, kc int) matrix.Mat[E] {
 	mr := bk.MR()
-	out := matrix.New(mc, kc)
+	out := matrix.New[E](mc, kc)
 	for i := 0; i < mc; i++ {
 		for p := 0; p < kc; p++ {
 			out.Set(i, p, buf[(i/mr)*mr*kc+p*mr+i%mr])
@@ -91,9 +97,9 @@ func unpackA(bk kernel.Backend, buf []float64, mc, kc int) matrix.Mat {
 }
 
 // unpackB reads a B̃ buffer back into a dense kc×nc matrix.
-func unpackB(bk kernel.Backend, buf []float64, kc, nc int) matrix.Mat {
+func unpackB[E matrix.Element](bk kernel.Backend[E], buf []E, kc, nc int) matrix.Mat[E] {
 	nr := bk.NR()
-	out := matrix.New(kc, nc)
+	out := matrix.New[E](kc, nc)
 	for p := 0; p < kc; p++ {
 		for j := 0; j < nc; j++ {
 			out.Set(p, j, buf[(j/nr)*kc*nr+p*nr+j%nr])
@@ -102,18 +108,22 @@ func unpackB(bk kernel.Backend, buf []float64, kc, nc int) matrix.Mat {
 	return out
 }
 
+// nan returns a NaN of the element type, for poisoning buffers that must be
+// fully overwritten.
+func nan[E matrix.Element]() E { return E(math.NaN()) }
+
 // checkPackLayout: a single-term pack is a pure relayout (round-trips through
 // unpack), the padding rows/columns are zero, and the reported write count
 // matches PackABufLen/PackBBufLen.
-func checkPackLayout(t *testing.T, bk kernel.Backend) {
+func checkPackLayout[E matrix.Element](t *testing.T, bk kernel.Backend[E]) {
 	rng := rand.New(rand.NewSource(101))
 	mr, nr := bk.MR(), bk.NR()
 	for _, d := range []struct{ mc, kc int }{{1, 1}, {mr, 3}, {mr + 1, 5}, {2*mr + 1, 8}} {
-		src := matrix.New(d.mc+3, d.kc+2)
+		src := matrix.New[E](d.mc+3, d.kc+2)
 		src.FillRand(rng)
-		buf := make([]float64, bk.PackABufLen(d.mc, d.kc))
+		buf := make([]E, bk.PackABufLen(d.mc, d.kc))
 		for i := range buf {
-			buf[i] = math.NaN() // padding must be written, not inherited
+			buf[i] = nan[E]() // padding must be written, not inherited
 		}
 		n := bk.PackA(buf, kernel.SingleTerm(src), 2, 1, d.mc, d.kc)
 		if n != len(buf) {
@@ -132,11 +142,11 @@ func checkPackLayout(t *testing.T, bk kernel.Backend) {
 		}
 	}
 	for _, d := range []struct{ kc, nc int }{{1, 1}, {3, nr}, {5, nr + 1}, {8, 2*nr + 1}} {
-		src := matrix.New(d.kc+2, d.nc+3)
+		src := matrix.New[E](d.kc+2, d.nc+3)
 		src.FillRand(rng)
-		buf := make([]float64, bk.PackBBufLen(d.kc, d.nc))
+		buf := make([]E, bk.PackBBufLen(d.kc, d.nc))
 		for i := range buf {
-			buf[i] = math.NaN()
+			buf[i] = nan[E]()
 		}
 		n := bk.PackB(buf, kernel.SingleTerm(src), 1, 2, d.kc, d.nc)
 		if n != len(buf) {
@@ -158,45 +168,48 @@ func checkPackLayout(t *testing.T, bk kernel.Backend) {
 
 // checkPackLinearCombination: packing a term list equals packing the
 // explicitly accumulated combination, and zero-coefficient terms are inert.
-func checkPackLinearCombination(t *testing.T, bk kernel.Backend) {
+func checkPackLinearCombination[E matrix.Element](t *testing.T, bk kernel.Backend[E]) {
 	rng := rand.New(rand.NewSource(102))
 	mr := bk.MR()
 	mc, kc := 2*mr+1, 6
-	x, y, z := matrix.New(mc, kc), matrix.New(mc, kc), matrix.New(mc, kc)
+	x, y, z := matrix.New[E](mc, kc), matrix.New[E](mc, kc), matrix.New[E](mc, kc)
 	x.FillRand(rng)
 	y.FillRand(rng)
 	z.FillRand(rng)
-	terms := []kernel.Term{{Coef: 1, M: x}, {Coef: -0.5, M: y}, {Coef: 0, M: z}}
+	terms := []kernel.Term[E]{{Coef: 1, M: x}, {Coef: -0.5, M: y}, {Coef: 0, M: z}}
 	want := x.Clone()
 	want.AddScaled(-0.5, y)
-	buf := make([]float64, bk.PackABufLen(mc, kc))
+	buf := make([]E, bk.PackABufLen(mc, kc))
 	bk.PackA(buf, terms, 0, 0, mc, kc)
-	if d := unpackA(bk, buf, mc, kc).MaxAbsDiff(want); d > 1e-15 {
+	// Both sides accumulate the two-term combination in one order, so the
+	// only admissible gap is a couple of rounding units.
+	limit := 4 * matrix.Eps[E]()
+	if d := unpackA(bk, buf, mc, kc).MaxAbsDiff(want); d > limit {
 		t.Fatalf("fused A combination differs from explicit sum by %g", d)
 	}
-	bbuf := make([]float64, bk.PackBBufLen(mc, kc))
-	bk.PackB(bbuf, []kernel.Term{{Coef: 0.25, M: x}, {Coef: 2, M: y}}, 0, 0, mc, kc)
-	wantB := matrix.New(mc, kc)
+	bbuf := make([]E, bk.PackBBufLen(mc, kc))
+	bk.PackB(bbuf, []kernel.Term[E]{{Coef: 0.25, M: x}, {Coef: 2, M: y}}, 0, 0, mc, kc)
+	wantB := matrix.New[E](mc, kc)
 	wantB.AddScaled(0.25, x)
 	wantB.AddScaled(2, y)
-	if d := unpackB(bk, bbuf, mc, kc).MaxAbsDiff(wantB); d > 1e-15 {
+	if d := unpackB(bk, bbuf, mc, kc).MaxAbsDiff(wantB); d > limit {
 		t.Fatalf("fused B combination differs from explicit sum by %g", d)
 	}
 }
 
 // checkPackBRange: packing panel sub-ranges covers exactly the whole-pack
 // result — the invariant the driver's parallel packB relies on.
-func checkPackBRange(t *testing.T, bk kernel.Backend) {
+func checkPackBRange[E matrix.Element](t *testing.T, bk kernel.Backend[E]) {
 	rng := rand.New(rand.NewSource(103))
 	nr := bk.NR()
 	kc, nc := 9, 4*nr+3
-	x, y := matrix.New(kc+1, nc+2), matrix.New(kc+1, nc+2)
+	x, y := matrix.New[E](kc+1, nc+2), matrix.New[E](kc+1, nc+2)
 	x.FillRand(rng)
 	y.FillRand(rng)
-	terms := []kernel.Term{{Coef: 1, M: x}, {Coef: 0.5, M: y}}
-	whole := make([]float64, bk.PackBBufLen(kc, nc))
+	terms := []kernel.Term[E]{{Coef: 1, M: x}, {Coef: 0.5, M: y}}
+	whole := make([]E, bk.PackBBufLen(kc, nc))
 	bk.PackB(whole, terms, 1, 2, kc, nc)
-	parts := make([]float64, bk.PackBBufLen(kc, nc))
+	parts := make([]E, bk.PackBBufLen(kc, nc))
 	panels := (nc + nr - 1) / nr
 	for lo := 0; lo < panels; { // uneven chunks
 		hi := lo + 1 + lo%2
@@ -216,29 +229,36 @@ func checkPackBRange(t *testing.T, bk kernel.Backend) {
 // checkMicro: the micro-kernel's MR×NR rank-kc product matches the reference
 // triple loop, overwrites acc completely (kc=0 must yield a zero tile), and
 // never reads past kc panels.
-func checkMicro(t *testing.T, bk kernel.Backend) {
+func checkMicro[E matrix.Element](t *testing.T, bk kernel.Backend[E]) {
 	rng := rand.New(rand.NewSource(104))
 	mr, nr := bk.MR(), bk.NR()
 	for _, kc := range []int{0, 1, 2, 3, 7, 64} {
-		a, b := matrix.New(mr, max(kc, 1)), matrix.New(max(kc, 1), nr)
+		a, b := matrix.New[E](mr, max(kc, 1)), matrix.New[E](max(kc, 1), nr)
 		a.FillRand(rng)
 		b.FillRand(rng)
-		abuf := make([]float64, bk.PackABufLen(mr, max(kc, 1)))
-		bbuf := make([]float64, bk.PackBBufLen(max(kc, 1), nr))
+		abuf := make([]E, bk.PackABufLen(mr, max(kc, 1)))
+		bbuf := make([]E, bk.PackBBufLen(max(kc, 1), nr))
 		bk.PackA(abuf, kernel.SingleTerm(a), 0, 0, mr, max(kc, 1))
 		bk.PackB(bbuf, kernel.SingleTerm(b), 0, 0, max(kc, 1), nr)
-		acc := make([]float64, mr*nr)
+		acc := make([]E, mr*nr)
 		for i := range acc {
-			acc[i] = 1e300 // must be overwritten, not accumulated into
+			// Poison with a huge finite value (not NaN: the |acc−want| > limit
+			// guard below is inert for NaN) — a kernel that accumulates into
+			// acc instead of overwriting it, or skips elements, blows the
+			// tolerance by ~30 orders of magnitude in either dtype.
+			acc[i] = E(1e30)
 		}
 		bk.Micro(kc, abuf, bbuf, acc)
-		want := matrix.New(mr, nr)
+		want := matrix.New[E](mr, nr)
 		if kc > 0 {
 			matrix.MulAdd(want, a, b)
 		}
+		// Both sides are E-precision dot products of length kc over operands
+		// in [-1, 1); the association orders may differ.
+		limit := 8 * matrix.Eps[E]() * float64(kc+16)
 		for i := 0; i < mr; i++ {
 			for j := 0; j < nr; j++ {
-				if d := math.Abs(acc[i*nr+j] - want.At(i, j)); d > 1e-12 {
+				if d := math.Abs(float64(acc[i*nr+j]) - float64(want.At(i, j))); d > limit {
 					t.Fatalf("kc=%d micro mismatch at (%d,%d): %g", kc, i, j, d)
 				}
 			}
@@ -248,18 +268,18 @@ func checkMicro(t *testing.T, bk kernel.Backend) {
 
 // checkScatter: full and partial tiles accumulate coef·acc into exactly the
 // target region — neighbors of a view must be untouched.
-func checkScatter(t *testing.T, bk kernel.Backend) {
+func checkScatter[E matrix.Element](t *testing.T, bk kernel.Backend[E]) {
 	mr, nr := bk.MR(), bk.NR()
-	acc := make([]float64, mr*nr)
+	acc := make([]E, mr*nr)
 	for i := range acc {
-		acc[i] = float64(i + 1)
+		acc[i] = E(i + 1)
 	}
-	host := matrix.New(mr+4, nr+4)
+	host := matrix.New[E](mr+4, nr+4)
 	host.Fill(5)
 	bk.Scatter(host, 2, 3, -2, acc, mr, nr)
 	for i := 0; i < host.Rows; i++ {
 		for j := 0; j < host.Cols; j++ {
-			want := 5.0
+			want := E(5)
 			if i >= 2 && i < 2+mr && j >= 3 && j < 3+nr {
 				want = 5 - 2*acc[(i-2)*nr+(j-3)]
 			}
@@ -270,11 +290,11 @@ func checkScatter(t *testing.T, bk kernel.Backend) {
 	}
 	// Partial fringe tile: mr-1 × nr-1 (when the tile has room to shrink).
 	pm, pn := max(mr-1, 1), max(nr-1, 1)
-	host2 := matrix.New(mr+2, nr+2)
+	host2 := matrix.New[E](mr+2, nr+2)
 	bk.Scatter(host2, 0, 0, 1, acc, pm, pn)
 	for i := 0; i < host2.Rows; i++ {
 		for j := 0; j < host2.Cols; j++ {
-			want := 0.0
+			want := E(0)
 			if i < pm && j < pn {
 				want = acc[i*nr+j]
 			}
@@ -288,7 +308,7 @@ func checkScatter(t *testing.T, bk kernel.Backend) {
 // driverConfigs are the blocking configurations the driver-level checks run
 // under: minimal (every loop degenerate), deliberately unaligned to the
 // micro-tile, and parallel.
-func driverConfigs(bk kernel.Backend) []gemm.Config {
+func driverConfigs[E matrix.Element](bk kernel.Backend[E]) []gemm.Config {
 	mr, nr := bk.MR(), bk.NR()
 	return []gemm.Config{
 		{MC: mr, KC: 1, NC: nr, Threads: 1, Kernel: bk.Name()},
@@ -300,27 +320,27 @@ func driverConfigs(bk kernel.Backend) []gemm.Config {
 // checkEdgeShapes sweeps the driver over every combination of edge dimensions
 // around the backend's own micro-tile — m,n,k ∈ {1, MR−1, MR, MR+1, …} — the
 // shapes where fringe handling, padding, and partial panels all bite.
-func checkEdgeShapes(t *testing.T, bk kernel.Backend) {
+func checkEdgeShapes[E matrix.Element](t *testing.T, bk kernel.Backend[E]) {
 	rng := rand.New(rand.NewSource(105))
 	mr, nr := bk.MR(), bk.NR()
 	dims := edgeDims(mr, nr)
 	for _, cfg := range driverConfigs(bk) {
-		ctx, err := gemm.NewContext(cfg)
+		ctx, err := gemm.NewContext[E](cfg)
 		if err != nil {
 			t.Fatalf("config %+v: %v", cfg, err)
 		}
 		for _, m := range dims {
 			for _, k := range dims {
 				for _, n := range dims {
-					a, b := matrix.New(m, k), matrix.New(k, n)
+					a, b := matrix.New[E](m, k), matrix.New[E](k, n)
 					a.FillRand(rng)
 					b.FillRand(rng)
-					c := matrix.New(m, n)
+					c := matrix.New[E](m, n)
 					c.FillRand(rng)
 					want := c.Clone()
 					matrix.MulAdd(want, a, b)
 					ctx.MulAdd(c, a, b)
-					if d := c.MaxAbsDiff(want); d > tol(k, 1, 1) {
+					if d := c.MaxAbsDiff(want); d > tol[E](k, 1, 1) {
 						t.Fatalf("cfg MC=%d KC=%d NC=%d threads=%d shape %d×%d×%d: diff %g",
 							cfg.MC, cfg.KC, cfg.NC, cfg.Threads, m, k, n, d)
 					}
@@ -346,34 +366,34 @@ func edgeDims(mr, nr int) []int {
 // checkFusedMultiTerm: the generalized fused operation — several weighted A,
 // B, and C terms, the paper's Figure-1 (right) building block — matches the
 // explicit naive evaluation.
-func checkFusedMultiTerm(t *testing.T, bk kernel.Backend) {
+func checkFusedMultiTerm[E matrix.Element](t *testing.T, bk kernel.Backend[E]) {
 	rng := rand.New(rand.NewSource(106))
 	mr, nr := bk.MR(), bk.NR()
 	m, k, n := 2*mr+3, 13, 2*nr+5
 	for _, cfg := range driverConfigs(bk) {
-		ctx := gemm.MustNewContext(cfg)
+		ctx := gemm.MustNewContext[E](cfg)
 		for trial := 0; trial < 4; trial++ {
-			aTerms := randTerms(rng, 1+trial%3, m, k)
-			bTerms := randTerms(rng, 1+(trial+1)%3, k, n)
-			cTerms := randTerms(rng, 1+(trial+2)%3, m, n)
+			aTerms := randTerms[E](rng, 1+trial%3, m, k)
+			bTerms := randTerms[E](rng, 1+(trial+1)%3, k, n)
+			cTerms := randTerms[E](rng, 1+(trial+2)%3, m, n)
 			// Explicit reference: asum·bsum scattered into every C term.
-			asum, bsum := matrix.New(m, k), matrix.New(k, n)
+			asum, bsum := matrix.New[E](m, k), matrix.New[E](k, n)
 			for _, tm := range aTerms {
 				asum.AddScaled(tm.Coef, tm.M)
 			}
 			for _, tm := range bTerms {
 				bsum.AddScaled(tm.Coef, tm.M)
 			}
-			prod := matrix.New(m, n)
+			prod := matrix.New[E](m, n)
 			matrix.MulAdd(prod, asum, bsum)
-			wants := make([]matrix.Mat, len(cTerms))
+			wants := make([]matrix.Mat[E], len(cTerms))
 			for i, tm := range cTerms {
 				wants[i] = tm.M.Clone()
 				wants[i].AddScaled(tm.Coef, prod)
 			}
 			ctx.FusedMulAdd(cTerms, aTerms, bTerms)
 			for i, tm := range cTerms {
-				if d := tm.M.MaxAbsDiff(wants[i]); d > tol(k, len(aTerms), len(bTerms)) {
+				if d := tm.M.MaxAbsDiff(wants[i]); d > tol[E](k, len(aTerms), len(bTerms)) {
 					t.Fatalf("trial %d C-term %d: fused vs explicit diff %g", trial, i, d)
 				}
 			}
@@ -384,18 +404,18 @@ func checkFusedMultiTerm(t *testing.T, bk kernel.Backend) {
 // checkDriverDeterminism: serial and parallel executions of the same fused
 // call must agree bit-for-bit, and repeated runs must be bit-identical —
 // the invariants the serving layer's determinism contracts stand on. These
-// hold structurally for any conforming backend: each C element is written by
-// exactly one micro-tile, whichever worker computes it.
-func checkDriverDeterminism(t *testing.T, bk kernel.Backend) {
+// hold structurally for any conforming backend and either dtype: each C
+// element is written by exactly one micro-tile, whichever worker computes it.
+func checkDriverDeterminism[E matrix.Element](t *testing.T, bk kernel.Backend[E]) {
 	rng := rand.New(rand.NewSource(107))
 	mr, nr := bk.MR(), bk.NR()
 	m, k, n := 5*mr+1, 23, 5*nr+1
-	a, b := matrix.New(m, k), matrix.New(k, n)
+	a, b := matrix.New[E](m, k), matrix.New[E](k, n)
 	a.FillRand(rng)
 	b.FillRand(rng)
-	serial := gemm.MustNewContext(gemm.Config{MC: 2 * mr, KC: 6, NC: 2 * nr, Threads: 1, Kernel: bk.Name()})
-	parallel := gemm.MustNewContext(gemm.Config{MC: 2 * mr, KC: 6, NC: 2 * nr, Threads: 4, Kernel: bk.Name()})
-	c1, c2, c3 := matrix.New(m, n), matrix.New(m, n), matrix.New(m, n)
+	serial := gemm.MustNewContext[E](gemm.Config{MC: 2 * mr, KC: 6, NC: 2 * nr, Threads: 1, Kernel: bk.Name()})
+	parallel := gemm.MustNewContext[E](gemm.Config{MC: 2 * mr, KC: 6, NC: 2 * nr, Threads: 4, Kernel: bk.Name()})
+	c1, c2, c3 := matrix.New[E](m, n), matrix.New[E](m, n), matrix.New[E](m, n)
 	serial.MulAdd(c1, a, b)
 	parallel.MulAdd(c2, a, b)
 	parallel.MulAdd(c3, a, b)
@@ -408,33 +428,36 @@ func checkDriverDeterminism(t *testing.T, bk kernel.Backend) {
 }
 
 // randTerms builds n random r×c terms with coefficients from a small exact
-// set (so reference accumulation stays comparable).
-func randTerms(rng *rand.Rand, n, r, c int) []kernel.Term {
-	coefs := []float64{1, -1, 0.5, -0.5, 2, 0.25}
-	out := make([]kernel.Term, n)
+// set (so reference accumulation stays comparable in either dtype).
+func randTerms[E matrix.Element](rng *rand.Rand, n, r, c int) []kernel.Term[E] {
+	coefs := []E{1, -1, 0.5, -0.5, 2, 0.25}
+	out := make([]kernel.Term[E], n)
 	for i := range out {
-		m := matrix.New(r, c)
+		m := matrix.New[E](r, c)
 		m.FillRand(rng)
-		out[i] = kernel.Term{Coef: coefs[rng.Intn(len(coefs))], M: m}
+		out[i] = kernel.Term[E]{Coef: coefs[rng.Intn(len(coefs))], M: m}
 	}
 	return out
 }
 
-// tol is the FLOP-scaled comparison tolerance for |fused − naive|: both sides
-// are float64 evaluations of the same polynomial in different association
-// orders, so the gap grows with the reduction depth k and the term counts.
-// Operands are in [−1, 1) and coefficients bounded by 2, so per-element
-// magnitude is bounded by 2·nA·2·nB·k ≈ 4·nA·nB·k.
-func tol(k, nA, nB int) float64 {
-	return 1e-14 * float64(k+16) * 4 * float64(nA) * float64(nB)
+// tol is the FLOP-scaled comparison tolerance for |fused − naive|: both
+// sides are E-precision evaluations of the same polynomial in different
+// association orders, so the gap grows with the reduction depth k and the
+// term counts, scaled by the element type's machine epsilon (≈2.2e-16 for
+// float64 — matching the historical 1e-14-based bound — and ≈1.2e-7 for
+// float32). Operands are in [−1, 1) and coefficients bounded by 2, so
+// per-element magnitude is bounded by 2·nA·2·nB·k ≈ 4·nA·nB·k.
+func tol[E matrix.Element](k, nA, nB int) float64 {
+	return 45 * matrix.Eps[E]() * float64(k+16) * 4 * float64(nA) * float64(nB)
 }
 
 // FuzzDifferential registers a differential fuzz target for the named
-// backend: random shapes, coefficients, and term counts, driven through the
-// fused driver and compared against the naive reference with the FLOP-scaled
-// tolerance. The seed corpus pins the edge tiles plus a K-dominant shape.
-func FuzzDifferential(f *testing.F, name string) {
-	bk, err := kernel.Resolve(name)
+// backend at element type E: random shapes, coefficients, and term counts,
+// driven through the fused driver and compared against the naive reference
+// with the FLOP-scaled tolerance of the element type. The seed corpus pins
+// the edge tiles plus a K-dominant shape.
+func FuzzDifferential[E matrix.Element](f *testing.F, name string) {
+	bk, err := kernel.Resolve[E](name)
 	if err != nil {
 		f.Fatalf("conformance: %v", err)
 	}
@@ -444,17 +467,18 @@ func FuzzDifferential(f *testing.F, name string) {
 	f.Add(int64(3), uint16(2*mr+3), uint16(96), uint16(2*nr+1), uint8(3), uint8(1), uint8(2))
 	f.Add(int64(4), uint16(40), uint16(513), uint16(52), uint8(2), uint8(2), uint8(1))
 	f.Fuzz(func(t *testing.T, seed int64, m16, k16, n16 uint16, nA8, nB8, nC8 uint8) {
-		DifferentialCheck(t, name, seed, m16, k16, n16, nA8, nB8, nC8)
+		DifferentialCheck[E](t, name, seed, m16, k16, n16, nA8, nB8, nC8)
 	})
 }
 
 // DifferentialCheck is one differential-fuzz execution: it normalizes the
 // raw fuzz inputs into a bounded fused problem, runs it through the
-// backend's driver, and compares against the naive reference. Exported so
-// backend packages can replay interesting inputs as plain tests.
-func DifferentialCheck(t *testing.T, name string, seed int64, m16, k16, n16 uint16, nA8, nB8, nC8 uint8) {
+// backend's driver at element type E, and compares against the naive
+// reference. Exported so backend packages can replay interesting inputs as
+// plain tests.
+func DifferentialCheck[E matrix.Element](t *testing.T, name string, seed int64, m16, k16, n16 uint16, nA8, nB8, nC8 uint8) {
 	t.Helper()
-	bk, err := kernel.Resolve(name)
+	bk, err := kernel.Resolve[E](name)
 	if err != nil {
 		t.Fatalf("conformance: %v", err)
 	}
@@ -468,20 +492,20 @@ func DifferentialCheck(t *testing.T, name string, seed int64, m16, k16, n16 uint
 	nB := 1 + int(nB8)%3
 	nC := 1 + int(nC8)%3
 	rng := rand.New(rand.NewSource(seed))
-	aTerms := randTerms(rng, nA, m, k)
-	bTerms := randTerms(rng, nB, k, n)
-	cTerms := randTerms(rng, nC, m, n)
+	aTerms := randTerms[E](rng, nA, m, k)
+	bTerms := randTerms[E](rng, nB, k, n)
+	cTerms := randTerms[E](rng, nC, m, n)
 
-	asum, bsum := matrix.New(m, k), matrix.New(k, n)
+	asum, bsum := matrix.New[E](m, k), matrix.New[E](k, n)
 	for _, tm := range aTerms {
 		asum.AddScaled(tm.Coef, tm.M)
 	}
 	for _, tm := range bTerms {
 		bsum.AddScaled(tm.Coef, tm.M)
 	}
-	prod := matrix.New(m, n)
+	prod := matrix.New[E](m, n)
 	matrix.MulAdd(prod, asum, bsum)
-	wants := make([]matrix.Mat, len(cTerms))
+	wants := make([]matrix.Mat[E], len(cTerms))
 	for i, tm := range cTerms {
 		wants[i] = tm.M.Clone()
 		wants[i].AddScaled(tm.Coef, prod)
@@ -496,16 +520,16 @@ func DifferentialCheck(t *testing.T, name string, seed int64, m16, k16, n16 uint
 		Threads: 1 + int((us>>7)%3),
 		Kernel:  bk.Name(),
 	}
-	ctx, err := gemm.NewContext(cfg)
+	ctx, err := gemm.NewContext[E](cfg)
 	if err != nil {
 		t.Fatalf("config %+v: %v", cfg, err)
 	}
 	ctx.FusedMulAdd(cTerms, aTerms, bTerms)
-	limit := tol(k, nA, nB)
+	limit := tol[E](k, nA, nB)
 	for i, tm := range cTerms {
 		if d := tm.M.MaxAbsDiff(wants[i]); d > limit {
-			t.Fatalf("backend %s shape %d×%d×%d terms %d/%d/%d cfg %+v: C-term %d fused vs naive diff %g > %g",
-				name, m, k, n, nA, nB, nC, cfg, i, d, limit)
+			t.Fatalf("backend %s/%s shape %d×%d×%d terms %d/%d/%d cfg %+v: C-term %d fused vs naive diff %g > %g",
+				name, matrix.DtypeOf[E](), m, k, n, nA, nB, nC, cfg, i, d, limit)
 		}
 	}
 }

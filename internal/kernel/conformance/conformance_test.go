@@ -5,25 +5,46 @@ import (
 
 	"fmmfam/internal/kernel"
 	"fmmfam/internal/kernel/conformance"
+	"fmmfam/internal/matrix"
 )
 
 // TestRegisteredBackendsConform runs the shared conformance suite once per
-// registered backend — the acceptance gate for the whole registry. CI runs
-// this explicitly in its matrix so a backend that stops conforming names
-// itself in the job output.
+// registered (backend, dtype) pair — the acceptance gate for the whole
+// registry. Each dtype iterates its own registration list (BackendsFor), so
+// a future single-dtype backend (e.g. an AVX2 float32-only kernel) is
+// gated exactly for the pairs it registers, never for ones it doesn't. CI
+// runs this explicitly in its matrix so a backend that stops conforming
+// names itself (and the offending dtype) in the job output.
 func TestRegisteredBackendsConform(t *testing.T) {
-	names := kernel.Backends()
-	if len(names) < 2 {
-		t.Fatalf("expected at least the two built-in backends, registry has %v", names)
+	// The two built-in pure-Go backends must stay registered at both
+	// precisions — the float64 serving surface and the float32 one both
+	// resolve them by name.
+	for _, d := range []matrix.Dtype{matrix.Float64, matrix.Float32} {
+		got := map[string]bool{}
+		for _, name := range kernel.BackendsFor(d) {
+			got[name] = true
+		}
+		if !got["go4x4"] || !got["go8x4"] {
+			t.Fatalf("built-in backends missing for %s: have %v", d, kernel.BackendsFor(d))
+		}
 	}
-	for _, name := range names {
-		t.Run(name, func(t *testing.T) { conformance.Run(t, name) })
+	for _, name := range kernel.BackendsFor(matrix.Float64) {
+		name := name
+		t.Run(name+"/float64", func(t *testing.T) { conformance.Run[float64](t, name) })
+	}
+	for _, name := range kernel.BackendsFor(matrix.Float32) {
+		name := name
+		t.Run(name+"/float32", func(t *testing.T) { conformance.Run[float32](t, name) })
 	}
 }
 
-// Differential fuzz targets, one per built-in backend (go test -fuzz runs a
-// single target at a time, so each backend gets its own).
+// Differential fuzz targets, one per built-in (backend, dtype) pair
+// (go test -fuzz runs a single target at a time, so each pair gets its own).
 
-func FuzzConformGo4x4(f *testing.F) { conformance.FuzzDifferential(f, "go4x4") }
+func FuzzConformGo4x4(f *testing.F) { conformance.FuzzDifferential[float64](f, "go4x4") }
 
-func FuzzConformGo8x4(f *testing.F) { conformance.FuzzDifferential(f, "go8x4") }
+func FuzzConformGo8x4(f *testing.F) { conformance.FuzzDifferential[float64](f, "go8x4") }
+
+func FuzzConformGo4x4F32(f *testing.F) { conformance.FuzzDifferential[float32](f, "go4x4") }
+
+func FuzzConformGo8x4F32(f *testing.F) { conformance.FuzzDifferential[float32](f, "go8x4") }

@@ -3,36 +3,41 @@ package kernel
 import "fmmfam/internal/matrix"
 
 // go4x4 is the default backend: the original MR=NR=4 pure-Go kernel,
-// delegating to the specialized free functions of kernel.go so its output
-// stays bit-identical to every release since the seed (pinned by tests).
-type go4x4 struct{}
+// delegating to the specialized free functions of kernel.go so its float64
+// output stays bit-identical to every release since the seed (pinned by
+// tests). One generic implementation serves both element types; each
+// instantiation is fully specialized scalar code.
+type go4x4[E matrix.Element] struct{}
 
-func init() { MustRegister(go4x4{}) }
+func init() {
+	MustRegister[float64](go4x4[float64]{})
+	MustRegister[float32](go4x4[float32]{})
+}
 
-func (go4x4) Name() string { return "go4x4" }
-func (go4x4) MR() int      { return MR }
-func (go4x4) NR() int      { return NR }
-func (go4x4) Align() int   { return 1 }
+func (go4x4[E]) Name() string { return "go4x4" }
+func (go4x4[E]) MR() int      { return MR }
+func (go4x4[E]) NR() int      { return NR }
+func (go4x4[E]) Align() int   { return 1 }
 
-func (go4x4) PackA(dst []float64, terms []Term, r0, c0, mc, kc int) int {
+func (go4x4[E]) PackA(dst []E, terms []Term[E], r0, c0, mc, kc int) int {
 	return PackA(dst, terms, r0, c0, mc, kc)
 }
 
-func (go4x4) PackB(dst []float64, terms []Term, r0, c0, kc, nc int) int {
+func (go4x4[E]) PackB(dst []E, terms []Term[E], r0, c0, kc, nc int) int {
 	return PackB(dst, terms, r0, c0, kc, nc)
 }
 
-func (go4x4) PackBRange(dst []float64, terms []Term, r0, c0, kc, nc, panelLo, panelHi int) {
+func (go4x4[E]) PackBRange(dst []E, terms []Term[E], r0, c0, kc, nc, panelLo, panelHi int) {
 	PackBRange(dst, terms, r0, c0, kc, nc, panelLo, panelHi)
 }
 
-func (go4x4) Micro(kc int, ap, bp, acc []float64) {
-	Micro(kc, ap, bp, (*[MR * NR]float64)(acc))
+func (go4x4[E]) Micro(kc int, ap, bp, acc []E) {
+	Micro(kc, ap, bp, (*[MR * NR]E)(acc))
 }
 
-func (go4x4) Scatter(m matrix.Mat, r0, c0 int, coef float64, acc []float64, mr, nr int) {
-	Scatter(m, r0, c0, coef, (*[MR * NR]float64)(acc), mr, nr)
+func (go4x4[E]) Scatter(m matrix.Mat[E], r0, c0 int, coef E, acc []E, mr, nr int) {
+	Scatter(m, r0, c0, coef, (*[MR * NR]E)(acc), mr, nr)
 }
 
-func (go4x4) PackABufLen(mc, kc int) int { return PackABufLen(mc, kc) }
-func (go4x4) PackBBufLen(kc, nc int) int { return PackBBufLen(kc, nc) }
+func (go4x4[E]) PackABufLen(mc, kc int) int { return PackABufLen(mc, kc) }
+func (go4x4[E]) PackBBufLen(kc, nc int) int { return PackBBufLen(kc, nc) }

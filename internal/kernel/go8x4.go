@@ -8,8 +8,9 @@ import "fmmfam/internal/matrix"
 // halving B-panel traffic per flop. The 32 accumulators exceed amd64's
 // sixteen SSE registers, so unlike the paper's assembly some spill — this
 // backend exists to prove the Backend seam and to be the shape a future
-// AVX/asm backend drops into, not to win every benchmark.
-type go8x4 struct{}
+// AVX/asm backend drops into, not to win every benchmark. Registered for
+// both element types like go4x4.
+type go8x4[E matrix.Element] struct{}
 
 // Micro-tile dimensions of the go8x4 backend.
 const (
@@ -17,22 +18,25 @@ const (
 	nr8x4 = 4
 )
 
-func init() { MustRegister(go8x4{}) }
+func init() {
+	MustRegister[float64](go8x4[float64]{})
+	MustRegister[float32](go8x4[float32]{})
+}
 
-func (go8x4) Name() string { return "go8x4" }
-func (go8x4) MR() int      { return mr8x4 }
-func (go8x4) NR() int      { return nr8x4 }
-func (go8x4) Align() int   { return 1 }
+func (go8x4[E]) Name() string { return "go8x4" }
+func (go8x4[E]) MR() int      { return mr8x4 }
+func (go8x4[E]) NR() int      { return nr8x4 }
+func (go8x4[E]) Align() int   { return 1 }
 
-func (go8x4) PackA(dst []float64, terms []Term, r0, c0, mc, kc int) int {
+func (go8x4[E]) PackA(dst []E, terms []Term[E], r0, c0, mc, kc int) int {
 	return packAGeneric(mr8x4, dst, terms, r0, c0, mc, kc)
 }
 
-func (go8x4) PackB(dst []float64, terms []Term, r0, c0, kc, nc int) int {
+func (go8x4[E]) PackB(dst []E, terms []Term[E], r0, c0, kc, nc int) int {
 	return packBGeneric(nr8x4, dst, terms, r0, c0, kc, nc)
 }
 
-func (go8x4) PackBRange(dst []float64, terms []Term, r0, c0, kc, nc, panelLo, panelHi int) {
+func (go8x4[E]) PackBRange(dst []E, terms []Term[E], r0, c0, kc, nc, panelLo, panelHi int) {
 	packBRangeGeneric(nr8x4, dst, terms, r0, c0, kc, nc, panelLo, panelHi)
 }
 
@@ -41,15 +45,15 @@ func (go8x4) PackBRange(dst []float64, terms []Term, r0, c0, kc, nc, panelLo, pa
 // the panel reads are hoisted to one full-slice expression per p iteration;
 // the accumulators are plain locals so the compiler keeps as many in
 // registers as the ISA allows.
-func (go8x4) Micro(kc int, ap, bp, acc []float64) {
-	var c00, c01, c02, c03 float64
-	var c10, c11, c12, c13 float64
-	var c20, c21, c22, c23 float64
-	var c30, c31, c32, c33 float64
-	var c40, c41, c42, c43 float64
-	var c50, c51, c52, c53 float64
-	var c60, c61, c62, c63 float64
-	var c70, c71, c72, c73 float64
+func (go8x4[E]) Micro(kc int, ap, bp, acc []E) {
+	var c00, c01, c02, c03 E
+	var c10, c11, c12, c13 E
+	var c20, c21, c22, c23 E
+	var c30, c31, c32, c33 E
+	var c40, c41, c42, c43 E
+	var c50, c51, c52, c53 E
+	var c60, c61, c62, c63 E
+	var c70, c71, c72, c73 E
 	for p := 0; p < kc; p++ {
 		a := ap[p*mr8x4 : p*mr8x4+mr8x4 : p*mr8x4+mr8x4]
 		b := bp[p*nr8x4 : p*nr8x4+nr8x4 : p*nr8x4+nr8x4]
@@ -100,9 +104,9 @@ func (go8x4) Micro(kc int, ap, bp, acc []float64) {
 	acc[28], acc[29], acc[30], acc[31] = c70, c71, c72, c73
 }
 
-func (go8x4) Scatter(m matrix.Mat, r0, c0 int, coef float64, acc []float64, mr, nr int) {
+func (go8x4[E]) Scatter(m matrix.Mat[E], r0, c0 int, coef E, acc []E, mr, nr int) {
 	scatterGeneric(nr8x4, m, r0, c0, coef, acc, mr, nr)
 }
 
-func (go8x4) PackABufLen(mc, kc int) int { return packABufLen(mr8x4, mc, kc) }
-func (go8x4) PackBBufLen(kc, nc int) int { return packBBufLen(nr8x4, kc, nc) }
+func (go8x4[E]) PackABufLen(mc, kc int) int { return packABufLen(mr8x4, mc, kc) }
+func (go8x4[E]) PackBBufLen(kc, nc int) int { return packBBufLen(nr8x4, kc, nc) }

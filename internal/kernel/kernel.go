@@ -10,13 +10,18 @@
 //     variant's fused micro-kernel).
 //
 // The kernel is pure Go (the paper uses SSE2/AVX assembly; see DESIGN.md §5
-// for why the substitution preserves the experiments' shape).
+// for why the substitution preserves the experiments' shape) and generic over
+// the element type (float32 or float64): each instantiation compiles to
+// fully specialized scalar code, so the float64 loops are the same machine
+// code as the historical non-generic kernel (pinned by golden tests) and the
+// float32 loops halve the memory traffic per element.
 //
 // Implementations are pluggable: the free functions below are the default
 // MR=NR=4 backend, and the Backend interface (backend.go) abstracts micro-tile
 // shape, packing, and the micro-kernel so alternative register blockings —
 // the 8×4 pure-Go backend in go8x4.go today, AVX/asm or cgo backends later —
-// can be registered and selected by name without touching the driver.
+// can be registered per (name, dtype) and selected by name without touching
+// the driver.
 package kernel
 
 import "fmmfam/internal/matrix"
@@ -32,20 +37,20 @@ const (
 
 // Term is one weighted operand of a fused linear combination: Coef·M. All
 // terms of a list have identical dimensions.
-type Term struct {
-	Coef float64
-	M    matrix.Mat
+type Term[E matrix.Element] struct {
+	Coef E
+	M    matrix.Mat[E]
 }
 
 // SingleTerm wraps a matrix as the trivial combination 1.0·M.
-func SingleTerm(m matrix.Mat) []Term { return []Term{{Coef: 1, M: m}} }
+func SingleTerm[E matrix.Element](m matrix.Mat[E]) []Term[E] { return []Term[E]{{Coef: 1, M: m}} }
 
 // PackA writes the mc×kc linear combination Σ Coef·M[r0:r0+mc, c0:c0+kc] of
 // the A-side terms into dst in Ã layout: ⌈mc/MR⌉ consecutive row-panels,
 // each storing its MR rows column-major (dst[panel*MR*kc + p*MR + i]). Rows
 // beyond mc are zero-padded so the micro-kernel never reads garbage.
-// Returns the number of float64s written (⌈mc/MR⌉·MR·kc).
-func PackA(dst []float64, terms []Term, r0, c0, mc, kc int) int {
+// Returns the number of elements written (⌈mc/MR⌉·MR·kc).
+func PackA[E matrix.Element](dst []E, terms []Term[E], r0, c0, mc, kc int) int {
 	panels := (mc + MR - 1) / MR
 	n := panels * MR * kc
 	dst = dst[:n]
@@ -80,8 +85,8 @@ func PackA(dst []float64, terms []Term, r0, c0, mc, kc int) int {
 // PackB writes the kc×nc linear combination of the B-side terms into dst in
 // B̃ layout: ⌈nc/NR⌉ consecutive column-panels, each storing its NR columns
 // row-major (dst[panel*kc*NR + p*NR + j]), zero-padded beyond nc.
-// Returns the number of float64s written.
-func PackB(dst []float64, terms []Term, r0, c0, kc, nc int) int {
+// Returns the number of elements written.
+func PackB[E matrix.Element](dst []E, terms []Term[E], r0, c0, kc, nc int) int {
 	panels := (nc + NR - 1) / NR
 	PackBRange(dst, terms, r0, c0, kc, nc, 0, panels)
 	return panels * kc * NR
@@ -90,7 +95,7 @@ func PackB(dst []float64, terms []Term, r0, c0, kc, nc int) int {
 // PackBRange packs only column-panels [panelLo, panelHi) of the B̃ layout
 // (panel j covers source columns [j·NR, (j+1)·NR)). Distinct panel ranges
 // write disjoint regions of dst, so ranges can be packed concurrently.
-func PackBRange(dst []float64, terms []Term, r0, c0, kc, nc, panelLo, panelHi int) {
+func PackBRange[E matrix.Element](dst []E, terms []Term[E], r0, c0, kc, nc, panelLo, panelHi int) {
 	for panel := panelLo; panel < panelHi; panel++ {
 		j0 := panel * NR
 		w := NR
@@ -129,11 +134,11 @@ func PackBRange(dst []float64, terms []Term, r0, c0, kc, nc, panelLo, panelHi in
 // array-pointer signature keeps the epilogue stores free of bounds checks —
 // at the plan path's short kc this is a measurable fraction of the call —
 // while the go4x4 Backend adapter converts the interface's slice form.
-func Micro(kc int, ap, bp []float64, acc *[MR * NR]float64) {
-	var c00, c01, c02, c03 float64
-	var c10, c11, c12, c13 float64
-	var c20, c21, c22, c23 float64
-	var c30, c31, c32, c33 float64
+func Micro[E matrix.Element](kc int, ap, bp []E, acc *[MR * NR]E) {
+	var c00, c01, c02, c03 E
+	var c10, c11, c12, c13 E
+	var c20, c21, c22, c23 E
+	var c30, c31, c32, c33 E
 	for p := 0; p < kc; p++ {
 		a := ap[p*MR : p*MR+MR : p*MR+MR]
 		b := bp[p*NR : p*NR+NR : p*NR+NR]
@@ -166,7 +171,7 @@ func Micro(kc int, ap, bp []float64, acc *[MR * NR]float64) {
 // mr×nr region of target m with top-left corner (r0, c0). Called once per
 // C-side term — the ABC variant's "update multiple submatrices of C from
 // registers".
-func Scatter(m matrix.Mat, r0, c0 int, coef float64, acc *[MR * NR]float64, mr, nr int) {
+func Scatter[E matrix.Element](m matrix.Mat[E], r0, c0 int, coef E, acc *[MR * NR]E, mr, nr int) {
 	for i := 0; i < mr; i++ {
 		row := m.Data[(r0+i)*m.Stride+c0 : (r0+i)*m.Stride+c0+nr]
 		a := acc[i*NR : i*NR+nr]
@@ -183,7 +188,7 @@ func Scatter(m matrix.Mat, r0, c0 int, coef float64, acc *[MR * NR]float64, mr, 
 }
 
 // PackABufLen and PackBBufLen size the packing buffers for block dimensions
-// (mc, kc) and (kc, nc).
+// (mc, kc) and (kc, nc), in elements.
 func PackABufLen(mc, kc int) int { return ((mc + MR - 1) / MR) * MR * kc }
 
 // PackBBufLen sizes a B̃ buffer; see PackABufLen.

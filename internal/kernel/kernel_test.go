@@ -8,15 +8,15 @@ import (
 	"fmmfam/internal/matrix"
 )
 
-func randMat(rng *rand.Rand, r, c int) matrix.Mat {
-	m := matrix.New(r, c)
+func randMat(rng *rand.Rand, r, c int) matrix.Mat[float64] {
+	m := matrix.New[float64](r, c)
 	m.FillRand(rng)
 	return m
 }
 
 // unpackA reads back the Ã layout into a dense mc×kc matrix.
-func unpackA(buf []float64, mc, kc int) matrix.Mat {
-	out := matrix.New(mc, kc)
+func unpackA(buf []float64, mc, kc int) matrix.Mat[float64] {
+	out := matrix.New[float64](mc, kc)
 	for i := 0; i < mc; i++ {
 		for p := 0; p < kc; p++ {
 			out.Set(i, p, buf[(i/MR)*MR*kc+p*MR+i%MR])
@@ -26,8 +26,8 @@ func unpackA(buf []float64, mc, kc int) matrix.Mat {
 }
 
 // unpackB reads back the B̃ layout into a dense kc×nc matrix.
-func unpackB(buf []float64, kc, nc int) matrix.Mat {
-	out := matrix.New(kc, nc)
+func unpackB(buf []float64, kc, nc int) matrix.Mat[float64] {
+	out := matrix.New[float64](kc, nc)
 	for p := 0; p < kc; p++ {
 		for j := 0; j < nc; j++ {
 			out.Set(p, j, buf[(j/NR)*kc*NR+p*NR+j%NR])
@@ -69,7 +69,7 @@ func TestPackAZeroPadding(t *testing.T) {
 func TestPackALinearCombination(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	x, y := randMat(rng, 8, 8), randMat(rng, 8, 8)
-	terms := []Term{{Coef: 1, M: x}, {Coef: -0.5, M: y}}
+	terms := []Term[float64]{{Coef: 1, M: x}, {Coef: -0.5, M: y}}
 	buf := make([]float64, PackABufLen(8, 8))
 	PackA(buf, terms, 0, 0, 8, 8)
 	want := x.Clone()
@@ -83,7 +83,7 @@ func TestPackAZeroCoefSkipped(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	x, y := randMat(rng, 4, 4), randMat(rng, 4, 4)
 	buf := make([]float64, PackABufLen(4, 4))
-	PackA(buf, []Term{{Coef: 1, M: x}, {Coef: 0, M: y}}, 0, 0, 4, 4)
+	PackA(buf, []Term[float64]{{Coef: 1, M: x}, {Coef: 0, M: y}}, 0, 0, 4, 4)
 	if unpackA(buf, 4, 4).MaxAbsDiff(x) != 0 {
 		t.Fatal("zero-coef term contaminated the pack")
 	}
@@ -105,12 +105,12 @@ func TestPackBLinearCombinationProperty(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		kc, nc := 1+rng.Intn(9), 1+rng.Intn(9)
 		nTerms := 1 + rng.Intn(3)
-		terms := make([]Term, nTerms)
-		want := matrix.New(kc, nc)
+		terms := make([]Term[float64], nTerms)
+		want := matrix.New[float64](kc, nc)
 		for i := range terms {
 			m := randMat(rng, kc+2, nc+3)
 			coef := float64(rng.Intn(5)-2) / 2
-			terms[i] = Term{Coef: coef, M: m}
+			terms[i] = Term[float64]{Coef: coef, M: m}
 			want.AddScaled(coef, m.View(1, 2, kc, nc))
 		}
 		buf := make([]float64, PackBBufLen(kc, nc))
@@ -133,7 +133,7 @@ func TestMicroMatchesReference(t *testing.T) {
 		PackB(bbuf, SingleTerm(b), 0, 0, kc, NR)
 		var acc [MR * NR]float64
 		Micro(kc, abuf, bbuf, &acc)
-		want := matrix.New(MR, NR)
+		want := matrix.New[float64](MR, NR)
 		matrix.MulAdd(want, a, b)
 		for i := 0; i < MR; i++ {
 			for j := 0; j < NR; j++ {
@@ -159,7 +159,7 @@ func TestScatterFullTile(t *testing.T) {
 	for i := range acc {
 		acc[i] = float64(i)
 	}
-	m := matrix.New(6, 6)
+	m := matrix.New[float64](6, 6)
 	Scatter(m, 1, 2, 2, &acc, MR, NR)
 	if m.At(1, 2) != 0 || m.At(2, 3) != 2*acc[1*NR+1] || m.At(4, 5) != 2*acc[3*NR+3] {
 		t.Fatalf("scatter wrong:\n%v", m)
@@ -171,7 +171,7 @@ func TestScatterPartialTileStaysInBounds(t *testing.T) {
 	for i := range acc {
 		acc[i] = 1
 	}
-	m := matrix.New(4, 4)
+	m := matrix.New[float64](4, 4)
 	m.Fill(5)
 	Scatter(m.View(0, 0, 2, 3), 0, 0, 1, &acc, 2, 3)
 	for i := 0; i < 4; i++ {
@@ -190,7 +190,7 @@ func TestScatterPartialTileStaysInBounds(t *testing.T) {
 func TestScatterAccumulates(t *testing.T) {
 	var acc [MR * NR]float64
 	acc[0] = 3
-	m := matrix.New(MR, NR)
+	m := matrix.New[float64](MR, NR)
 	Scatter(m, 0, 0, 1, &acc, MR, NR)
 	Scatter(m, 0, 0, -1, &acc, MR, NR)
 	if m.At(0, 0) != 0 {
@@ -210,7 +210,7 @@ func TestBufLens(t *testing.T) {
 func TestPackBRangeEqualsWholePack(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	x, y := randMat(rng, 12, 23), randMat(rng, 12, 23)
-	terms := []Term{{Coef: 1, M: x}, {Coef: 0.5, M: y}}
+	terms := []Term[float64]{{Coef: 1, M: x}, {Coef: 0.5, M: y}}
 	kc, nc := 9, 19
 	whole := make([]float64, PackBBufLen(kc, nc))
 	PackB(whole, terms, 1, 2, kc, nc)

@@ -1,7 +1,14 @@
-// Package matrix provides dense, row-major, strided float64 matrices and the
-// small set of dense linear-algebra primitives the FMM stack is built on:
-// views (submatrices share storage), scaled accumulation, norms, comparison
-// helpers, and reference matrix products used as test oracles.
+// Package matrix provides dense, row-major, strided matrices generic over the
+// element type (float32 or float64) and the small set of dense linear-algebra
+// primitives the FMM stack is built on: views (submatrices share storage),
+// scaled accumulation, norms, comparison helpers, and reference matrix
+// products used as test oracles.
+//
+// Mat[float64] is the historical element type of the repo and its arithmetic
+// is bit-identical to the pre-generic implementation (the golden-fingerprint
+// tests pin this). Mat[float32] is the ML-inference precision: half the
+// memory traffic per element, and the precision where fast algorithms shine
+// (Benson & Ballard 2015).
 package matrix
 
 import (
@@ -12,31 +19,86 @@ import (
 	"math/rand"
 )
 
-// Mat is a dense row-major matrix view. Element (i, j) lives at
-// Data[i*Stride+j]. A Mat may be a view into a larger matrix; mutating a view
-// mutates the parent. The zero Mat is an empty 0×0 matrix.
-type Mat struct {
+// Element is the type set of supported matrix element types.
+type Element interface {
+	float32 | float64
+}
+
+// Dtype names an element type at runtime — the registry and model key on it.
+// The zero value is Float64, the historical default of the repo.
+type Dtype uint8
+
+// The supported element types.
+const (
+	Float64 Dtype = iota
+	Float32
+)
+
+// String returns the Go name of the element type.
+func (d Dtype) String() string {
+	switch d {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	}
+	return fmt.Sprintf("Dtype(%d)", uint8(d))
+}
+
+// Size returns the element size in bytes.
+func (d Dtype) Size() int {
+	if d == Float32 {
+		return 4
+	}
+	return 8
+}
+
+// Eps returns the machine epsilon (ulp of 1.0) of the element type — the
+// unit every FLOP-scaled accuracy tolerance in the repo is expressed in.
+func (d Dtype) Eps() float64 {
+	if d == Float32 {
+		return 0x1p-23
+	}
+	return 0x1p-52
+}
+
+// DtypeOf returns the Dtype of a compile-time element type.
+func DtypeOf[E Element]() Dtype {
+	var z E
+	if _, ok := any(z).(float32); ok {
+		return Float32
+	}
+	return Float64
+}
+
+// Eps is DtypeOf[E]().Eps() — the tolerance unit for element type E.
+func Eps[E Element]() float64 { return DtypeOf[E]().Eps() }
+
+// Mat is a dense row-major matrix view over elements of type E. Element
+// (i, j) lives at Data[i*Stride+j]. A Mat may be a view into a larger matrix;
+// mutating a view mutates the parent. The zero Mat is an empty 0×0 matrix.
+type Mat[E Element] struct {
 	Rows, Cols int
 	Stride     int
-	Data       []float64
+	Data       []E
 }
 
 // New allocates a zeroed r×c matrix with a tight stride.
-func New(r, c int) Mat {
+func New[E Element](r, c int) Mat[E] {
 	if r < 0 || c < 0 {
 		panic(fmt.Sprintf("matrix: negative dimensions %d×%d", r, c))
 	}
-	return Mat{Rows: r, Cols: c, Stride: c, Data: make([]float64, r*c)}
+	return Mat[E]{Rows: r, Cols: c, Stride: c, Data: make([]E, r*c)}
 }
 
 // FromRows builds a matrix from a slice of equal-length rows.
-func FromRows(rows [][]float64) Mat {
+func FromRows[E Element](rows [][]E) Mat[E] {
 	r := len(rows)
 	if r == 0 {
-		return Mat{}
+		return Mat[E]{}
 	}
 	c := len(rows[0])
-	m := New(r, c)
+	m := New[E](r, c)
 	for i, row := range rows {
 		if len(row) != c {
 			panic("matrix: ragged rows")
@@ -47,33 +109,33 @@ func FromRows(rows [][]float64) Mat {
 }
 
 // At returns element (i, j).
-func (m Mat) At(i, j int) float64 { return m.Data[i*m.Stride+j] }
+func (m Mat[E]) At(i, j int) E { return m.Data[i*m.Stride+j] }
 
 // Set assigns element (i, j).
-func (m Mat) Set(i, j int, v float64) { m.Data[i*m.Stride+j] = v }
+func (m Mat[E]) Set(i, j int, v E) { m.Data[i*m.Stride+j] = v }
 
 // Add adds v to element (i, j).
-func (m Mat) Add(i, j int, v float64) { m.Data[i*m.Stride+j] += v }
+func (m Mat[E]) Add(i, j int, v E) { m.Data[i*m.Stride+j] += v }
 
 // IsEmpty reports whether the matrix has no elements.
-func (m Mat) IsEmpty() bool { return m.Rows == 0 || m.Cols == 0 }
+func (m Mat[E]) IsEmpty() bool { return m.Rows == 0 || m.Cols == 0 }
 
 // View returns the rows×cols submatrix with top-left corner (i, j), sharing
 // storage with m.
-func (m Mat) View(i, j, rows, cols int) Mat {
+func (m Mat[E]) View(i, j, rows, cols int) Mat[E] {
 	if i < 0 || j < 0 || rows < 0 || cols < 0 || i+rows > m.Rows || j+cols > m.Cols {
 		panic(fmt.Sprintf("matrix: view [%d:%d, %d:%d] out of %d×%d", i, i+rows, j, j+cols, m.Rows, m.Cols))
 	}
 	if rows == 0 || cols == 0 {
-		return Mat{Rows: rows, Cols: cols, Stride: m.Stride}
+		return Mat[E]{Rows: rows, Cols: cols, Stride: m.Stride}
 	}
 	off := i*m.Stride + j
-	return Mat{Rows: rows, Cols: cols, Stride: m.Stride, Data: m.Data[off : off+(rows-1)*m.Stride+cols]}
+	return Mat[E]{Rows: rows, Cols: cols, Stride: m.Stride, Data: m.Data[off : off+(rows-1)*m.Stride+cols]}
 }
 
 // Block partitions m into an rBlocks×cBlocks grid of equal blocks and returns
 // block (bi, bj). Panics if the dimensions do not divide evenly.
-func (m Mat) Block(bi, bj, rBlocks, cBlocks int) Mat {
+func (m Mat[E]) Block(bi, bj, rBlocks, cBlocks int) Mat[E] {
 	if m.Rows%rBlocks != 0 || m.Cols%cBlocks != 0 {
 		panic(fmt.Sprintf("matrix: %d×%d not divisible into %d×%d blocks", m.Rows, m.Cols, rBlocks, cBlocks))
 	}
@@ -82,7 +144,7 @@ func (m Mat) Block(bi, bj, rBlocks, cBlocks int) Mat {
 }
 
 // Zero sets every element to 0.
-func (m Mat) Zero() {
+func (m Mat[E]) Zero() {
 	for i := 0; i < m.Rows; i++ {
 		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
 		for j := range row {
@@ -92,7 +154,7 @@ func (m Mat) Zero() {
 }
 
 // Fill sets every element to v.
-func (m Mat) Fill(v float64) {
+func (m Mat[E]) Fill(v E) {
 	for i := 0; i < m.Rows; i++ {
 		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
 		for j := range row {
@@ -102,18 +164,18 @@ func (m Mat) Fill(v float64) {
 }
 
 // FillRand fills m with uniform values in [-1, 1).
-func (m Mat) FillRand(rng *rand.Rand) {
+func (m Mat[E]) FillRand(rng *rand.Rand) {
 	for i := 0; i < m.Rows; i++ {
 		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
 		for j := range row {
-			row[j] = 2*rng.Float64() - 1
+			row[j] = E(2*rng.Float64() - 1)
 		}
 	}
 }
 
 // Clone returns a freshly allocated copy of m with a tight stride.
-func (m Mat) Clone() Mat {
-	out := New(m.Rows, m.Cols)
+func (m Mat[E]) Clone() Mat[E] {
+	out := New[E](m.Rows, m.Cols)
 	for i := 0; i < m.Rows; i++ {
 		copy(out.Data[i*out.Stride:i*out.Stride+m.Cols], m.Data[i*m.Stride:i*m.Stride+m.Cols])
 	}
@@ -121,7 +183,7 @@ func (m Mat) Clone() Mat {
 }
 
 // CopyFrom copies src into m. Dimensions must match.
-func (m Mat) CopyFrom(src Mat) {
+func (m Mat[E]) CopyFrom(src Mat[E]) {
 	if m.Rows != src.Rows || m.Cols != src.Cols {
 		panic(fmt.Sprintf("matrix: copy %d×%d from %d×%d", m.Rows, m.Cols, src.Rows, src.Cols))
 	}
@@ -131,7 +193,7 @@ func (m Mat) CopyFrom(src Mat) {
 }
 
 // AddScaled accumulates m += alpha*x. Dimensions must match.
-func (m Mat) AddScaled(alpha float64, x Mat) {
+func (m Mat[E]) AddScaled(alpha E, x Mat[E]) {
 	if m.Rows != x.Rows || m.Cols != x.Cols {
 		panic(fmt.Sprintf("matrix: addscaled %d×%d += %d×%d", m.Rows, m.Cols, x.Rows, x.Cols))
 	}
@@ -145,7 +207,7 @@ func (m Mat) AddScaled(alpha float64, x Mat) {
 }
 
 // Scale multiplies every element by alpha.
-func (m Mat) Scale(alpha float64) {
+func (m Mat[E]) Scale(alpha E) {
 	for i := 0; i < m.Rows; i++ {
 		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
 		for j := range row {
@@ -155,8 +217,8 @@ func (m Mat) Scale(alpha float64) {
 }
 
 // Transpose returns a newly allocated transpose of m.
-func (m Mat) Transpose() Mat {
-	out := New(m.Cols, m.Rows)
+func (m Mat[E]) Transpose() Mat[E] {
+	out := New[E](m.Cols, m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		for j := 0; j < m.Cols; j++ {
 			out.Data[j*out.Stride+i] = m.Data[i*m.Stride+j]
@@ -165,13 +227,13 @@ func (m Mat) Transpose() Mat {
 	return out
 }
 
-// MaxAbs returns max |m(i,j)|.
-func (m Mat) MaxAbs() float64 {
+// MaxAbs returns max |m(i,j)|, evaluated in float64 for every element type.
+func (m Mat[E]) MaxAbs() float64 {
 	v := 0.0
 	for i := 0; i < m.Rows; i++ {
 		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
 		for _, x := range row {
-			if a := math.Abs(x); a > v {
+			if a := math.Abs(float64(x)); a > v {
 				v = a
 			}
 		}
@@ -179,8 +241,9 @@ func (m Mat) MaxAbs() float64 {
 	return v
 }
 
-// MaxAbsDiff returns max |m(i,j) - x(i,j)|.
-func (m Mat) MaxAbsDiff(x Mat) float64 {
+// MaxAbsDiff returns max |m(i,j) - x(i,j)|, evaluated in float64 so float32
+// comparisons do not themselves round.
+func (m Mat[E]) MaxAbsDiff(x Mat[E]) float64 {
 	if m.Rows != x.Rows || m.Cols != x.Cols {
 		panic(fmt.Sprintf("matrix: diff %d×%d vs %d×%d", m.Rows, m.Cols, x.Rows, x.Cols))
 	}
@@ -189,7 +252,7 @@ func (m Mat) MaxAbsDiff(x Mat) float64 {
 		a := m.Data[i*m.Stride : i*m.Stride+m.Cols]
 		b := x.Data[i*x.Stride : i*x.Stride+x.Cols]
 		for j := range a {
-			if d := math.Abs(a[j] - b[j]); d > v {
+			if d := math.Abs(float64(a[j]) - float64(b[j])); d > v {
 				v = d
 			}
 		}
@@ -198,56 +261,91 @@ func (m Mat) MaxAbsDiff(x Mat) float64 {
 }
 
 // EqualApprox reports whether every |m-x| element is within tol.
-func (m Mat) EqualApprox(x Mat, tol float64) bool {
+func (m Mat[E]) EqualApprox(x Mat[E], tol float64) bool {
 	return m.Rows == x.Rows && m.Cols == x.Cols && m.MaxAbsDiff(x) <= tol
 }
 
-// Fingerprint returns an FNV-1a hash of the matrix's exact bit pattern
-// (IEEE float64 bits, row-major). Two matrices fingerprint equal iff they
-// are bit-identical — the check behind the serving layer's determinism
-// contracts and the golden-pin tests.
-func (m Mat) Fingerprint() uint64 {
+// Fingerprint returns an FNV-1a hash of the matrix's exact bit pattern (IEEE
+// bits of the element type, row-major). Two matrices of the same element type
+// fingerprint equal iff they are bit-identical — the check behind the serving
+// layer's determinism contracts and the golden-pin tests. The float64 hash is
+// byte-identical to the pre-generic implementation; float32 matrices hash
+// their 4-byte patterns, so the two dtypes never collide by construction.
+func (m Mat[E]) Fingerprint() uint64 {
 	h := fnv.New64a()
 	var b [8]byte
-	for i := 0; i < m.Rows; i++ {
-		for j := 0; j < m.Cols; j++ {
-			binary.LittleEndian.PutUint64(b[:], math.Float64bits(m.At(i, j)))
-			h.Write(b[:])
+	switch data := any(m.Data).(type) {
+	case []float64:
+		for i := 0; i < m.Rows; i++ {
+			for j := 0; j < m.Cols; j++ {
+				binary.LittleEndian.PutUint64(b[:], math.Float64bits(data[i*m.Stride+j]))
+				h.Write(b[:8])
+			}
+		}
+	case []float32:
+		for i := 0; i < m.Rows; i++ {
+			for j := 0; j < m.Cols; j++ {
+				binary.LittleEndian.PutUint32(b[:4], math.Float32bits(data[i*m.Stride+j]))
+				h.Write(b[:4])
+			}
 		}
 	}
 	return h.Sum64()
 }
 
-// FrobNorm returns the Frobenius norm of m.
-func (m Mat) FrobNorm() float64 {
+// FrobNorm returns the Frobenius norm of m, accumulated in float64.
+func (m Mat[E]) FrobNorm() float64 {
 	s := 0.0
 	for i := 0; i < m.Rows; i++ {
 		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
 		for _, x := range row {
-			s += x * x
+			s += float64(x) * float64(x)
 		}
 	}
 	return math.Sqrt(s)
 }
 
 // String renders small matrices for debugging; large matrices are summarized.
-func (m Mat) String() string {
+func (m Mat[E]) String() string {
 	if m.Rows*m.Cols > 400 {
 		return fmt.Sprintf("Mat(%d×%d)", m.Rows, m.Cols)
 	}
 	s := ""
 	for i := 0; i < m.Rows; i++ {
 		for j := 0; j < m.Cols; j++ {
-			s += fmt.Sprintf("%8.3g ", m.At(i, j))
+			s += fmt.Sprintf("%8.3g ", float64(m.At(i, j)))
 		}
 		s += "\n"
 	}
 	return s
 }
 
+// ToFloat64 returns a float64 copy of m — the reference precision for
+// accuracy comparisons (float32→float64 conversion is exact).
+func ToFloat64[E Element](m Mat[E]) Mat[float64] {
+	out := New[float64](m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(i, j, float64(m.At(i, j)))
+		}
+	}
+	return out
+}
+
+// ToFloat32 returns a float32 copy of m, rounding each element once.
+func ToFloat32[E Element](m Mat[E]) Mat[float32] {
+	out := New[float32](m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(i, j, float32(m.At(i, j)))
+		}
+	}
+	return out
+}
+
 // MulAdd computes c += a*b with a straightforward triple loop. It is the slow,
 // obviously-correct oracle used by tests and by tiny fallback paths.
-func MulAdd(c, a, b Mat) {
+func MulAdd[E Element](c, a, b Mat[E]) {
 	checkMulDims(c, a, b)
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*a.Stride : i*a.Stride+a.Cols]
@@ -265,13 +363,13 @@ func MulAdd(c, a, b Mat) {
 }
 
 // MulAddKahan computes c += a*b accumulating each output element with Kahan
-// compensated summation. It is the high-accuracy oracle for stability
-// experiments.
-func MulAddKahan(c, a, b Mat) {
+// compensated summation in the element type. It is the high-accuracy oracle
+// for stability experiments.
+func MulAddKahan[E Element](c, a, b Mat[E]) {
 	checkMulDims(c, a, b)
 	for i := 0; i < a.Rows; i++ {
 		for j := 0; j < b.Cols; j++ {
-			sum, comp := 0.0, 0.0
+			var sum, comp E
 			for p := 0; p < a.Cols; p++ {
 				y := a.At(i, p)*b.At(p, j) - comp
 				t := sum + y
@@ -283,7 +381,7 @@ func MulAddKahan(c, a, b Mat) {
 	}
 }
 
-func checkMulDims(c, a, b Mat) {
+func checkMulDims[E Element](c, a, b Mat[E]) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic(fmt.Sprintf("matrix: mul dims C(%d×%d) += A(%d×%d)·B(%d×%d)",
 			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))

@@ -8,7 +8,7 @@ import (
 )
 
 func TestNewZeroed(t *testing.T) {
-	m := New(3, 4)
+	m := New[float64](3, 4)
 	if m.Rows != 3 || m.Cols != 4 || m.Stride != 4 {
 		t.Fatalf("got %d×%d stride %d", m.Rows, m.Cols, m.Stride)
 	}
@@ -22,7 +22,7 @@ func TestNewZeroed(t *testing.T) {
 }
 
 func TestFromRowsAndAt(t *testing.T) {
-	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	m := FromRows[float64]([][]float64{{1, 2}, {3, 4}, {5, 6}})
 	if m.At(2, 1) != 6 || m.At(0, 0) != 1 {
 		t.Fatalf("bad values: %v", m)
 	}
@@ -30,18 +30,18 @@ func TestFromRowsAndAt(t *testing.T) {
 
 func TestFromRowsRaggedPanics(t *testing.T) {
 	defer expectPanic(t, "ragged rows")
-	FromRows([][]float64{{1, 2}, {3}})
+	FromRows[float64]([][]float64{{1, 2}, {3}})
 }
 
 func TestFromRowsEmpty(t *testing.T) {
-	m := FromRows(nil)
+	m := FromRows[float64](nil)
 	if !m.IsEmpty() {
 		t.Fatal("expected empty")
 	}
 }
 
 func TestSetAdd(t *testing.T) {
-	m := New(2, 2)
+	m := New[float64](2, 2)
 	m.Set(1, 0, 3)
 	m.Add(1, 0, 2)
 	if m.At(1, 0) != 5 {
@@ -50,7 +50,7 @@ func TestSetAdd(t *testing.T) {
 }
 
 func TestViewSharesStorage(t *testing.T) {
-	m := New(4, 4)
+	m := New[float64](4, 4)
 	v := m.View(1, 1, 2, 2)
 	v.Set(0, 0, 7)
 	if m.At(1, 1) != 7 {
@@ -62,7 +62,7 @@ func TestViewSharesStorage(t *testing.T) {
 }
 
 func TestViewOfView(t *testing.T) {
-	m := New(8, 8)
+	m := New[float64](8, 8)
 	m.Set(3, 3, 9)
 	v := m.View(2, 2, 4, 4).View(1, 1, 2, 2)
 	if v.At(0, 0) != 9 {
@@ -72,18 +72,18 @@ func TestViewOfView(t *testing.T) {
 
 func TestViewBoundsPanic(t *testing.T) {
 	defer expectPanic(t, "view bounds")
-	New(3, 3).View(2, 2, 2, 2)
+	New[float64](3, 3).View(2, 2, 2, 2)
 }
 
 func TestViewZeroSize(t *testing.T) {
-	v := New(3, 3).View(1, 1, 0, 2)
+	v := New[float64](3, 3).View(1, 1, 0, 2)
 	if !v.IsEmpty() {
 		t.Fatal("expected empty view")
 	}
 }
 
 func TestBlock(t *testing.T) {
-	m := New(6, 4)
+	m := New[float64](6, 4)
 	for i := 0; i < 6; i++ {
 		for j := 0; j < 4; j++ {
 			m.Set(i, j, float64(10*i+j))
@@ -97,11 +97,11 @@ func TestBlock(t *testing.T) {
 
 func TestBlockIndivisiblePanics(t *testing.T) {
 	defer expectPanic(t, "indivisible block")
-	New(5, 4).Block(0, 0, 2, 2)
+	New[float64](5, 4).Block(0, 0, 2, 2)
 }
 
 func TestZeroFillScale(t *testing.T) {
-	m := New(3, 3)
+	m := New[float64](3, 3)
 	m.Fill(2)
 	m.Scale(1.5)
 	if m.At(2, 2) != 3 {
@@ -114,7 +114,7 @@ func TestZeroFillScale(t *testing.T) {
 }
 
 func TestZeroOnViewLeavesRest(t *testing.T) {
-	m := New(4, 4)
+	m := New[float64](4, 4)
 	m.Fill(1)
 	m.View(1, 1, 2, 2).Zero()
 	if m.At(0, 0) != 1 || m.At(1, 1) != 0 || m.At(3, 3) != 1 {
@@ -123,7 +123,7 @@ func TestZeroOnViewLeavesRest(t *testing.T) {
 }
 
 func TestCloneIndependent(t *testing.T) {
-	m := New(2, 3)
+	m := New[float64](2, 3)
 	m.Set(1, 2, 4)
 	c := m.Clone()
 	c.Set(1, 2, 5)
@@ -136,7 +136,7 @@ func TestCloneIndependent(t *testing.T) {
 }
 
 func TestCloneOfView(t *testing.T) {
-	m := New(4, 4)
+	m := New[float64](4, 4)
 	m.Set(2, 2, 8)
 	c := m.View(2, 2, 2, 2).Clone()
 	if c.At(0, 0) != 8 || c.Stride != 2 {
@@ -145,8 +145,8 @@ func TestCloneOfView(t *testing.T) {
 }
 
 func TestCopyFrom(t *testing.T) {
-	a := FromRows([][]float64{{1, 2}, {3, 4}})
-	b := New(2, 2)
+	a := FromRows[float64]([][]float64{{1, 2}, {3, 4}})
+	b := New[float64](2, 2)
 	b.CopyFrom(a)
 	if b.MaxAbsDiff(a) != 0 {
 		t.Fatal("copy mismatch")
@@ -155,14 +155,14 @@ func TestCopyFrom(t *testing.T) {
 
 func TestCopyFromDimMismatchPanics(t *testing.T) {
 	defer expectPanic(t, "copy dims")
-	New(2, 2).CopyFrom(New(2, 3))
+	New[float64](2, 2).CopyFrom(New[float64](2, 3))
 }
 
 func TestAddScaled(t *testing.T) {
-	a := FromRows([][]float64{{1, 2}, {3, 4}})
-	b := FromRows([][]float64{{10, 20}, {30, 40}})
+	a := FromRows[float64]([][]float64{{1, 2}, {3, 4}})
+	b := FromRows[float64]([][]float64{{10, 20}, {30, 40}})
 	a.AddScaled(0.5, b)
-	want := FromRows([][]float64{{6, 12}, {18, 24}})
+	want := FromRows[float64]([][]float64{{6, 12}, {18, 24}})
 	if a.MaxAbsDiff(want) != 0 {
 		t.Fatalf("got %v", a)
 	}
@@ -170,11 +170,11 @@ func TestAddScaled(t *testing.T) {
 
 func TestAddScaledDimMismatchPanics(t *testing.T) {
 	defer expectPanic(t, "addscaled dims")
-	New(2, 2).AddScaled(1, New(3, 2))
+	New[float64](2, 2).AddScaled(1, New[float64](3, 2))
 }
 
 func TestTranspose(t *testing.T) {
-	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	m := FromRows[float64]([][]float64{{1, 2, 3}, {4, 5, 6}})
 	tr := m.Transpose()
 	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 0) != 3 || tr.At(0, 1) != 4 {
 		t.Fatalf("bad transpose %v", tr)
@@ -182,7 +182,7 @@ func TestTranspose(t *testing.T) {
 }
 
 func TestNorms(t *testing.T) {
-	m := FromRows([][]float64{{3, 0}, {0, -4}})
+	m := FromRows[float64]([][]float64{{3, 0}, {0, -4}})
 	if m.MaxAbs() != 4 {
 		t.Fatalf("maxabs %v", m.MaxAbs())
 	}
@@ -192,23 +192,23 @@ func TestNorms(t *testing.T) {
 }
 
 func TestEqualApprox(t *testing.T) {
-	a := FromRows([][]float64{{1, 2}})
-	b := FromRows([][]float64{{1, 2.0000001}})
+	a := FromRows[float64]([][]float64{{1, 2}})
+	b := FromRows[float64]([][]float64{{1, 2.0000001}})
 	if !a.EqualApprox(b, 1e-6) || a.EqualApprox(b, 1e-9) {
 		t.Fatal("tolerance behaviour wrong")
 	}
-	if a.EqualApprox(New(2, 1), 1) {
+	if a.EqualApprox(New[float64](2, 1), 1) {
 		t.Fatal("shape mismatch should not be equal")
 	}
 }
 
 func TestMulAddSmallKnown(t *testing.T) {
-	a := FromRows([][]float64{{1, 2}, {3, 4}})
-	b := FromRows([][]float64{{5, 6}, {7, 8}})
-	c := New(2, 2)
+	a := FromRows[float64]([][]float64{{1, 2}, {3, 4}})
+	b := FromRows[float64]([][]float64{{5, 6}, {7, 8}})
+	c := New[float64](2, 2)
 	c.Fill(1)
 	MulAdd(c, a, b)
-	want := FromRows([][]float64{{20, 23}, {44, 51}})
+	want := FromRows[float64]([][]float64{{20, 23}, {44, 51}})
 	if c.MaxAbsDiff(want) != 0 {
 		t.Fatalf("got %v", c)
 	}
@@ -216,10 +216,10 @@ func TestMulAddSmallKnown(t *testing.T) {
 
 func TestMulAddKahanMatchesMulAdd(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	a, b := New(7, 5), New(5, 9)
+	a, b := New[float64](7, 5), New[float64](5, 9)
 	a.FillRand(rng)
 	b.FillRand(rng)
-	c1, c2 := New(7, 9), New(7, 9)
+	c1, c2 := New[float64](7, 9), New[float64](7, 9)
 	MulAdd(c1, a, b)
 	MulAddKahan(c2, a, b)
 	if c1.MaxAbsDiff(c2) > 1e-12 {
@@ -229,7 +229,7 @@ func TestMulAddKahanMatchesMulAdd(t *testing.T) {
 
 func TestMulAddDimPanic(t *testing.T) {
 	defer expectPanic(t, "mul dims")
-	MulAdd(New(2, 2), New(2, 3), New(2, 2))
+	MulAdd(New[float64](2, 2), New[float64](2, 3), New[float64](2, 2))
 }
 
 // Property: (A+B)C == AC + BC under the reference multiply.
@@ -238,15 +238,15 @@ func TestMulAddLinearityProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		m, k, n := 1+r.Intn(8), 1+r.Intn(8), 1+r.Intn(8)
-		a1, a2, b := New(m, k), New(m, k), New(k, n)
+		a1, a2, b := New[float64](m, k), New[float64](m, k), New[float64](k, n)
 		a1.FillRand(r)
 		a2.FillRand(r)
 		b.FillRand(r)
 		sum := a1.Clone()
 		sum.AddScaled(1, a2)
-		c1 := New(m, n)
+		c1 := New[float64](m, n)
 		MulAdd(c1, sum, b)
-		c2 := New(m, n)
+		c2 := New[float64](m, n)
 		MulAdd(c2, a1, b)
 		MulAdd(c2, a2, b)
 		return c1.MaxAbsDiff(c2) < 1e-12
@@ -263,7 +263,7 @@ func TestBlockTilingProperty(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		rb, cb := 1+r.Intn(4), 1+r.Intn(4)
 		br, bc := 1+r.Intn(5), 1+r.Intn(5)
-		m := New(rb*br, cb*bc)
+		m := New[float64](rb*br, cb*bc)
 		for bi := 0; bi < rb; bi++ {
 			for bj := 0; bj < cb; bj++ {
 				m.Block(bi, bj, rb, cb).Fill(float64(bi*cb + bj))
@@ -294,7 +294,7 @@ func expectPanic(t *testing.T, what string) {
 func TestNestedViewCompositionProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		m := New(20, 20)
+		m := New[float64](20, 20)
 		m.FillRand(r)
 		i1, j1 := r.Intn(8), r.Intn(8)
 		r1, c1 := 1+r.Intn(12-max(i1, j1)), 1+r.Intn(12-max(i1, j1))
@@ -311,7 +311,7 @@ func TestNestedViewCompositionProperty(t *testing.T) {
 
 func TestTransposeInvolution(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	m := New(7, 11)
+	m := New[float64](7, 11)
 	m.FillRand(rng)
 	if m.Transpose().Transpose().MaxAbsDiff(m) != 0 {
 		t.Fatal("transpose² != identity")
@@ -326,7 +326,7 @@ func max(a, b int) int {
 }
 
 func TestFingerprint(t *testing.T) {
-	a := New(3, 4)
+	a := New[float64](3, 4)
 	a.Set(1, 2, 0.5)
 	b := a.Clone()
 	if a.Fingerprint() != b.Fingerprint() {
@@ -334,7 +334,7 @@ func TestFingerprint(t *testing.T) {
 	}
 	// A view with a wide stride fingerprints like its tight clone: only the
 	// visible elements count.
-	host := New(6, 6)
+	host := New[float64](6, 6)
 	host.Fill(7)
 	v := host.View(1, 1, 3, 4)
 	if v.Fingerprint() != v.Clone().Fingerprint() {
@@ -346,8 +346,8 @@ func TestFingerprint(t *testing.T) {
 	}
 	// ±0 differ in bits, so they must differ in fingerprint — that is the
 	// point of a bit-level (not value-level) comparison.
-	z := New(1, 1)
-	nz := New(1, 1)
+	z := New[float64](1, 1)
+	nz := New[float64](1, 1)
 	nz.Set(0, 0, math.Copysign(0, -1))
 	if z.Fingerprint() == nz.Fingerprint() {
 		t.Fatal("+0 and -0 must fingerprint differently")

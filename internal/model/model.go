@@ -26,17 +26,24 @@ import (
 )
 
 // Arch holds the architecture parameters of the model (Figure 4): τa is the
-// reciprocal of peak flops/s, τb the amortized seconds per 8-byte element
-// moved from DRAM, λ ∈ [0.5,1] the prefetch efficiency of the C micro-tile
+// reciprocal of peak flops/s, τb the amortized seconds per element moved
+// from DRAM, λ ∈ [0.5,1] the prefetch efficiency of the C micro-tile
 // traffic, and {MC,KC,NC} the cache blocking of Figure 1.
 //
 // τa is a property of the micro-kernel as much as of the machine — the paper
 // bakes its assembly kernel's efficiency into the constant, and we bake in
-// the pure-Go backend's. Kernel records which registered backend the τ
-// constants describe ("" = unspecified, treated as the default backend);
-// ArchForKernel rescales τa when a different backend is put in use, so
-// BreakEvenSquare, ShardMakespan, and candidate ranking score the kernel
-// actually executing rather than a generic machine.
+// the pure-Go backend's — and both τ constants are per element type: τb is
+// seconds per element moved, so float32 roughly halves it (half the bytes
+// per element at the same bandwidth), and τa may change wherever the kernel
+// retires one dtype faster than the other (an AVX2 float32 kernel doubles
+// its lanes; the scalar pure-Go kernels are dtype-neutral). Kernel and Dtype
+// record which registered backend and element type the τ constants describe
+// ("" = unspecified, treated as the default backend; the zero Dtype is
+// float64, so every pre-dtype Arch literal keeps its historical meaning).
+// ArchForKernel rescales τa when a different backend is put in use and
+// ArchForDtype re-prices both constants for the other element type, so
+// BreakEvenSquare, ShardMakespan, and candidate ranking score the (kernel,
+// dtype) pair actually executing rather than a generic machine.
 type Arch struct {
 	TauA   float64
 	TauB   float64
@@ -45,6 +52,7 @@ type Arch struct {
 	KC     int
 	NC     int
 	Kernel string
+	Dtype  matrix.Dtype
 }
 
 // PaperIvyBridge returns the machine of §5.1: one core of a Xeon E5-2680 v2
@@ -62,69 +70,111 @@ func PaperIvyBridge() Arch {
 	}
 }
 
-// kernelEff maps registered backend names to their relative sustained flop
-// rate versus the default backend (default = 1.0): eff > 1 means the backend
-// retires flops faster, so its τa is smaller. Entries for the built-in
-// pure-Go backends were measured once with BenchmarkAblationKernel on the dev
-// container (best of repeated runs, kc=256); Calibrate supersedes the table
-// with a live measurement whenever it runs, so the constants only steer
-// selection until calibration happens. Guarded for RegisterKernelEfficiency.
+// effKey identifies one (backend, dtype) efficiency entry.
+type effKey struct {
+	name  string
+	dtype matrix.Dtype
+}
+
+// kernelEff maps registered (backend, dtype) pairs to their relative
+// sustained flop rate versus the default backend at float64 (= 1.0): eff > 1
+// means the pair retires flops faster, so its τa is smaller. Entries for the
+// built-in pure-Go backends were measured once with BenchmarkAblationKernel
+// on the dev container (best of repeated runs, kc=256); they are scalar
+// kernels, so their float32 rate matches float64 and the lookup falls back
+// to the float64 entry when a dtype-specific one is absent (an AVX2 backend
+// would register its doubled float32 rate explicitly). Calibrate supersedes
+// the table with a live measurement whenever it runs, so the constants only
+// steer selection until calibration happens. Guarded for the Register
+// functions.
 var kernelEff = struct {
 	sync.RWMutex
-	m map[string]float64
-}{m: map[string]float64{
-	"go4x4": 1.0,
-	"go8x4": 0.97, // wider tile halves B traffic but the 32 accumulators spill registers
+	m map[effKey]float64
+}{m: map[effKey]float64{
+	{"go4x4", matrix.Float64}: 1.0,
+	{"go8x4", matrix.Float64}: 0.97, // wider tile halves B traffic but the 32 accumulators spill registers
 }}
 
 // RegisterKernelEfficiency records the relative flop rate of a registered
-// backend (1.0 = same sustained rate as the default backend). Backends added
-// by future PRs (AVX, cgo) register their measured ratio alongside
-// kernel.Register so model-driven selection prices them correctly before any
-// runtime calibration.
+// backend (1.0 = same sustained rate as the default backend at float64) for
+// the float64 element type; dtypes without their own entry inherit it.
+// Backends added by future PRs (AVX, cgo) register their measured ratio
+// alongside kernel.Register so model-driven selection prices them correctly
+// before any runtime calibration.
 func RegisterKernelEfficiency(name string, eff float64) error {
+	return RegisterKernelDtypeEfficiency(name, matrix.Float64, eff)
+}
+
+// RegisterKernelDtypeEfficiency records the relative flop rate of one
+// (backend, dtype) pair — the hook for kernels whose dtypes retire flops at
+// different rates (an AVX2 float32 kernel runs twice the lanes of its
+// float64 twin).
+func RegisterKernelDtypeEfficiency(name string, d matrix.Dtype, eff float64) error {
 	if name == "" || eff <= 0 {
-		return fmt.Errorf("model: bad kernel efficiency %q=%g", name, eff)
+		return fmt.Errorf("model: bad kernel efficiency %q/%s=%g", name, d, eff)
 	}
 	kernelEff.Lock()
-	kernelEff.m[name] = eff
+	kernelEff.m[effKey{name, d}] = eff
 	kernelEff.Unlock()
 	return nil
 }
 
-// kernelEfficiency returns the registered relative flop rate of a backend;
-// unknown or empty names price like the default backend.
-func kernelEfficiency(name string) float64 {
+// kernelEfficiency returns the registered relative flop rate of a (backend,
+// dtype) pair; a missing dtype entry falls back to the backend's float64
+// entry (scalar kernels are dtype-neutral), and unknown or empty names price
+// like the default backend.
+func kernelEfficiency(name string, d matrix.Dtype) float64 {
 	if name == "" {
 		name = kernel.DefaultBackend
 	}
 	kernelEff.RLock()
 	defer kernelEff.RUnlock()
-	if e, ok := kernelEff.m[name]; ok {
+	if e, ok := kernelEff.m[effKey{name, d}]; ok {
+		return e
+	}
+	if e, ok := kernelEff.m[effKey{name, matrix.Float64}]; ok {
 		return e
 	}
 	return 1.0
 }
 
 // ArchForKernel returns arch with τa rescaled to describe the named backend
-// (empty = default): τa′ = τa · eff(arch.Kernel)/eff(name). τb, λ, and the
-// blocking are machine properties and carry over unchanged. If arch already
-// describes the named backend — e.g. it came from Calibrate with the same
-// cfg.Kernel — it is returned as-is, preserving the measured constant. The
-// Multiplier applies this at construction so every model consumer
-// (BreakEvenSquare's tile floor, ShardMakespan's grid score, candidate
-// ranking) prices the backend in use.
+// (empty = default) at arch's element type: τa′ = τa ·
+// eff(arch.Kernel)/eff(name). τb, λ, and the blocking are machine properties
+// and carry over unchanged. If arch already describes the named backend —
+// e.g. it came from Calibrate with the same cfg.Kernel — it is returned
+// as-is, preserving the measured constant. The Multiplier applies this at
+// construction so every model consumer (BreakEvenSquare's tile floor,
+// ShardMakespan's grid score, candidate ranking) prices the backend in use.
 func ArchForKernel(arch Arch, name string) Arch {
-	bk, err := kernel.Resolve(name)
-	if err != nil {
+	resolved, ok := kernel.ResolveNameFor(name, arch.Dtype)
+	if !ok {
 		return arch // unknown backend: leave pricing generic, selection still works
 	}
-	resolved := bk.Name()
 	if arch.Kernel == resolved {
 		return arch
 	}
-	arch.TauA *= kernelEfficiency(arch.Kernel) / kernelEfficiency(resolved)
+	arch.TauA *= kernelEfficiency(arch.Kernel, arch.Dtype) / kernelEfficiency(resolved, arch.Dtype)
 	arch.Kernel = resolved
+	return arch
+}
+
+// ArchForDtype returns arch re-priced for element type d: τb scales by the
+// element-size ratio (seconds per element at fixed byte bandwidth — float32
+// halves it), and τa by the ratio of the kernel's per-dtype flop rates
+// (unchanged for the scalar pure-Go backends, halved for a SIMD backend
+// whose float32 path doubles its lanes). λ and the blocking carry over. An
+// arch already describing d — e.g. from Calibrate[float32] — is returned
+// as-is, preserving measured constants. The Multiplier applies this at
+// construction, so the float32 serving surface selects plans, tile floors,
+// and shard grids with float32 economics rather than float64's.
+func ArchForDtype(arch Arch, d matrix.Dtype) Arch {
+	if arch.Dtype == d {
+		return arch
+	}
+	arch.TauB *= float64(d.Size()) / float64(arch.Dtype.Size())
+	arch.TauA *= kernelEfficiency(arch.Kernel, arch.Dtype) / kernelEfficiency(arch.Kernel, d)
+	arch.Dtype = d
 	return arch
 }
 
@@ -406,24 +456,26 @@ func FitLambda(arch Arch, m, k, n int, measuredSeconds float64) Arch {
 const calibrateReps = 3
 
 // Calibrate measures this machine's τa and τb for the given gemm
-// configuration: τa from the effective flop rate of a square GEMM of size
-// probe — run through cfg.Kernel's backend, so the measured constant is
-// per-backend exactly as the paper bakes its assembly kernel's efficiency
-// into the model (the returned Arch.Kernel records which) — and τb from a
-// large strided read-modify-write sweep. Each probe runs one untimed warm-up pass — the
-// GEMM to populate workspace pools and caches, the sweep to fault in every
-// page of the fresh buffer, which would otherwise inflate τb well above
-// steady-state bandwidth — and then reports the best of three timed
-// repetitions. λ is left at 0.7.
-func Calibrate(cfg gemm.Config, probe int) (Arch, error) {
+// configuration at element type E: τa from the effective flop rate of a
+// square GEMM of size probe — run through cfg.Kernel's backend, so the
+// measured constant is per-(backend, dtype) exactly as the paper bakes its
+// assembly kernel's efficiency into the model (the returned Arch.Kernel and
+// Arch.Dtype record which) — and τb from a large strided read-modify-write
+// sweep over a buffer of E, so the per-element bandwidth cost reflects the
+// element size (float32 moves half the bytes per element). Each probe runs
+// one untimed warm-up pass — the GEMM to populate workspace pools and
+// caches, the sweep to fault in every page of the fresh buffer, which would
+// otherwise inflate τb well above steady-state bandwidth — and then reports
+// the best of three timed repetitions. λ is left at 0.7.
+func Calibrate[E matrix.Element](cfg gemm.Config, probe int) (Arch, error) {
 	if probe < 64 {
 		return Arch{}, fmt.Errorf("model: probe %d too small", probe)
 	}
-	ctx, err := gemm.NewContext(cfg)
+	ctx, err := gemm.NewContext[E](cfg)
 	if err != nil {
 		return Arch{}, err
 	}
-	a, b, c := matrix.New(probe, probe), matrix.New(probe, probe), matrix.New(probe, probe)
+	a, b, c := matrix.New[E](probe, probe), matrix.New[E](probe, probe), matrix.New[E](probe, probe)
 	a.Fill(1.0 / 3)
 	b.Fill(2.0 / 3)
 	ctx.MulAdd(c, a, b) // warm up
@@ -439,10 +491,13 @@ func Calibrate(cfg gemm.Config, probe int) (Arch, error) {
 	flops := 2 * float64(probe) * float64(probe) * float64(probe)
 	tauA := best / flops
 
-	// Bandwidth probe: stream-add over a buffer far larger than cache. The
-	// untimed sweep touches every page first so the timed sweeps measure
-	// steady-state bandwidth, not first-touch page faults.
-	buf := make([]float64, 1<<24) // 128 MiB
+	// Bandwidth probe: stream-add over a buffer far larger than cache (the
+	// same element count as the historical float64 probe, so the float32
+	// sweep moves half the bytes — which is exactly the per-element economics
+	// τb should price). The untimed sweep touches every page first so the
+	// timed sweeps measure steady-state bandwidth, not first-touch page
+	// faults.
+	buf := make([]E, 1<<24) // 128 MiB of float64s, 64 MiB of float32s
 	for i := range buf {
 		buf[i] += 1
 	}
@@ -464,5 +519,6 @@ func Calibrate(cfg gemm.Config, probe int) (Arch, error) {
 		TauA: tauA, TauB: tauB, Lambda: 0.7,
 		MC: cfg.MC, KC: cfg.KC, NC: cfg.NC,
 		Kernel: ctx.Backend().Name(),
+		Dtype:  matrix.DtypeOf[E](),
 	}, nil
 }

@@ -8,6 +8,7 @@ import (
 	"fmmfam/internal/fmmexec"
 	"fmmfam/internal/gemm"
 	"fmmfam/internal/kernel"
+	"fmmfam/internal/matrix"
 )
 
 func TestStatsOfStrassen(t *testing.T) {
@@ -219,7 +220,7 @@ func TestDefaultCandidatesShape(t *testing.T) {
 }
 
 func TestCalibrateProducesSaneArch(t *testing.T) {
-	arch, err := Calibrate(gemm.Config{MC: 32, KC: 64, NC: 128, Threads: 1}, 96)
+	arch, err := Calibrate[float64](gemm.Config{MC: 32, KC: 64, NC: 128, Threads: 1}, 96)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestCalibrateProducesSaneArch(t *testing.T) {
 }
 
 func TestCalibrateRejectsTinyProbe(t *testing.T) {
-	if _, err := Calibrate(gemm.DefaultConfig(), 8); err == nil {
+	if _, err := Calibrate[float64](gemm.DefaultConfig(), 8); err == nil {
 		t.Fatal("expected error")
 	}
 }
@@ -404,7 +405,7 @@ func TestRegisterKernelEfficiencyRejectsBadInput(t *testing.T) {
 // TestCalibrateRecordsKernel: the measured arch names the backend it drove,
 // so ArchForKernel treats it as authoritative for that backend.
 func TestCalibrateRecordsKernel(t *testing.T) {
-	arch, err := Calibrate(gemm.Config{MC: 32, KC: 64, NC: 128, Threads: 1, Kernel: "go8x4"}, 96)
+	arch, err := Calibrate[float64](gemm.Config{MC: 32, KC: 64, NC: 128, Threads: 1, Kernel: "go8x4"}, 96)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,5 +415,65 @@ func TestCalibrateRecordsKernel(t *testing.T) {
 	// A calibrated arch for the backend in use passes through unchanged.
 	if got := ArchForKernel(arch, "go8x4"); got != arch {
 		t.Fatal("calibrated arch must be authoritative for its own backend")
+	}
+}
+
+// TestArchForDtype: re-pricing for float32 halves τb (per-element bandwidth
+// cost at half the bytes), leaves the scalar pure-Go kernels' τa unchanged,
+// records the dtype, round-trips, and is the identity on a matching arch.
+func TestArchForDtype(t *testing.T) {
+	base := ArchForKernel(PaperIvyBridge(), "")
+	if base.Dtype != matrix.Float64 {
+		t.Fatalf("paper arch should describe float64, got %s", base.Dtype)
+	}
+
+	f32 := ArchForDtype(base, matrix.Float32)
+	if f32.Dtype != matrix.Float32 {
+		t.Fatalf("dtype not recorded: %s", f32.Dtype)
+	}
+	if f32.TauB != base.TauB/2 {
+		t.Fatalf("float32 τb = %g, want half of %g", f32.TauB, base.TauB)
+	}
+	if f32.TauA != base.TauA {
+		t.Fatalf("scalar-kernel float32 τa changed: %g → %g", base.TauA, f32.TauA)
+	}
+	if f32.Lambda != base.Lambda || f32.MC != base.MC || f32.Kernel != base.Kernel {
+		t.Fatal("ArchForDtype touched unrelated parameters")
+	}
+
+	if again := ArchForDtype(f32, matrix.Float32); again != f32 {
+		t.Fatal("matching-dtype conversion must be the identity")
+	}
+	back := ArchForDtype(f32, matrix.Float64)
+	if math.Abs(back.TauB-base.TauB)/base.TauB > 1e-15 || back.Dtype != matrix.Float64 {
+		t.Fatalf("τb round-trip drifted: %+v vs %+v", back, base)
+	}
+
+	// A dtype-specific efficiency entry rescales τa: a kernel whose float32
+	// path retires 2× the flops gets half the τa at float32.
+	if err := RegisterKernelDtypeEfficiency("go4x4-dtype-stub", matrix.Float64, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterKernelDtypeEfficiency("go4x4-dtype-stub", matrix.Float32, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	simd := base
+	simd.Kernel = "go4x4-dtype-stub"
+	simd32 := ArchForDtype(simd, matrix.Float32)
+	if math.Abs(simd32.TauA-simd.TauA/2)/simd.TauA > 1e-15 {
+		t.Fatalf("2× float32 efficiency should halve τa: %g → %g", simd.TauA, simd32.TauA)
+	}
+
+	// A float32 calibration result feeds straight through the float32
+	// multiplier path: ArchForDtype must not touch it.
+	cal, err := Calibrate[float32](gemm.DefaultConfig(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Dtype != matrix.Float32 || cal.Kernel != kernel.DefaultBackend {
+		t.Fatalf("Calibrate[float32] recorded (%q, %s)", cal.Kernel, cal.Dtype)
+	}
+	if ArchForDtype(cal, matrix.Float32) != cal {
+		t.Fatal("measured float32 arch must pass through unchanged")
 	}
 }

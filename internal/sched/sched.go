@@ -26,7 +26,9 @@ type Job struct {
 // deterministic in which worker deque each job lands in, though not in
 // execution interleaving) and seeded round-robin across per-worker deques;
 // each worker drains its own deque front to back (its costliest first) and,
-// when empty, steals from the back of the first non-empty victim. Jobs must
+// when empty, steals from the back of the first non-empty victim — half the
+// victim's deque at once when it is backlogged (≥ stealHalfMin jobs), one
+// job otherwise. Jobs must
 // not enqueue further jobs; with a fixed job set, one empty-handed sweep of
 // every deque means no work remains and the worker exits.
 //
@@ -64,7 +66,17 @@ func Run(workers int, jobs []Job) {
 			for {
 				idx, ok := deques[self].popFront()
 				if !ok {
-					idx, ok = steal(deques, self)
+					var batch []int
+					batch, ok = steal(deques, self)
+					if ok {
+						idx = batch[0]
+						if len(batch) > 1 {
+							// The thief's own deque is empty (that is why it
+							// stole), so the surplus lands at its front in
+							// the segment's original costliest-first order.
+							deques[self].pushBatch(batch[1:])
+						}
+					}
 				}
 				if !ok {
 					return
@@ -95,25 +107,53 @@ func (d *deque) popFront() (int, bool) {
 	return idx, true
 }
 
-func (d *deque) popBack() (int, bool) {
+// stealHalfMin is the victim backlog at which a thief takes half the deque
+// in one steal instead of a single job. Below it, batching would leave the
+// victim's owner with almost nothing the moment it finishes its current
+// job; at or above it, per-job steals on ragged grids degenerate into one
+// lock acquisition per job while the backlogged owner is still busy — the
+// classic work-stealing trade, resolved the same way Cilk-style runtimes
+// do (steal a constant fraction, not a constant count).
+const stealHalfMin = 4
+
+// stealBack removes work from the back of the deque for a thief: half the
+// deque (rounded down) when it holds at least stealHalfMin jobs, one job
+// otherwise. The returned segment preserves deque order, so its first
+// element is the costliest of the stolen jobs.
+func (d *deque) stealBack() ([]int, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if len(d.jobs) == 0 {
-		return 0, false
+	n := len(d.jobs)
+	if n == 0 {
+		return nil, false
 	}
-	idx := d.jobs[len(d.jobs)-1]
-	d.jobs = d.jobs[:len(d.jobs)-1]
-	return idx, true
+	take := 1
+	if n >= stealHalfMin {
+		take = n / 2
+	}
+	batch := append([]int(nil), d.jobs[n-take:]...)
+	d.jobs = d.jobs[:n-take]
+	return batch, true
+}
+
+// pushBatch appends a stolen surplus to the deque in order.
+func (d *deque) pushBatch(batch []int) {
+	d.mu.Lock()
+	d.jobs = append(d.jobs, batch...)
+	d.mu.Unlock()
 }
 
 // steal scans the other workers' deques round-robin from self+1 and takes
-// the back of the first non-empty one — the victim's cheapest remaining
-// job, leaving its costliest (front) work undisturbed for the owner.
-func steal(deques []deque, self int) (int, bool) {
+// from the back of the first non-empty one — the victim's cheapest
+// remaining jobs, leaving its costliest (front) work undisturbed for the
+// owner. Backlogged victims (≥ stealHalfMin jobs) lose half their deque in
+// one steal, so on ragged grids a starved worker re-balances in O(log n)
+// steals instead of one steal per job.
+func steal(deques []deque, self int) ([]int, bool) {
 	for off := 1; off < len(deques); off++ {
-		if idx, ok := deques[(self+off)%len(deques)].popBack(); ok {
-			return idx, true
+		if batch, ok := deques[(self+off)%len(deques)].stealBack(); ok {
+			return batch, true
 		}
 	}
-	return 0, false
+	return nil, false
 }

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"fmmfam/internal/shard"
 )
 
 // TestRunExecutesAllJobsExactlyOnce sweeps worker and job counts, including
@@ -112,4 +114,100 @@ func TestRunRace(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestStealBackTakesHalfWhenBacklogged pins the steal-half mechanics:
+// victims holding ≥ stealHalfMin jobs lose half their deque (rounded down,
+// from the back, order preserved), smaller victims lose exactly one, and an
+// empty deque refuses.
+func TestStealBackTakesHalfWhenBacklogged(t *testing.T) {
+	mk := func(n int) *deque {
+		d := &deque{}
+		for i := 0; i < n; i++ {
+			d.jobs = append(d.jobs, i)
+		}
+		return d
+	}
+	for _, tc := range []struct {
+		n, wantTake int
+	}{
+		{0, 0}, {1, 1}, {2, 1}, {3, 1}, // below the threshold: one job
+		{4, 2}, {5, 2}, {8, 4}, {9, 4}, {17, 8}, // at/above: half, rounded down
+	} {
+		d := mk(tc.n)
+		batch, ok := d.stealBack()
+		if tc.n == 0 {
+			if ok {
+				t.Fatalf("stealBack on empty deque returned %v", batch)
+			}
+			continue
+		}
+		if !ok || len(batch) != tc.wantTake {
+			t.Fatalf("n=%d: stole %d jobs (%v), want %d", tc.n, len(batch), batch, tc.wantTake)
+		}
+		if len(d.jobs) != tc.n-tc.wantTake {
+			t.Fatalf("n=%d: victim left with %d jobs, want %d", tc.n, len(d.jobs), tc.n-tc.wantTake)
+		}
+		// The batch is the back segment in original order; the victim keeps
+		// the front.
+		for i, idx := range batch {
+			if idx != tc.n-tc.wantTake+i {
+				t.Fatalf("n=%d: batch %v is not the ordered back segment", tc.n, batch)
+			}
+		}
+	}
+}
+
+// TestStealDistributionRaggedGrid drives the steal path on a ragged 3D
+// shard grid — the workload the steal-half heuristic exists for: tile costs
+// spanning two orders of magnitude, seeded across few workers. One worker
+// is pinned in a long job; the remaining workers must drain every other
+// job (exactly once) before the long job finishes, which requires thieves
+// to take work out of the blocked worker's deque in batches rather than
+// getting stuck behind it.
+func TestStealDistributionRaggedGrid(t *testing.T) {
+	spec, ok := shard.Split(3000, 2000, 900, shard.Options{Workers: 8, MinTile: 96, KSplit: true})
+	if !ok {
+		t.Fatal("expected the ragged problem to shard")
+	}
+	tiles := spec.Tiles()
+	if len(tiles) < 8 {
+		t.Fatalf("want a ragged grid with ≥ 8 tiles, got %d (%v)", len(tiles), spec)
+	}
+
+	const workers = 2
+	// jobs[0] gets the largest cost, so it seeds worker 0's deque front and
+	// the sort leaves the remaining tile jobs alternating across both
+	// deques. Worker 0 blocks in it until every other job has run.
+	others := int32(len(tiles))
+	allOthersDone := make(chan struct{})
+	var doneOnce sync.Once
+	var ran atomic.Int32
+	jobs := make([]Job, 1+len(tiles))
+	jobs[0] = Job{Cost: 1 << 60, Run: func() {
+		<-allOthersDone
+		ran.Add(1)
+	}}
+	for i, tile := range tiles {
+		cost := int64(tile.Rows) * int64(tile.Cols) * int64(tile.Depth)
+		jobs[1+i] = Job{Cost: cost, Run: func() {
+			ran.Add(1)
+			if atomic.AddInt32(&others, -1) == 0 {
+				doneOnce.Do(func() { close(allOthersDone) })
+			}
+		}}
+	}
+	done := make(chan struct{})
+	go func() {
+		Run(workers, jobs)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlock: thief failed to drain the blocked worker's deque")
+	}
+	if got := ran.Load(); got != int32(len(jobs)) {
+		t.Fatalf("ran %d jobs, want %d", got, len(jobs))
+	}
 }

@@ -25,23 +25,23 @@ type Result struct {
 
 // Measure runs plan and the plain GEMM baseline on random uniform [-1,1)
 // inputs of the given size and reports both errors against the Kahan oracle.
-func Measure(p *fmmexec.Plan, m, k, n int, seed int64) Result {
+func Measure(p *fmmexec.Plan[float64], m, k, n int, seed int64) Result {
 	rng := rand.New(rand.NewSource(seed))
-	a, b := matrix.New(m, k), matrix.New(k, n)
+	a, b := matrix.New[float64](m, k), matrix.New[float64](k, n)
 	a.FillRand(rng)
 	b.FillRand(rng)
 
-	ref := matrix.New(m, n)
+	ref := matrix.New[float64](m, n)
 	matrix.MulAddKahan(ref, a, b)
 	scale := ref.MaxAbs()
 	if scale == 0 {
 		scale = 1
 	}
 
-	cf := matrix.New(m, n)
+	cf := matrix.New[float64](m, n)
 	p.MulAdd(cf, a, b)
 
-	cg := matrix.New(m, n)
+	cg := matrix.New[float64](m, n)
 	p.Context().MulAdd(cg, a, b)
 
 	return Result{
@@ -65,7 +65,7 @@ func LevelSweep(cfg gemm.Config, algo core.Algorithm, variant fmmexec.Variant, m
 	levels := []core.Algorithm{}
 	for l := 1; l <= maxLevels; l++ {
 		levels = append(levels, algo)
-		p, err := fmmexec.NewPlan(cfg, variant, levels...)
+		p, err := fmmexec.NewPlan[float64](cfg, variant, levels...)
 		if err != nil {
 			return nil, err
 		}

@@ -11,7 +11,7 @@ import (
 func cfg() gemm.Config { return gemm.Config{MC: 16, KC: 16, NC: 32, Threads: 1} }
 
 func TestMeasureErrorsAreTiny(t *testing.T) {
-	p := fmmexec.MustNewPlan(cfg(), fmmexec.ABC, core.Strassen())
+	p := fmmexec.MustNewPlan[float64](cfg(), fmmexec.ABC, core.Strassen())
 	r := Measure(p, 48, 48, 48, 1)
 	if r.MaxErr <= 0 || r.MaxErr > 1e-11 {
 		t.Fatalf("Strassen error %g out of expected range", r.MaxErr)
@@ -29,7 +29,7 @@ func TestMeasureErrorsAreTiny(t *testing.T) {
 
 func TestFMMLessAccurateThanGemm(t *testing.T) {
 	// The paper's stability caveat: Strassen's error exceeds classical GEMM's.
-	p := fmmexec.MustNewPlan(cfg(), fmmexec.ABC, core.Strassen(), core.Strassen())
+	p := fmmexec.MustNewPlan[float64](cfg(), fmmexec.ABC, core.Strassen(), core.Strassen())
 	r := Measure(p, 64, 64, 64, 2)
 	if r.MaxErr <= r.GemmErr {
 		t.Fatalf("expected FMM err %g > gemm err %g", r.MaxErr, r.GemmErr)

@@ -7,22 +7,33 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fmmfam/internal/fmmexec"
+	"fmmfam/internal/gemm"
+	"fmmfam/internal/kernel"
+	"fmmfam/internal/matrix"
 	"fmmfam/internal/model"
 	"fmmfam/internal/sched"
 	"fmmfam/internal/shard"
 )
 
-// Multiplier is the library-integration entry point the paper's conclusion
-// argues for ("Strassen-like fast matrix multiplication can be incorporated
-// into libraries for practical use"): a reusable multiplier that selects an
-// implementation per problem shape with the performance model and caches the
-// constructed plans, so steady-state calls pay no selection or setup cost.
+// GenericMultiplier is the library-integration entry point the paper's
+// conclusion argues for ("Strassen-like fast matrix multiplication can be
+// incorporated into libraries for practical use"), generic over the element
+// type: a reusable multiplier that selects an implementation per problem
+// shape with the performance model and caches the constructed plans, so
+// steady-state calls pay no selection or setup cost. Multiplier and
+// Multiplier32 are its float64 and float32 instantiations; the float64
+// surface is the historical bit-stable one, the float32 surface trades
+// precision for halved memory traffic (the regime where fast algorithms
+// win earliest — see README "Precision").
 //
-// Concurrency contract: a Multiplier is safe for unlimited concurrent
+// Concurrency contract: a multiplier is safe for unlimited concurrent
 // callers. Plans are immutable and shared across callers of the same shape
 // class; all mutable per-call state (packing buffers, variant temporaries)
 // is rented from bounded pools inside the execution layers, so concurrent
-// MulAdd calls never serialize on workspace.
+// MulAdd calls never serialize on workspace. Pools are typed per element —
+// a float32 buffer can never be handed to a float64 call, however the two
+// surfaces interleave.
 //
 // Serving behavior: problems at or above Config.ShardThreshold (with
 // Threads ≥ 2) are split into independent block products — cutting the M×N
@@ -30,22 +41,22 @@ import (
 // inner dimension too — and scheduled across a work-stealing pool;
 // MulAddAsync submits work to a bounded queue and returns a Future; the
 // plan cache is LRU-bounded by Config.PlanCacheCap.
-type Multiplier struct {
+type GenericMultiplier[E matrix.Element] struct {
 	cfg  Config
 	arch Arch
 
-	// cfgErr is the construction-time Config.Validate result; every entry
+	// cfgErr is the construction-time validation result; every entry
 	// point returns it so an invalid multiplier fails fast and uniformly.
 	cfgErr error
 
-	plans *planCache
+	plans *planCache[E]
 
 	// redBufs is the bounded free list of K-split reduction buffers, rented
 	// per slab like gemm workspaces: get falls back to allocating, put
 	// drops when the pool is full or the buffer is oversized, so idle
 	// retained memory stays capped while steady-state K-split calls
 	// allocate nothing.
-	redBufs chan []float64
+	redBufs chan []E
 
 	// serial is a lazily-built Threads=1 twin that executes every batch,
 	// sharded, and async job: cross-job parallelism comes from the pool, so
@@ -53,7 +64,7 @@ type Multiplier struct {
 	// instead of Threads², and makes job results independent of the parent's
 	// Threads setting.
 	serialOnce sync.Once
-	serial     *Multiplier
+	serial     *GenericMultiplier[E]
 
 	// minTile is the lazily-computed shard tile floor (model break-even).
 	minTileOnce sync.Once
@@ -62,33 +73,115 @@ type Multiplier struct {
 	// async is the lazily-started MulAddAsync queue + worker pool; written
 	// only inside asyncOnce, so all access goes through asyncState.
 	asyncOnce sync.Once
-	async     *asyncPool
+	async     *asyncPool[E]
 }
 
-// NewMultiplier returns a Multiplier using the given blocking/threads and
-// machine parameters for selection. Use PaperArch() when no calibration is
-// available; relative rankings transfer well across machines. The arch's τa
-// is rescaled for cfg.Kernel's backend (model.ArchForKernel) so plan
-// selection, the shard tile floor, and the shard grid score all price the
-// kernel actually in use; an arch from model.Calibrate with the same
-// cfg.Kernel passes through unchanged. An invalid cfg is reported by every
-// entry point's first call (see Config.Validate).
-func NewMultiplier(cfg Config, arch Arch) *Multiplier {
+// Multiplier is the float64 multiplier — the historical public surface,
+// source-compatible with every release since PR 1.
+type Multiplier = GenericMultiplier[float64]
+
+// Multiplier32 is the float32 multiplier: the same serving engine
+// instantiated at single precision.
+type Multiplier32 = GenericMultiplier[float32]
+
+// archCache memoizes measured machine constants per (kernel, dtype) pair,
+// process-wide: every multiplier constructed with calibration enabled for
+// the same pair reuses one measurement (the probes cost ~100ms and allocate
+// a bandwidth-sweep buffer, so per-construction measurement would make the
+// serial twins and tests pay repeatedly for identical numbers).
+var archCache = struct {
+	sync.Mutex
+	m map[archKey]Arch
+}{m: make(map[archKey]Arch)}
+
+type archKey struct {
+	kernel string
+	dtype  matrix.Dtype
+}
+
+// calibrateProbe is the square GEMM size the opt-in construction-time
+// calibration measures τa with: large enough that the five loops and packing
+// run at steady state, small enough to keep NewMultiplier under ~100ms the
+// first time a (kernel, dtype) pair is seen.
+const calibrateProbe = 256
+
+// calibratedArch returns the measured Arch for cfg's (kernel, dtype) pair,
+// measuring on first use and caching process-wide. The probe runs
+// single-threaded regardless of cfg.Threads so τa stays a per-core constant,
+// exactly as the paper's model defines it.
+func calibratedArch[E matrix.Element](gcfg gemm.Config) (Arch, error) {
+	name, ok := kernel.ResolveNameFor(gcfg.Kernel, matrix.DtypeOf[E]())
+	if !ok {
+		return Arch{}, fmt.Errorf("fmmfam: calibrate: unknown kernel %q for %s", gcfg.Kernel, matrix.DtypeOf[E]())
+	}
+	key := archKey{kernel: name, dtype: matrix.DtypeOf[E]()}
+	archCache.Lock()
+	defer archCache.Unlock()
+	if a, ok := archCache.m[key]; ok {
+		return a, nil
+	}
+	gcfg.Threads = 1
+	a, err := model.Calibrate[E](gcfg, calibrateProbe)
+	if err != nil {
+		return Arch{}, err
+	}
+	archCache.m[key] = a
+	return a, nil
+}
+
+// calibrateEnabled reports whether construction-time calibration is on:
+// the Config flag, or the FMMFAM_CALIBRATE=1 environment variable (the
+// no-recompile switch for deployed binaries).
+func calibrateEnabled(cfg Config) bool {
+	return cfg.Calibrate || os.Getenv("FMMFAM_CALIBRATE") == "1"
+}
+
+// NewGenericMultiplier returns a multiplier for element type E using the
+// given blocking/threads and machine parameters for selection. The arch is
+// re-priced for E (model.ArchForDtype — float32 halves the per-element
+// bandwidth cost τb) and for cfg.Kernel's backend (model.ArchForKernel), so
+// plan selection, the shard tile floor, and the shard grid score all price
+// the (kernel, dtype) pair actually in use; an arch from model.Calibrate[E]
+// with the same cfg.Kernel passes through unchanged. With Config.Calibrate
+// (or FMMFAM_CALIBRATE=1) set, the provided arch's τ constants are replaced
+// by measured ones, cached process-wide per (kernel, dtype). An invalid cfg
+// is reported by every entry point's first call (see Config.Validate).
+func NewGenericMultiplier[E matrix.Element](cfg Config, arch Arch) *GenericMultiplier[E] {
 	workers := cfg.Threads
 	if workers < 1 {
 		workers = 1
 	}
-	return &Multiplier{
+	cfgErr := validateConfig[E](cfg)
+	if cfgErr == nil && calibrateEnabled(cfg) {
+		if measured, err := calibratedArch[E](cfg.gemmConfig()); err == nil {
+			arch = measured
+		} else {
+			cfgErr = err
+		}
+	}
+	return &GenericMultiplier[E]{
 		cfg:     cfg,
-		arch:    model.ArchForKernel(arch, cfg.Kernel),
-		cfgErr:  cfg.Validate(),
-		plans:   newPlanCache(cfg.planCacheCap()),
-		redBufs: make(chan []float64, 2*workers),
+		arch:    model.ArchForKernel(model.ArchForDtype(arch, matrix.DtypeOf[E]()), cfg.Kernel),
+		cfgErr:  cfgErr,
+		plans:   newPlanCache[E](cfg.planCacheCap()),
+		redBufs: make(chan []E, 2*workers),
 	}
 }
 
+// NewMultiplier returns a float64 Multiplier; see NewGenericMultiplier. Use
+// PaperArch() when no calibration is available; relative rankings transfer
+// well across machines.
+func NewMultiplier(cfg Config, arch Arch) *Multiplier {
+	return NewGenericMultiplier[float64](cfg, arch)
+}
+
+// NewMultiplier32 returns a float32 Multiplier32; see NewGenericMultiplier.
+func NewMultiplier32(cfg Config, arch Arch) *Multiplier32 {
+	return NewGenericMultiplier[float32](cfg, arch)
+}
+
 // checkMulDims validates C(m×n) += A(m×k)·B(k×n) dimensions.
-func checkMulDims(c, a, b Matrix) error {
+func checkMulDims[E matrix.Element](c, a, b matrix.Mat[E]) error {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		return fmt.Errorf("fmmfam: dims C(%d×%d) += A(%d×%d)·B(%d×%d)",
 			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
@@ -101,7 +194,7 @@ func checkMulDims(c, a, b Matrix) error {
 // are split into independent block products and scheduled across the worker
 // pool instead of parallelizing one product's loops. Safe for concurrent
 // callers.
-func (mu *Multiplier) MulAdd(c, a, b Matrix) error {
+func (mu *GenericMultiplier[E]) MulAdd(c, a, b matrix.Mat[E]) error {
 	if mu.cfgErr != nil {
 		return mu.cfgErr
 	}
@@ -122,24 +215,30 @@ func (mu *Multiplier) MulAdd(c, a, b Matrix) error {
 	return nil
 }
 
-// BatchJob is one independent multiplication C += A·B of a batch.
-type BatchJob struct {
-	C, A, B Matrix
+// GenericBatchJob is one independent multiplication C += A·B of a batch.
+type GenericBatchJob[E matrix.Element] struct {
+	C, A, B matrix.Mat[E]
 }
+
+// BatchJob is the float64 batch job.
+type BatchJob = GenericBatchJob[float64]
+
+// BatchJob32 is the float32 batch job.
+type BatchJob32 = GenericBatchJob[float32]
 
 // MulAddBatch schedules the jobs across a work-stealing worker pool sized
 // by the multiplier's configured thread count: jobs are seeded across
 // per-worker deques costliest-first (by classical flop count 2·m·k·n) and
-// idle workers steal from busy ones, so mixed-size batches don't pay a
-// straggler round. Batch contract: every job executes with single-threaded
-// plan execution through the multiplier's serial twin, regardless of worker
-// count — the parallelism is across jobs, not within one — so results and
-// plan selection are identical whether the pool runs with one worker or
-// many, and the machine is never oversubscribed beyond the configured
-// worker count. Jobs must be independent (no C aliases another job's
-// operands). It returns the join of all per-job errors; jobs after a failed
-// one still run.
-func (mu *Multiplier) MulAddBatch(jobs []BatchJob) error {
+// idle workers steal from busy ones — half a backlogged victim's deque at a
+// time — so mixed-size batches don't pay a straggler round. Batch contract:
+// every job executes with single-threaded plan execution through the
+// multiplier's serial twin, regardless of worker count — the parallelism is
+// across jobs, not within one — so results and plan selection are identical
+// whether the pool runs with one worker or many, and the machine is never
+// oversubscribed beyond the configured worker count. Jobs must be
+// independent (no C aliases another job's operands). It returns the join of
+// all per-job errors; jobs after a failed one still run.
+func (mu *GenericMultiplier[E]) MulAddBatch(jobs []GenericBatchJob[E]) error {
 	if mu.cfgErr != nil {
 		return mu.cfgErr
 	}
@@ -169,18 +268,18 @@ func (mu *Multiplier) MulAddBatch(jobs []BatchJob) error {
 // async jobs, sharing this multiplier's arch and blocking but with its own
 // plan cache. Threads=1 also disables sharding on the twin, so pool jobs
 // never recursively re-shard.
-func (mu *Multiplier) serialMultiplier() *Multiplier {
+func (mu *GenericMultiplier[E]) serialMultiplier() *GenericMultiplier[E] {
 	mu.serialOnce.Do(func() {
 		cfg := mu.cfg
 		cfg.Threads = 1
-		mu.serial = NewMultiplier(cfg, mu.arch)
+		mu.serial = NewGenericMultiplier[E](cfg, mu.arch)
 	})
 	return mu.serial
 }
 
 // shardMinTile resolves the shard tile floor: the configured override, or
 // the model's fast-algorithm break-even for this multiplier's arch.
-func (mu *Multiplier) shardMinTile() int {
+func (mu *GenericMultiplier[E]) shardMinTile() int {
 	if mu.cfg.ShardMinTile > 0 {
 		return mu.cfg.ShardMinTile
 	}
@@ -197,7 +296,7 @@ func (mu *Multiplier) shardMinTile() int {
 // are scored with the performance model's makespan (model.ShardMakespan on
 // this multiplier's arch), so the K dimension is split only when the slab
 // products' smaller operand traffic pays for the reduction folds.
-func (mu *Multiplier) shardSpec(m, k, n int) (shard.Spec, bool) {
+func (mu *GenericMultiplier[E]) shardSpec(m, k, n int) (shard.Spec, bool) {
 	if mu.cfg.Threads < 2 {
 		return shard.Spec{}, false
 	}
@@ -221,7 +320,7 @@ func (mu *Multiplier) shardSpec(m, k, n int) (shard.Spec, bool) {
 // of the operands, scheduled through MulAddBatch; tiles write disjoint
 // regions of C, so the result is bit-identical however the pool interleaves
 // them. K-split specs take the reduction-buffer path instead.
-func (mu *Multiplier) mulAddSharded(spec shard.Spec, c, a, b Matrix) error {
+func (mu *GenericMultiplier[E]) mulAddSharded(spec shard.Spec, c, a, b matrix.Mat[E]) error {
 	if spec.GridK > 1 {
 		if err := mu.mulAddShardedK(spec, c, a, b); err != nil {
 			return fmt.Errorf("%v: %w", spec, err)
@@ -229,9 +328,9 @@ func (mu *Multiplier) mulAddSharded(spec shard.Spec, c, a, b Matrix) error {
 		return nil
 	}
 	tiles := spec.Tiles()
-	jobs := make([]BatchJob, len(tiles))
+	jobs := make([]GenericBatchJob[E], len(tiles))
 	for i, t := range tiles {
-		jobs[i] = BatchJob{
+		jobs[i] = GenericBatchJob[E]{
 			C: c.View(t.I, t.J, t.Rows, t.Cols),
 			A: a.View(t.I, t.P, t.Rows, t.Depth),
 			B: b.View(t.P, t.J, t.Depth, t.Cols),
@@ -246,9 +345,9 @@ func (mu *Multiplier) mulAddSharded(spec shard.Spec, c, a, b Matrix) error {
 // kGroup is the per-output-tile state of a K-split execution: the C view
 // the tile owns, the reduction buffers of slabs 1…GridK−1 (slab 0
 // accumulates straight into C), and the count of slabs still running.
-type kGroup struct {
-	c         Matrix
-	bufs      []Matrix
+type kGroup[E matrix.Element] struct {
+	c         matrix.Mat[E]
+	bufs      []matrix.Mat[E]
 	remaining atomic.Int32
 }
 
@@ -262,17 +361,17 @@ type kGroup struct {
 // bit-identical C even though the schedule is not deterministic — the
 // serving determinism contract for K-split (the 2D path is stronger:
 // bit-identical to sequential tile execution).
-func (mu *Multiplier) mulAddShardedK(spec shard.Spec, c, a, b Matrix) error {
+func (mu *GenericMultiplier[E]) mulAddShardedK(spec shard.Spec, c, a, b matrix.Mat[E]) error {
 	tiles := spec.Tiles() // GridK consecutive slabs per output tile, ascending P
 	gk := spec.GridK
 	exec := mu.serialMultiplier()
 	errs := make([]error, len(tiles))
-	groups := make([]kGroup, spec.GridM*spec.GridN)
+	groups := make([]kGroup[E], spec.GridM*spec.GridN)
 	for gi := range groups {
 		t0 := tiles[gi*gk]
 		g := &groups[gi]
 		g.c = c.View(t0.I, t0.J, t0.Rows, t0.Cols)
-		g.bufs = make([]Matrix, gk-1)
+		g.bufs = make([]matrix.Mat[E], gk-1)
 		for s := range g.bufs {
 			g.bufs[s] = mu.rentRedBuf(t0.Rows, t0.Cols)
 		}
@@ -311,36 +410,37 @@ func (mu *Multiplier) mulAddShardedK(spec shard.Spec, c, a, b Matrix) error {
 }
 
 // maxRetainedRedBufFloats caps the size of a single pooled reduction buffer
-// (8 MiB of float64s). K-split tiles have small M×N by construction, so
-// typical buffers are far under this; anything larger goes back to the GC
-// instead of pinning idle memory. With the pool's 2×Threads entry bound,
-// idle retained reduction memory stays ≤ Threads·16 MiB.
+// in elements (8 MiB of float64s, 4 MiB of float32s). K-split tiles have
+// small M×N by construction, so typical buffers are far under this; anything
+// larger goes back to the GC instead of pinning idle memory. With the pool's
+// 2×Threads entry bound, idle retained reduction memory stays ≤ Threads·16
+// MiB at float64.
 const maxRetainedRedBufFloats = 1 << 20
 
 // rentRedBuf returns a zeroed rows×cols reduction-buffer matrix backed by
 // the pool, allocating fresh when the pool is empty or its buffer is too
 // small (a fresh allocation is already zero; reused ones are cleared here).
-func (mu *Multiplier) rentRedBuf(rows, cols int) Matrix {
+func (mu *GenericMultiplier[E]) rentRedBuf(rows, cols int) matrix.Mat[E] {
 	need := rows * cols
-	var buf []float64
+	var buf []E
 	select {
 	case buf = <-mu.redBufs:
 	default:
 	}
 	if cap(buf) < need {
-		buf = make([]float64, need)
+		buf = make([]E, need)
 	} else {
 		buf = buf[:need]
 		for i := range buf {
 			buf[i] = 0
 		}
 	}
-	return Matrix{Rows: rows, Cols: cols, Stride: cols, Data: buf}
+	return matrix.Mat[E]{Rows: rows, Cols: cols, Stride: cols, Data: buf}
 }
 
 // returnRedBuf offers a reduction buffer back to the pool; oversized
 // buffers and returns beyond the pool bound are dropped for the GC.
-func (mu *Multiplier) returnRedBuf(m Matrix) {
+func (mu *GenericMultiplier[E]) returnRedBuf(m matrix.Mat[E]) {
 	if cap(m.Data) > maxRetainedRedBufFloats {
 		return
 	}
@@ -352,15 +452,17 @@ func (mu *Multiplier) returnRedBuf(m Matrix) {
 
 // PlanFor exposes the plan the multiplier would use for a problem size
 // (useful for inspection and testing).
-func (mu *Multiplier) PlanFor(m, k, n int) (*Plan, error) { return mu.planFor(m, k, n) }
+func (mu *GenericMultiplier[E]) PlanFor(m, k, n int) (*fmmexec.Plan[E], error) {
+	return mu.planFor(m, k, n)
+}
 
-func (mu *Multiplier) planFor(m, k, n int) (*Plan, error) {
+func (mu *GenericMultiplier[E]) planFor(m, k, n int) (*fmmexec.Plan[E], error) {
 	key := shapeClass(m, k, n)
 	if p, ok := mu.plans.get(key); ok {
 		return p, nil
 	}
 	cand := Recommend(mu.arch, m, k, n)
-	p, err := NewPlan(mu.cfg, cand.Variant, cand.Levels...)
+	p, err := fmmexec.NewPlan[E](mu.cfg.gemmConfig(), cand.Variant, cand.Levels...)
 	if err != nil {
 		return nil, err
 	}
@@ -368,29 +470,29 @@ func (mu *Multiplier) planFor(m, k, n int) (*Plan, error) {
 }
 
 // CachedPlans reports how many distinct shape classes are currently cached.
-func (mu *Multiplier) CachedPlans() int { return mu.plans.len() }
+func (mu *GenericMultiplier[E]) CachedPlans() int { return mu.plans.len() }
 
-// planCache is the Multiplier's bounded plan cache: a map guarded by an
+// planCache is the multiplier's bounded plan cache: a map guarded by an
 // RWMutex for the hot read path, with least-recently-used eviction driven by
 // per-entry atomic timestamps so cache hits never take the write lock.
-type planCache struct {
+type planCache[E matrix.Element] struct {
 	cap  int // ≤0 means unbounded
 	tick atomic.Int64
 
 	mu sync.RWMutex
-	m  map[string]*planEntry
+	m  map[string]*planEntry[E]
 }
 
-type planEntry struct {
-	p    *Plan
+type planEntry[E matrix.Element] struct {
+	p    *fmmexec.Plan[E]
 	last atomic.Int64 // logical timestamp of the most recent use
 }
 
-func newPlanCache(cap int) *planCache {
-	return &planCache{cap: cap, m: make(map[string]*planEntry)}
+func newPlanCache[E matrix.Element](cap int) *planCache[E] {
+	return &planCache[E]{cap: cap, m: make(map[string]*planEntry[E])}
 }
 
-func (pc *planCache) get(key string) (*Plan, bool) {
+func (pc *planCache[E]) get(key string) (*fmmexec.Plan[E], bool) {
 	pc.mu.RLock()
 	e := pc.m[key]
 	pc.mu.RUnlock()
@@ -405,14 +507,14 @@ func (pc *planCache) get(key string) (*Plan, bool) {
 // the incumbent is returned — callers of the same shape class always share
 // one plan. When the cache is over capacity the least-recently-used entry is
 // evicted.
-func (pc *planCache) add(key string, p *Plan) *Plan {
+func (pc *planCache[E]) add(key string, p *fmmexec.Plan[E]) *fmmexec.Plan[E] {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if e, ok := pc.m[key]; ok {
 		e.last.Store(pc.tick.Add(1))
 		return e.p
 	}
-	e := &planEntry{p: p}
+	e := &planEntry[E]{p: p}
 	e.last.Store(pc.tick.Add(1))
 	pc.m[key] = e
 	if pc.cap > 0 {
@@ -430,7 +532,7 @@ func (pc *planCache) add(key string, p *Plan) *Plan {
 	return p
 }
 
-func (pc *planCache) len() int {
+func (pc *planCache[E]) len() int {
 	pc.mu.RLock()
 	defer pc.mu.RUnlock()
 	return len(pc.m)
@@ -483,4 +585,21 @@ func defaultMultiplier() *Multiplier {
 		defaultMultiplierOnce.mu = NewMultiplier(cfg, PaperArch())
 	})
 	return defaultMultiplierOnce.mu
+}
+
+// defaultMultiplier32 is the float32 twin of defaultMultiplier, backing the
+// package-level Multiply32 family. Lazily built, so programs that never
+// touch float32 pay nothing for it.
+var defaultMultiplier32Once struct {
+	sync.Once
+	mu *Multiplier32
+}
+
+func defaultMultiplier32() *Multiplier32 {
+	defaultMultiplier32Once.Do(func() {
+		cfg := DefaultConfig().Parallel()
+		cfg.Kernel = os.Getenv("FMMFAM_KERNEL")
+		defaultMultiplier32Once.mu = NewMultiplier32(cfg, PaperArch())
+	})
+	return defaultMultiplier32Once.mu
 }
