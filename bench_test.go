@@ -494,3 +494,65 @@ func BenchmarkAblationVariants(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkIntraPlan measures the PR-6 tentpole: term-level BFS fan-out
+// inside one medium MulAdd (below the shard threshold) against the serial
+// DFS traversal, across worker counts and both dtypes, on a two-level
+// Strassen ABC plan with the model's typical prefix traversal (BFS at the
+// outer level, DFS inside — fanout 7). The 1024³ case is the acceptance
+// shape ("bfs/w8 ≥ 3× dfs/w1"); set FMMFAM_BENCH_INTRA=1 to add the 2048³
+// sweep (~8× the work per iteration, plus ~7 core-C shadow buffers).
+func BenchmarkIntraPlan(b *testing.B) {
+	sizes := []int{1024}
+	if os.Getenv("FMMFAM_BENCH_INTRA") != "" {
+		sizes = append(sizes, 2048)
+	}
+	workers := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, size := range sizes {
+		for _, w := range workers {
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			for _, tr := range []string{"dfs", "bfs"} {
+				tr := tr
+				b.Run(fmt.Sprintf("%d/%s/w%d/f64", size, tr, w), func(b *testing.B) {
+					benchIntraPlan[float64](b, size, w, tr == "bfs")
+				})
+				b.Run(fmt.Sprintf("%d/%s/w%d/f32", size, tr, w), func(b *testing.B) {
+					benchIntraPlan[float32](b, size, w, tr == "bfs")
+				})
+			}
+		}
+		for k := range seen {
+			delete(seen, k)
+		}
+	}
+}
+
+func benchIntraPlan[E matrix.Element](b *testing.B, size, workers int, bfs bool) {
+	b.Helper()
+	cfg := gemm.DefaultConfig()
+	cfg.Threads = workers
+	var steps []fmmexec.Step
+	if bfs {
+		steps = []fmmexec.Step{fmmexec.BFS, fmmexec.DFS}
+	}
+	p, err := fmmexec.NewPlanTraversal[E](cfg, fmmexec.ABC, steps, core.Strassen(), core.Strassen())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, bm := matrix.New[E](size, size), matrix.New[E](size, size)
+	a.Fill(1.0 / 3)
+	bm.Fill(-2.0 / 3)
+	c := matrix.New[E](size, size)
+	p.MulAdd(c, a, bm) // warm workspace and reduction-buffer pools
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.MulAdd(c, a, bm)
+	}
+	b.StopTimer()
+	secs := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(model.EffectiveGFLOPS(size, size, size, secs), "effGFLOPS")
+}

@@ -46,6 +46,7 @@ package fmmfam
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 
 	"fmmfam/internal/core"
@@ -131,6 +132,21 @@ type Config struct {
 	// 2D decomposition; positive also enables.
 	ShardKSplit int
 
+	// Traversal selects how a plan traverses its R multiplication terms
+	// per call (see README "Parallelism"): "" or "auto" lets the
+	// performance model choose per shape — BFS term fan-out across the
+	// worker pool where sub-blocks are too small to keep the workers busy
+	// inside one GEMM, DFS otherwise; "dfs" forces the historical serial
+	// term loop (the bit-stable reference path the float64 golden
+	// fingerprints pin); "bfs" forces term fan-out at every level (ABC
+	// plans buffer one core-C shadow per fanned chunk, so forcing deep BFS
+	// on memory-tight machines is the user's call). The FMMFAM_TRAVERSAL
+	// environment variable overrides this field without recompiling.
+	// Direct NewPlan/NewPlan32 construction has no problem size for the
+	// model, so "auto" there means DFS; the Multiplier path is where auto
+	// selection happens.
+	Traversal string
+
 	// QueueWorkers is the MulAddAsync worker-pool size. 0 means Threads.
 	QueueWorkers int
 	// QueueDepth bounds the MulAddAsync submission queue; submitters block
@@ -152,6 +168,36 @@ type Config struct {
 	// environment variable enables the same behavior without recompiling.
 	// First-time calibration of a pair costs ~100ms.
 	Calibrate bool
+}
+
+// Config.Traversal / FMMFAM_TRAVERSAL values.
+const (
+	// TraversalAuto lets the performance model pick BFS/DFS per level and
+	// shape (the default; "" means the same).
+	TraversalAuto = "auto"
+	// TraversalDFS forces the serial term loop with intra-GEMM threading —
+	// the historical bit-stable path.
+	TraversalDFS = "dfs"
+	// TraversalBFS forces term fan-out at every recursion level.
+	TraversalBFS = "bfs"
+)
+
+// resolveTraversal returns the effective traversal mode: the
+// FMMFAM_TRAVERSAL environment variable when set (the no-recompile escape
+// hatch the golden-fingerprint pins rely on), cfg.Traversal otherwise, with
+// unknown values rejected.
+func resolveTraversal(cfg Config) (string, error) {
+	t := os.Getenv("FMMFAM_TRAVERSAL")
+	if t == "" {
+		t = cfg.Traversal
+	}
+	switch t {
+	case "", TraversalAuto:
+		return TraversalAuto, nil
+	case TraversalDFS, TraversalBFS:
+		return t, nil
+	}
+	return "", fmt.Errorf("fmmfam: Traversal=%q, need %q, %q, %q, or empty", t, TraversalAuto, TraversalDFS, TraversalBFS)
 }
 
 // Serving-layer defaults for the zero Config knobs.
@@ -211,6 +257,9 @@ func validateConfig[E matrix.Element](c Config) error {
 	}
 	if c.QueueDepth < 0 {
 		return fmt.Errorf("fmmfam: QueueDepth=%d, need ≥ 0 (0 = 4×workers)", c.QueueDepth)
+	}
+	if _, err := resolveTraversal(c); err != nil {
+		return err
 	}
 	return nil
 }
@@ -282,16 +331,40 @@ func Catalog() []CatalogEntry { return core.Catalog() }
 
 // NewPlan builds an executable multi-level float64 FMM plan. Levels are
 // outermost first; hybrid partitions simply pass different algorithms per
-// level.
+// level. Config.Traversal "bfs" builds the plan with term fan-out at every
+// level; "dfs", "auto", and empty build the serial term loop (a direct plan
+// has no problem size for the model — auto selection happens on the
+// Multiplier path).
 func NewPlan(cfg Config, v Variant, levels ...Algorithm) (*Plan, error) {
-	return fmmexec.NewPlan[float64](cfg.gemmConfig(), v, levels...)
+	tr, err := resolveTraversal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return fmmexec.NewPlanTraversal[float64](cfg.gemmConfig(), v, forcedSteps(tr, len(levels)), levels...)
 }
 
 // NewPlan32 builds an executable multi-level float32 FMM plan — the same
 // ⟦U,V,W⟧ evaluation over float32 operands (the generated coefficients are
 // small exact rationals, so their float32 conversion is exact); see NewPlan.
 func NewPlan32(cfg Config, v Variant, levels ...Algorithm) (*Plan32, error) {
-	return fmmexec.NewPlan[float32](cfg.gemmConfig(), v, levels...)
+	tr, err := resolveTraversal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return fmmexec.NewPlanTraversal[float32](cfg.gemmConfig(), v, forcedSteps(tr, len(levels)), levels...)
+}
+
+// forcedSteps maps a forced traversal mode to explicit per-level steps: nil
+// (the serial loop) unless the mode is "bfs", which fans every level.
+func forcedSteps(mode string, levels int) []fmmexec.Step {
+	if mode != TraversalBFS {
+		return nil
+	}
+	steps := make([]fmmexec.Step, levels)
+	for i := range steps {
+		steps[i] = fmmexec.BFS
+	}
+	return steps
 }
 
 // Arch holds performance-model machine parameters.

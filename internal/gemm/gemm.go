@@ -54,6 +54,17 @@ type Config struct {
 	// kernel.DefaultBackend. The blocking must satisfy the backend's tile
 	// shape: MC ≥ MR, NC ≥ NR.
 	Kernel string
+
+	// WorkspacePoolSpan, when positive, sets how many concurrent workspace
+	// renters the context's pool provisions for (the idle-retention count),
+	// overriding the default 2·Threads when larger. The FMM executor's BFS
+	// traversal rents one workspace per parallel term job from a Threads=1
+	// context, so it sets this to its fan-out — without it the single-
+	// threaded pool would retain 2 workspaces and every fan-out beyond that
+	// would allocate fresh packing buffers on each call. The
+	// maxRetainedFloats cap still bounds total retained memory. Zero keeps
+	// the default; negative is invalid.
+	WorkspacePoolSpan int
 }
 
 // DefaultConfig returns the blocking used throughout the experiments.
@@ -93,6 +104,9 @@ func resolveBackend[E matrix.Element](c Config) (kernel.Backend[E], error) {
 	}
 	if c.Threads < 1 {
 		return nil, fmt.Errorf("gemm: Threads=%d, need ≥ 1", c.Threads)
+	}
+	if c.WorkspacePoolSpan < 0 {
+		return nil, fmt.Errorf("gemm: WorkspacePoolSpan=%d, need ≥ 0 (0 = 2·Threads)", c.WorkspacePoolSpan)
 	}
 	if c.MC < bk.MR() || c.KC < 1 || c.NC < bk.NR() {
 		return nil, fmt.Errorf("gemm: blocking MC=%d KC=%d NC=%d too small for kernel %s (needs MC ≥ %d, KC ≥ 1, NC ≥ %d)",

@@ -107,14 +107,20 @@ const maxRetainedFloats = 1 << 23
 
 // workspacePoolBound returns how many idle workspaces a context retains:
 // enough that a steady stream of Threads-wide concurrent callers recycles
-// buffers instead of allocating, bounded so total retained packing memory
-// stays under maxRetainedFloats on many-core machines. The bound may be 0 —
-// when a single workspace already exceeds the cap, nothing is retained and
-// every get allocates fresh (get and put handle an empty pool) — rather
-// than silently keeping oversized workspaces alive past the documented cap.
+// buffers instead of allocating — or, when Config.WorkspacePoolSpan declares
+// a larger per-call renter count (the FMM executor's BFS fan-out rents one
+// workspace per term job), enough for that — bounded so total retained
+// packing memory stays under maxRetainedFloats on many-core machines. The
+// bound may be 0 — when a single workspace already exceeds the cap, nothing
+// is retained and every get allocates fresh (get and put handle an empty
+// pool) — rather than silently keeping oversized workspaces alive past the
+// documented cap.
 func workspacePoolBound[E matrix.Element](cfg Config, bk kernel.Backend[E]) int {
 	per := bk.PackBBufLen(cfg.KC, cfg.NC) + cfg.Threads*bk.PackABufLen(cfg.MC, cfg.KC)
 	n := 2 * cfg.Threads
+	if cfg.WorkspacePoolSpan > n {
+		n = cfg.WorkspacePoolSpan
+	}
 	if lim := maxRetainedFloats / per; n > lim {
 		n = lim
 	}

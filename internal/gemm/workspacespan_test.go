@@ -1,0 +1,47 @@
+package gemm
+
+import (
+	"testing"
+
+	"fmmfam/internal/kernel"
+)
+
+// TestWorkspacePoolSpanRaisesBound: a declared per-call renter count above
+// 2×Threads (the FMM executor's BFS fan-out rents one workspace per term
+// job) widens the pool so steady-state fan-out recycles instead of
+// allocating — still capped by maxRetainedFloats.
+func TestWorkspacePoolSpanRaisesBound(t *testing.T) {
+	cfg := smallCfg()
+	bk := kernel.MustResolve[float64](cfg.Kernel)
+	base := workspacePoolBound[float64](cfg, bk)
+
+	cfg.WorkspacePoolSpan = base + 7
+	if got := workspacePoolBound[float64](cfg, bk); got != base+7 {
+		t.Fatalf("bound %d with span %d, want %d", got, base+7, base+7)
+	}
+	// A span below the default is a no-op, not a shrink.
+	cfg.WorkspacePoolSpan = 1
+	if got := workspacePoolBound[float64](cfg, bk); got != base {
+		t.Fatalf("bound %d with small span, want default %d", got, base)
+	}
+	// The memory cap still wins over an absurd span.
+	cfg.WorkspacePoolSpan = 1 << 30
+	per := bk.PackBBufLen(cfg.KC, cfg.NC) + cfg.Threads*bk.PackABufLen(cfg.MC, cfg.KC)
+	if got, lim := workspacePoolBound[float64](cfg, bk), maxRetainedFloats/per; got != lim {
+		t.Fatalf("bound %d with huge span, want cap %d", got, lim)
+	}
+}
+
+// TestWorkspacePoolSpanValidation: negative spans are a config error; zero
+// and positive construct fine.
+func TestWorkspacePoolSpanValidation(t *testing.T) {
+	cfg := smallCfg()
+	cfg.WorkspacePoolSpan = -1
+	if _, err := NewContext[float64](cfg); err == nil {
+		t.Fatal("negative WorkspacePoolSpan accepted")
+	}
+	cfg.WorkspacePoolSpan = 8
+	if _, err := NewContext[float64](cfg); err != nil {
+		t.Fatal(err)
+	}
+}

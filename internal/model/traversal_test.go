@@ -1,0 +1,101 @@
+package model
+
+import (
+	"testing"
+
+	"fmmfam/internal/core"
+	"fmmfam/internal/fmmexec"
+)
+
+// TestTraversalPlanDegenerateCases: single worker, empty plans, and problems
+// smaller than the composite partition never fan out.
+func TestTraversalPlanDegenerateCases(t *testing.T) {
+	arch := PaperIvyBridge()
+	levels := []core.Algorithm{core.Strassen()}
+	if got := TraversalPlan(arch, fmmexec.ABC, 1024, 1024, 1024, levels, 1); got != nil {
+		t.Fatalf("workers=1: %v, want nil", got)
+	}
+	if got := TraversalPlan(arch, fmmexec.ABC, 1024, 1024, 1024, nil, 8); got != nil {
+		t.Fatalf("no levels: %v, want nil", got)
+	}
+	if got := TraversalPlan(arch, fmmexec.ABC, 1, 1, 1, levels, 8); got != nil {
+		t.Fatalf("sub-partition problem: %v, want nil", got)
+	}
+}
+
+// TestTraversalPlanFansOutMediumProblems: the ISSUE's target scenario — a
+// medium problem (1024³, sub-blocks of 256–512) on 8 workers — must choose
+// BFS somewhere: one 256–512 sub-block GEMM offers only a handful of MC-row
+// panels, so DFS would idle most of an 8-worker budget.
+func TestTraversalPlanFansOutMediumProblems(t *testing.T) {
+	arch := PaperIvyBridge()
+	for _, v := range fmmexec.Variants {
+		levels := []core.Algorithm{core.Strassen(), core.Strassen()}
+		steps := TraversalPlan(arch, v, 1024, 1024, 1024, levels, 8)
+		if len(steps) == 0 {
+			t.Fatalf("%v at 1024³/8 workers: pure DFS, want a BFS prefix", v)
+		}
+		if steps[0] != fmmexec.BFS {
+			t.Fatalf("%v: steps %v do not start with BFS", v, steps)
+		}
+	}
+}
+
+// TestTraversalPlanIsBFSPrefix: any non-nil result must be a BFS prefix
+// followed by DFS — the only shape the executor accepts — and have one step
+// per level.
+func TestTraversalPlanIsBFSPrefix(t *testing.T) {
+	arch := PaperIvyBridge()
+	shapes := [][3]int{{512, 512, 512}, {1024, 1024, 1024}, {2048, 1024, 512}, {4096, 4096, 4096}, {256, 2048, 256}}
+	levelSets := [][]core.Algorithm{
+		{core.Strassen()},
+		{core.Strassen(), core.Strassen()},
+		{core.Strassen(), core.Generate(2, 3, 2)},
+		{core.Strassen(), core.Strassen(), core.Strassen()},
+	}
+	for _, workers := range []int{2, 4, 8, 16} {
+		for _, s := range shapes {
+			for _, levels := range levelSets {
+				for _, v := range fmmexec.Variants {
+					steps := TraversalPlan(arch, v, s[0], s[1], s[2], levels, workers)
+					if steps == nil {
+						continue
+					}
+					if len(steps) != len(levels) {
+						t.Fatalf("%v %v w=%d: %d steps for %d levels", v, s, workers, len(steps), len(levels))
+					}
+					seenDFS := false
+					for i, st := range steps {
+						switch st {
+						case fmmexec.BFS:
+							if seenDFS {
+								t.Fatalf("%v %v w=%d: BFS after DFS in %v", v, s, workers, steps)
+							}
+						case fmmexec.DFS:
+							seenDFS = true
+						default:
+							t.Fatalf("%v %v w=%d: unknown step %v at %d", v, s, workers, st, i)
+						}
+					}
+					if steps[0] != fmmexec.BFS {
+						t.Fatalf("%v %v w=%d: non-nil plan %v without BFS prefix", v, s, workers, steps)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTraversalPlanKeepsDFSForHugeSubBlocks: when each sub-block GEMM alone
+// offers far more MC-row panels than workers, intra-GEMM threading already
+// saturates the budget and fan-out buys nothing — one Strassen level at a
+// huge size stays DFS on few workers.
+func TestTraversalPlanKeepsDFSForHugeSubBlocks(t *testing.T) {
+	arch := PaperIvyBridge() // MC = 96
+	levels := []core.Algorithm{core.Strassen()}
+	// Sub-blocks 8192² → nb = ⌈8192/96⌉ = 86 panels ≫ 2 workers: DFS already
+	// achieves the full 2× and BFS adds fold traffic.
+	if steps := TraversalPlan(arch, fmmexec.ABC, 16384, 16384, 16384, levels, 2); steps != nil {
+		t.Fatalf("16384³ ABC on 2 workers chose %v, want DFS (nil)", steps)
+	}
+}

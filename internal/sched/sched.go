@@ -5,6 +5,13 @@
 // heterogeneous job costs no longer pay the straggler round a
 // ⌈jobs/workers⌉ round-robin schedule models — the realized schedule tracks
 // LPT (longest processing time first) list scheduling instead.
+//
+// Two entry points share the deque machinery: the package-level Run spawns a
+// fresh worker set per batch (the sharding and batch layers, whose callers
+// are not themselves workers), while Pool.Run draws helpers from a shared
+// bounded budget with the caller participating — the nesting-safe form used
+// for parallelism inside one multiplication (term fan-out, row-split adds),
+// where submissions can come from goroutines that are already pool workers.
 package sched
 
 import (
@@ -48,7 +55,23 @@ func Run(workers int, jobs []Job) {
 		}
 		return
 	}
-	order := make([]int, n)
+	deques := seedDeques(jobs, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(self int) {
+			defer wg.Done()
+			drain(deques, jobs, self)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// seedDeques sorts jobs costliest-first (stable, so equal costs keep
+// submission order) and deals them round-robin across workers per-worker
+// deques.
+func seedDeques(jobs []Job, workers int) []deque {
+	order := make([]int, len(jobs))
 	for i := range order {
 		order[i] = i
 	}
@@ -58,33 +81,111 @@ func Run(workers int, jobs []Job) {
 		d := &deques[pos%workers]
 		d.jobs = append(d.jobs, idx)
 	}
+	return deques
+}
+
+// drain is one worker's loop: pop from the own deque front, steal from the
+// back of a victim when empty, exit when one empty-handed sweep of every
+// deque finds no work.
+func drain(deques []deque, jobs []Job, self int) {
+	for {
+		idx, ok := deques[self].popFront()
+		if !ok {
+			var batch []int
+			batch, ok = steal(deques, self)
+			if ok {
+				idx = batch[0]
+				if len(batch) > 1 {
+					// The thief's own deque is empty (that is why it
+					// stole), so the surplus lands at its front in
+					// the segment's original costliest-first order.
+					deques[self].pushBatch(batch[1:])
+				}
+			}
+		}
+		if !ok {
+			return
+		}
+		jobs[idx].Run()
+	}
+}
+
+// Pool is a shared worker budget for fork-join parallelism that may nest:
+// term-level fan-out inside one FMM call, row-split submatrix additions
+// inside one of those terms, and concurrent top-level calls all draw helper
+// goroutines from one budget instead of each spawning their own workers and
+// oversubscribing the machine.
+//
+// A Pool of size W holds W−1 helper tokens. Pool.Run always executes jobs on
+// the calling goroutine and additionally recruits up to min(len(jobs)−1,
+// available) helpers by acquiring tokens without blocking; a helper returns
+// its token when it runs out of work. Because submission never blocks and the
+// caller always makes progress by itself, a job may call Run on the same Pool
+// (or any other) freely: when the budget is exhausted the nested call simply
+// degrades to the caller running its jobs serially — nesting can reduce
+// parallelism, never deadlock. Each top-level caller contributes its own
+// goroutine, so C concurrent Run calls execute on at most C + W − 1
+// goroutines.
+type Pool struct {
+	tokens chan struct{}
+}
+
+// NewPool returns a Pool with a budget of workers goroutines (the caller of
+// Run counts as one, so workers−1 helper tokens are banked). workers < 1 is
+// treated as 1: every Run executes serially on its caller.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{tokens: make(chan struct{}, workers-1)}
+	for i := 0; i < workers-1; i++ {
+		p.tokens <- struct{}{}
+	}
+	return p
+}
+
+// Run executes every job exactly once and returns when all have finished.
+// The calling goroutine participates as a worker (jobs are seeded across the
+// caller plus however many helper tokens were free — work stealing balances
+// exactly as in the package-level Run), so Run is safe to call from inside a
+// job running on this same Pool. With no free tokens (or a single job) the
+// jobs run serially on the caller in submission order.
+func (p *Pool) Run(jobs []Job) {
+	n := len(jobs)
+	if n == 0 {
+		return
+	}
+	maxHelpers := n - 1
+	if c := cap(p.tokens); maxHelpers > c {
+		maxHelpers = c
+	}
+	helpers := 0
+	for helpers < maxHelpers {
+		select {
+		case <-p.tokens:
+			helpers++
+			continue
+		default:
+		}
+		break
+	}
+	if helpers == 0 {
+		for i := range jobs {
+			jobs[i].Run()
+		}
+		return
+	}
+	deques := seedDeques(jobs, helpers+1)
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	wg.Add(helpers)
+	for w := 1; w <= helpers; w++ {
 		go func(self int) {
 			defer wg.Done()
-			for {
-				idx, ok := deques[self].popFront()
-				if !ok {
-					var batch []int
-					batch, ok = steal(deques, self)
-					if ok {
-						idx = batch[0]
-						if len(batch) > 1 {
-							// The thief's own deque is empty (that is why it
-							// stole), so the surplus lands at its front in
-							// the segment's original costliest-first order.
-							deques[self].pushBatch(batch[1:])
-						}
-					}
-				}
-				if !ok {
-					return
-				}
-				jobs[idx].Run()
-			}
+			defer func() { p.tokens <- struct{}{} }()
+			drain(deques, jobs, self)
 		}(w)
 	}
+	drain(deques, jobs, 0)
 	wg.Wait()
 }
 

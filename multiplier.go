@@ -49,6 +49,11 @@ type GenericMultiplier[E matrix.Element] struct {
 	// point returns it so an invalid multiplier fails fast and uniformly.
 	cfgErr error
 
+	// traversal is the resolved term-traversal mode (TraversalAuto/DFS/BFS
+	// after applying the FMMFAM_TRAVERSAL override), fixed at construction
+	// so every cached plan of one multiplier was built under one policy.
+	traversal string
+
 	plans *planCache[E]
 
 	// redBufs is the bounded free list of K-split reduction buffers, rented
@@ -159,12 +164,17 @@ func NewGenericMultiplier[E matrix.Element](cfg Config, arch Arch) *GenericMulti
 			cfgErr = err
 		}
 	}
+	traversal, trErr := resolveTraversal(cfg)
+	if cfgErr == nil {
+		cfgErr = trErr
+	}
 	return &GenericMultiplier[E]{
-		cfg:     cfg,
-		arch:    model.ArchForKernel(model.ArchForDtype(arch, matrix.DtypeOf[E]()), cfg.Kernel),
-		cfgErr:  cfgErr,
-		plans:   newPlanCache[E](cfg.planCacheCap()),
-		redBufs: make(chan []E, 2*workers),
+		cfg:       cfg,
+		arch:      model.ArchForKernel(model.ArchForDtype(arch, matrix.DtypeOf[E]()), cfg.Kernel),
+		cfgErr:    cfgErr,
+		traversal: traversal,
+		plans:     newPlanCache[E](cfg.planCacheCap()),
+		redBufs:   make(chan []E, 2*workers),
 	}
 }
 
@@ -462,11 +472,30 @@ func (mu *GenericMultiplier[E]) planFor(m, k, n int) (*fmmexec.Plan[E], error) {
 		return p, nil
 	}
 	cand := Recommend(mu.arch, m, k, n)
-	p, err := fmmexec.NewPlan[E](mu.cfg.gemmConfig(), cand.Variant, cand.Levels...)
+	p, err := fmmexec.NewPlanTraversal[E](mu.cfg.gemmConfig(), cand.Variant, mu.traversalFor(cand, m, k, n), cand.Levels...)
 	if err != nil {
 		return nil, err
 	}
 	return mu.plans.add(key, p), nil
+}
+
+// traversalFor resolves a plan's per-level term traversal: forced modes map
+// directly (nil steps for "dfs", all-BFS for "bfs"), and "auto" asks the
+// performance model (model.TraversalPlan) with the shape-class bucket sizes —
+// the same bucketing that keys the plan cache, so a cached plan's traversal
+// is a stable property of its shape class rather than of whichever concrete
+// size happened to construct it first. The serial twin (Threads=1) always
+// resolves to nil under auto, so batch, sharded, and async jobs keep the
+// serial term loop — intra-plan fan-out composes with, never multiplies,
+// cross-job parallelism.
+func (mu *GenericMultiplier[E]) traversalFor(cand Candidate, m, k, n int) []fmmexec.Step {
+	switch mu.traversal {
+	case TraversalDFS:
+		return nil
+	case TraversalBFS:
+		return forcedSteps(TraversalBFS, len(cand.Levels))
+	}
+	return model.TraversalPlan(mu.arch, cand.Variant, bucket(m), bucket(k), bucket(n), cand.Levels, mu.cfg.Threads)
 }
 
 // CachedPlans reports how many distinct shape classes are currently cached.
