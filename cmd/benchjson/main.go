@@ -27,8 +27,23 @@
 // fewer than two samples on both sides no variance estimate exists; the
 // interval degenerates to the sign of the difference, reproducing the old
 // point-comparison behavior. Benchmarks present on only one side are
-// reported but never fail the comparison, so adding or retiring benchmarks
-// doesn't break the gate.
+// reported but never fail the comparison — including when no benchmark is
+// shared at all — so adding or retiring benchmarks doesn't break the gate
+// but a vanished benchmark is always visible in the job output.
+//
+// The merge subcommand maintains a rolling baseline document — the
+// committed fallback the compare step uses when the previous run's
+// artifact has expired (GitHub artifacts age out after 90 days):
+//
+//	benchjson merge -o bench/baseline.json bench/baseline.json BENCH.json
+//
+// Each benchmark name appearing in the new document is collapsed to a
+// single entry whose metrics are the per-metric medians of its samples
+// (Runs records how many samples were collapsed); names present only in
+// the old baseline are carried forward unchanged, so a benchmark retired
+// upstream keeps its last-known numbers and `compare` reports it as
+// vanished rather than forgetting it. A missing or empty old baseline
+// starts fresh from the new document alone.
 package main
 
 import (
@@ -43,6 +58,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"fmmfam/internal/stats"
 )
 
 // Benchmark is one measured sample: a benchmark name, its iteration count,
@@ -117,44 +134,10 @@ func samplesByName(doc Doc, metric string) map[string][]float64 {
 	return out
 }
 
-// median returns the middle of the sorted samples (mean of the middle two
-// for even counts). Panics on empty input; callers only pass non-empty sets.
-func median(samples []float64) float64 {
-	s := append([]float64(nil), samples...)
-	sort.Float64s(s)
-	n := len(s)
-	if n%2 == 1 {
-		return s[n/2]
-	}
-	return (s[n/2-1] + s[n/2]) / 2
-}
-
-// seMedian estimates the standard error of the median under the normal
-// approximation, ≈1.2533·σ/√n with σ the sample standard deviation. With
-// fewer than two samples there is no variance estimate and it returns 0 —
-// the confidence interval collapses to a point and the gate degenerates to
-// a plain median comparison.
-func seMedian(samples []float64) float64 {
-	n := len(samples)
-	if n < 2 {
-		return 0
-	}
-	mean := 0.0
-	for _, v := range samples {
-		mean += v
-	}
-	mean /= float64(n)
-	ss := 0.0
-	for _, v := range samples {
-		ss += (v - mean) * (v - mean)
-	}
-	sigma := math.Sqrt(ss / float64(n-1))
-	return 1.2533 * sigma / math.Sqrt(float64(n))
-}
-
-// ciZ is the two-sided 95% normal quantile used for the median-difference
-// confidence interval.
-const ciZ = 1.96
+// The median/SE/CI math lives in internal/stats, shared with the online
+// plan autotuner — one implementation of "is this distribution faster than
+// that one, beyond noise?" for both the CI gate and the serving bandit.
+const ciZ = stats.CIZ
 
 // comparison is the result of diffing one shared benchmark.
 type comparison struct {
@@ -170,7 +153,7 @@ type comparison struct {
 // regression must clear to fail the gate. With no variance estimate
 // (single samples) it reduces to Diff > 0.
 func (c comparison) excludesZero() bool {
-	return c.Diff-ciZ*c.SE > 0
+	return stats.Diff{Diff: c.Diff, SE: c.SE}.ExcludesZero()
 }
 
 // compareDocs diffs the per-name sample medians of metric between two
@@ -187,7 +170,7 @@ func compareDocs(oldDoc, newDoc Doc, metric string, higherBetter bool) (shared [
 			onlyNew = append(onlyNew, name)
 			continue
 		}
-		ov, nv := median(os), median(ns)
+		ov, nv := stats.Median(os), stats.Median(ns)
 		diff := nv - ov
 		delta := diff / ov
 		if higherBetter {
@@ -197,7 +180,7 @@ func compareDocs(oldDoc, newDoc Doc, metric string, higherBetter bool) (shared [
 			Name: name, Old: ov, New: nv,
 			Delta: delta,
 			Diff:  diff,
-			SE:    math.Hypot(seMedian(os), seMedian(ns)),
+			SE:    math.Hypot(stats.SEMedian(os), stats.SEMedian(ns)),
 		})
 	}
 	for name := range oldSamples {
@@ -251,7 +234,17 @@ func compareMain(args []string) int {
 	}
 	shared, onlyOld, onlyNew := compareDocs(oldDoc, newDoc, *metric, *higherBetter)
 	if len(shared) == 0 {
-		fmt.Printf("no shared benchmarks with metric %q; nothing to compare\n", *metric)
+		// Still report the one-sided rows: a document pair with no overlap
+		// at all (every benchmark renamed or retired) used to pass silently,
+		// hiding exactly the vanished rows the gate exists to surface.
+		for _, name := range onlyOld {
+			fmt.Printf("%-60s only in old document (vanished)\n", name)
+		}
+		for _, name := range onlyNew {
+			fmt.Printf("%-60s only in new document (new)\n", name)
+		}
+		fmt.Printf("no shared benchmarks with metric %q; nothing to compare (%d vanished, %d new)\n",
+			*metric, len(onlyOld), len(onlyNew))
 		return 0
 	}
 	var regressed []comparison
@@ -271,10 +264,14 @@ func compareMain(args []string) int {
 		fmt.Printf("%-60s %14.0f -> %14.0f  %+6.1f%%%s%s\n", c.Name, c.Old, c.New, 100*c.Delta, ci, flag)
 	}
 	for _, name := range onlyOld {
-		fmt.Printf("%-60s only in old document\n", name)
+		fmt.Printf("%-60s only in old document (vanished)\n", name)
 	}
 	for _, name := range onlyNew {
-		fmt.Printf("%-60s only in new document\n", name)
+		fmt.Printf("%-60s only in new document (new)\n", name)
+	}
+	if len(onlyOld) > 0 || len(onlyNew) > 0 {
+		fmt.Printf("note: %d benchmark(s) vanished, %d new — one-sided rows never fail the gate\n",
+			len(onlyOld), len(onlyNew))
 	}
 	if len(regressed) > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% on %s (median, 95%% CI excludes zero)\n",
@@ -285,9 +282,97 @@ func compareMain(args []string) int {
 	return 0
 }
 
+// mergeDocs folds a new run into a rolling baseline: every name in newDoc
+// is collapsed to one entry per name with per-metric sample medians (Runs =
+// number of samples collapsed, min across metrics), and names only in
+// oldDoc carry forward unchanged. Output entries are sorted by name so the
+// committed baseline diffs cleanly.
+func mergeDocs(oldDoc, newDoc Doc) Doc {
+	byName := make(map[string][]Benchmark)
+	var order []string
+	for _, b := range newDoc.Benchmarks {
+		if _, ok := byName[b.Name]; !ok {
+			order = append(order, b.Name)
+		}
+		byName[b.Name] = append(byName[b.Name], b)
+	}
+	out := Doc{Context: newDoc.Context, Benchmarks: make([]Benchmark, 0, len(order))}
+	if out.Context == nil {
+		out.Context = map[string]string{}
+	}
+	for _, name := range order {
+		samples := byName[name]
+		metricVals := make(map[string][]float64)
+		for _, b := range samples {
+			for metric, v := range b.Metrics {
+				metricVals[metric] = append(metricVals[metric], v)
+			}
+		}
+		collapsed := Benchmark{Name: name, Runs: int64(len(samples)), Metrics: make(map[string]float64, len(metricVals))}
+		for metric, vals := range metricVals {
+			collapsed.Metrics[metric] = stats.Median(vals)
+		}
+		out.Benchmarks = append(out.Benchmarks, collapsed)
+	}
+	for _, b := range oldDoc.Benchmarks {
+		if _, ok := byName[b.Name]; !ok {
+			out.Benchmarks = append(out.Benchmarks, b)
+		}
+	}
+	sort.Slice(out.Benchmarks, func(i, j int) bool { return out.Benchmarks[i].Name < out.Benchmarks[j].Name })
+	return out
+}
+
+// mergeMain implements `benchjson merge -o out.json baseline.json new.json`
+// and returns the process exit code. A missing baseline file is not an
+// error — the merged output is then just the collapsed new document.
+func mergeMain(args []string) int {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	out := fs.String("o", "", "output path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson merge [-o out.json] baseline.json new.json")
+		return 2
+	}
+	var oldDoc Doc
+	if _, err := os.Stat(fs.Arg(0)); err == nil {
+		if oldDoc, err = loadDoc(fs.Arg(0)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 2
+		}
+	}
+	newDoc, err := loadDoc(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	merged := mergeDocs(oldDoc, newDoc)
+	enc, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return 0
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	fmt.Printf("merged %d benchmark(s) into %s\n", len(merged.Benchmarks), *out)
+	return 0
+}
+
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "compare" {
 		os.Exit(compareMain(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "merge" {
+		os.Exit(mergeMain(os.Args[2:]))
 	}
 	out := flag.String("o", "", "output path (default stdout)")
 	flag.Parse()

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"fmmfam/internal/stats"
 )
 
 const sample = `goos: linux
@@ -103,20 +105,99 @@ func TestCompareDocs(t *testing.T) {
 	}
 }
 
-// TestMedianAndSE pins the two estimators the gate stands on.
+// TestMedianAndSE pins the two estimators the gate stands on (now shared
+// with the autotuner through internal/stats).
 func TestMedianAndSE(t *testing.T) {
-	if m := median([]float64{3, 1, 2}); m != 2 {
+	if m := stats.Median([]float64{3, 1, 2}); m != 2 {
 		t.Fatalf("odd median = %v", m)
 	}
-	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+	if m := stats.Median([]float64{4, 1, 2, 3}); m != 2.5 {
 		t.Fatalf("even median = %v", m)
 	}
-	if se := seMedian([]float64{5}); se != 0 {
+	if se := stats.SEMedian([]float64{5}); se != 0 {
 		t.Fatalf("single-sample SE = %v, want 0", se)
 	}
 	// σ of {9, 11} is √2, so SE ≈ 1.2533·√2/√2 = 1.2533.
-	if se := seMedian([]float64{9, 11}); math.Abs(se-1.2533) > 1e-9 {
+	if se := stats.SEMedian([]float64{9, 11}); math.Abs(se-1.2533) > 1e-9 {
 		t.Fatalf("two-sample SE = %v, want ≈1.2533", se)
+	}
+}
+
+// TestMergeDocs: new samples collapse to per-metric medians, retired names
+// carry forward, and the result is name-sorted for stable committed diffs.
+func TestMergeDocs(t *testing.T) {
+	baseline := doc(map[string][]float64{
+		"BenchmarkOld":    {100},
+		"BenchmarkShared": {200},
+	})
+	fresh := doc(map[string][]float64{
+		"BenchmarkShared": {150, 170, 160}, // median 160
+		"BenchmarkNew":    {50, 70},        // median 60
+	})
+	merged := mergeDocs(baseline, fresh)
+	if len(merged.Benchmarks) != 3 {
+		t.Fatalf("merged %d entries, want 3: %+v", len(merged.Benchmarks), merged.Benchmarks)
+	}
+	byName := map[string]Benchmark{}
+	for i, b := range merged.Benchmarks {
+		byName[b.Name] = b
+		if i > 0 && merged.Benchmarks[i-1].Name >= b.Name {
+			t.Fatalf("merged output not name-sorted: %v before %v", merged.Benchmarks[i-1].Name, b.Name)
+		}
+	}
+	if b := byName["BenchmarkShared"]; b.Metrics["ns/op"] != 160 || b.Runs != 3 {
+		t.Fatalf("BenchmarkShared = %+v, want median 160 over 3 samples", b)
+	}
+	if b := byName["BenchmarkNew"]; b.Metrics["ns/op"] != 60 {
+		t.Fatalf("BenchmarkNew = %+v, want median 60", b)
+	}
+	if b := byName["BenchmarkOld"]; b.Metrics["ns/op"] != 100 {
+		t.Fatalf("retired BenchmarkOld should carry forward, got %+v", b)
+	}
+	// Merging twice is idempotent on an unchanged new document.
+	again := mergeDocs(merged, fresh)
+	if len(again.Benchmarks) != 3 || again.Benchmarks[1].Metrics["ns/op"] != byName[again.Benchmarks[1].Name].Metrics["ns/op"] {
+		t.Fatalf("re-merge not stable: %+v", again.Benchmarks)
+	}
+}
+
+// TestMergeMain drives the subcommand through files: a missing baseline
+// starts fresh, and the written file round-trips as a loadable document.
+func TestMergeMain(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, d Doc) string {
+		data, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	fresh := write("fresh.json", doc(map[string][]float64{"BenchmarkA": {10, 30, 20}}))
+	out := filepath.Join(dir, "baseline.json")
+	if code := mergeMain([]string{"-o", out, filepath.Join(dir, "missing.json"), fresh}); code != 0 {
+		t.Fatalf("merge with missing baseline exit %d, want 0", code)
+	}
+	d, err := loadDoc(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Benchmarks) != 1 || d.Benchmarks[0].Metrics["ns/op"] != 20 {
+		t.Fatalf("baseline = %+v, want single median-20 entry", d.Benchmarks)
+	}
+	// Second merge rolls the baseline forward.
+	fresh2 := write("fresh2.json", doc(map[string][]float64{"BenchmarkB": {5}}))
+	if code := mergeMain([]string{"-o", out, out, fresh2}); code != 0 {
+		t.Fatalf("rolling merge exit %d, want 0", code)
+	}
+	if d, err = loadDoc(out); err != nil || len(d.Benchmarks) != 2 {
+		t.Fatalf("rolled baseline = %+v (err %v), want 2 entries", d.Benchmarks, err)
+	}
+	if code := mergeMain([]string{out}); code != 2 {
+		t.Fatalf("bad-usage exit %d, want 2", code)
 	}
 }
 

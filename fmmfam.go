@@ -48,7 +48,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 
+	"fmmfam/internal/autotune"
 	"fmmfam/internal/core"
 	"fmmfam/internal/discover"
 	"fmmfam/internal/fmmexec"
@@ -159,6 +161,26 @@ type Config struct {
 	// negative means unbounded.
 	PlanCacheCap int
 
+	// Autotune enables the online autotuner (see README "Autotuning"): every
+	// MulAdd records its monotonic wall time against the plan that served it,
+	// keyed by shape class, and a small fraction of each shape class's
+	// traffic shadows one challenger arm — an alternative term traversal,
+	// kernel backend, model candidate, or shard grid. A challenger whose
+	// window median beats the incumbent's with a 95% confidence interval
+	// excluding zero at two consecutive checkpoints is promoted to serve, and
+	// its measured median feeds back into model selection and the
+	// traversal-model fold-cost calibration. Off by default: serving is then
+	// exactly the static model-selected path. Promotion only ever swaps which
+	// deterministic plan runs — per-call determinism guarantees are those of
+	// whichever plan served the call. The FMMFAM_AUTOTUNE environment
+	// variable overrides this field and AutotuneFraction without recompiling
+	// (see resolveAutotune's accepted values).
+	Autotune bool
+	// AutotuneFraction is the share of each shape class's calls routed to
+	// the challenger arm, in (0, 0.5]. 0 means the default (0.05 — one call
+	// in 20). Validate rejects values outside [0, 0.5].
+	AutotuneFraction float64
+
 	// Calibrate, when set, replaces the Arch passed to NewMultiplier with
 	// machine constants measured at construction time (model.Calibrate:
 	// a GEMM probe for τa through the configured kernel and a bandwidth
@@ -198,6 +220,40 @@ func resolveTraversal(cfg Config) (string, error) {
 		return t, nil
 	}
 	return "", fmt.Errorf("fmmfam: Traversal=%q, need %q, %q, %q, or empty", t, TraversalAuto, TraversalDFS, TraversalBFS)
+}
+
+// resolveAutotune returns the effective autotuning state: enabled and the
+// challenger traffic fraction. The FMMFAM_AUTOTUNE environment variable wins
+// over the Config fields when set — "0"/"off"/"false" force it off,
+// "1"/"on"/"true" force it on with the Config (or default) fraction, and a
+// bare float in (0, 0.5] forces it on at that fraction; anything else is an
+// error. With the variable unset, Config.Autotune and Config.AutotuneFraction
+// decide. fraction is 0 when disabled, and the concrete share otherwise.
+func resolveAutotune(cfg Config) (enabled bool, fraction float64, err error) {
+	frac := cfg.AutotuneFraction
+	if frac < 0 || frac > 0.5 {
+		return false, 0, fmt.Errorf("fmmfam: AutotuneFraction=%g, need 0 ≤ f ≤ 0.5 (0 = default %g)", frac, autotune.DefaultFraction)
+	}
+	if frac == 0 {
+		frac = autotune.DefaultFraction
+	}
+	switch v := os.Getenv("FMMFAM_AUTOTUNE"); v {
+	case "":
+		if !cfg.Autotune {
+			return false, 0, nil
+		}
+		return true, frac, nil
+	case "0", "off", "false":
+		return false, 0, nil
+	case "1", "on", "true":
+		return true, frac, nil
+	default:
+		f, perr := strconv.ParseFloat(v, 64)
+		if perr != nil || f <= 0 || f > 0.5 {
+			return false, 0, fmt.Errorf("fmmfam: FMMFAM_AUTOTUNE=%q, need 0/off/false, 1/on/true, or a fraction in (0, 0.5]", v)
+		}
+		return true, f, nil
+	}
 }
 
 // Serving-layer defaults for the zero Config knobs.
@@ -259,6 +315,9 @@ func validateConfig[E matrix.Element](c Config) error {
 		return fmt.Errorf("fmmfam: QueueDepth=%d, need ≥ 0 (0 = 4×workers)", c.QueueDepth)
 	}
 	if _, err := resolveTraversal(c); err != nil {
+		return err
+	}
+	if _, _, err := resolveAutotune(c); err != nil {
 		return err
 	}
 	return nil

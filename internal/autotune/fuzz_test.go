@@ -1,0 +1,54 @@
+package autotune
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzAutotunePromotion: whatever the sample stream looks like, a
+// challenger that is strictly slower than the incumbent — every challenger
+// sample exceeds every incumbent sample — must never be promoted. This is
+// the bandit's safety property: random noise, adversarial interleavings,
+// ring-window boundaries, and odd config values can delay a promotion but
+// never fabricate one for a dominated arm.
+func FuzzAutotunePromotion(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(16), uint8(4), uint16(200))
+	f.Add(int64(42), uint8(2), uint8(2), uint8(2), uint16(50))
+	f.Add(int64(7), uint8(20), uint8(64), uint8(8), uint16(1000))
+	f.Fuzz(func(t *testing.T, seed int64, invFrac, ringCap, minSamples uint8, calls uint16) {
+		cfg := Config{
+			Fraction:   1.0 / (1.0 + float64(invFrac%32)),
+			RingCap:    int(ringCap),
+			MinSamples: int(minSamples),
+		}
+		tu := New(cfg, "inc", []string{"dominated"})
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < int(calls); i++ {
+			key, _ := tu.Route()
+			// Incumbent samples live in [1, 2); the dominated arm's in
+			// [3, 4) — strictly slower on every draw.
+			sec := 1.0 + rng.Float64()
+			if key == "dominated" {
+				sec += 2.0
+			}
+			if _, promoted := tu.Record(key, sec); promoted {
+				t.Fatalf("dominated arm promoted at call %d (cfg %+v)", i, cfg)
+			}
+		}
+		if tu.Incumbent() != "inc" {
+			t.Fatalf("incumbent changed to %q without a promotion", tu.Incumbent())
+		}
+		// Snapshot must stay coherent whatever the stream did.
+		snap := tu.Snapshot()
+		if len(snap.Promotions) != 0 {
+			t.Fatalf("promotion recorded without Record reporting one: %+v", snap.Promotions)
+		}
+		var total uint64
+		for _, a := range snap.Arms {
+			total += a.Samples
+		}
+		if total > uint64(calls) {
+			t.Fatalf("recorded %d samples from %d calls", total, calls)
+		}
+	})
+}

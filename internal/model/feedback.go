@@ -1,0 +1,116 @@
+package model
+
+import (
+	"sync"
+)
+
+// Feedback is a concurrency-safe store of measured plan wall times: the
+// online autotuner records the winning (and losing) arms' window medians
+// on every promotion, keyed by shape class and plan identity, and
+// selection consults the store so a measured number overrides the analytic
+// prediction. This is the calibration loop the paper's §4.4 gestures at
+// ("measure the top two candidates") made continuous: instead of a
+// one-shot probe at construction, the serving traffic itself keeps the
+// model honest — the model remains the prior, measurements become the
+// posterior.
+type Feedback struct {
+	mu sync.RWMutex
+	m  map[FeedbackKey]float64
+}
+
+// FeedbackKey identifies one measured entry: the multiplier's shape-class
+// key and the candidate's name (Candidate.Name() — variant + levels; the
+// traversal/backend decorations of a full plan key are deliberately
+// excluded so the measurement feeds candidate ranking, which is what
+// selection re-runs).
+type FeedbackKey struct {
+	Shape string
+	Plan  string
+}
+
+// NewFeedback returns an empty store.
+func NewFeedback() *Feedback {
+	return &Feedback{m: make(map[FeedbackKey]float64)}
+}
+
+// Record stores a measured median execution time (seconds) for a plan at a
+// shape class, overwriting any previous measurement — the latest window
+// median is the freshest truth.
+func (f *Feedback) Record(shape, plan string, seconds float64) {
+	if f == nil || seconds <= 0 {
+		return
+	}
+	f.mu.Lock()
+	f.m[FeedbackKey{Shape: shape, Plan: plan}] = seconds
+	f.mu.Unlock()
+}
+
+// Lookup returns the measured seconds for a plan at a shape class.
+func (f *Feedback) Lookup(shape, plan string) (float64, bool) {
+	if f == nil {
+		return 0, false
+	}
+	f.mu.RLock()
+	v, ok := f.m[FeedbackKey{Shape: shape, Plan: plan}]
+	f.mu.RUnlock()
+	return v, ok
+}
+
+// Len reports how many measurements the store holds.
+func (f *Feedback) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.m)
+}
+
+// RankMeasured ranks candidates like Rank but substitutes a measured
+// median from fb (keyed by shape and Candidate.Name()) for the analytic
+// prediction wherever one exists, so promoted arms keep winning selection
+// even after a plan-cache eviction rebuilds the shape's entry from
+// scratch. A nil fb (or no measurements) reduces exactly to Rank.
+func RankMeasured(arch Arch, cands []Candidate, m, k, n int, fb *Feedback, shape string) []Ranked {
+	out := Rank(arch, cands, m, k, n)
+	if fb.Len() == 0 {
+		return out
+	}
+	for i := range out {
+		if sec, ok := fb.Lookup(shape, out[i].Candidate.Name()); ok {
+			out[i].Predicted = sec
+		}
+	}
+	// Re-sort with the measured substitutions; stable so purely-analytic
+	// ties keep the original model order.
+	insertionSortRanked(out)
+	return out
+}
+
+// insertionSortRanked restores ascending Predicted order; the input is
+// already nearly sorted (only measured entries moved), where insertion
+// sort is both simple and fast, and it is stable.
+func insertionSortRanked(r []Ranked) {
+	for i := 1; i < len(r); i++ {
+		for j := i; j > 0 && r[j].Predicted < r[j-1].Predicted; j-- {
+			r[j], r[j-1] = r[j-1], r[j]
+		}
+	}
+}
+
+// TopK returns the k predicted-fastest candidates for problem size (m,k,n)
+// — the autotuner's challenger pool: the incumbent serves, and the next
+// few model picks take turns shadowing. Fewer than k candidates returns
+// them all. The measured-feedback overrides of RankMeasured apply when fb
+// is non-nil.
+func TopK(arch Arch, cands []Candidate, m, k, n, top int, fb *Feedback, shape string) []Candidate {
+	ranked := RankMeasured(arch, cands, m, k, n, fb, shape)
+	if top > len(ranked) {
+		top = len(ranked)
+	}
+	out := make([]Candidate, 0, top)
+	for _, r := range ranked[:top] {
+		out = append(out, r.Candidate)
+	}
+	return out
+}

@@ -3,6 +3,7 @@ package fmmfam
 import (
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -54,7 +55,28 @@ type GenericMultiplier[E matrix.Element] struct {
 	// so every cached plan of one multiplier was built under one policy.
 	traversal string
 
+	// tune/tuneFrac are the resolved autotuning state (Config.Autotune /
+	// AutotuneFraction after the FMMFAM_AUTOTUNE override); when tune is
+	// set, plan-cache entries carry a bandit and its arm plans, MulAdd times
+	// every call, and feedback holds the measured medians promotions write
+	// back for selection (model.RankMeasured). foldScale is the fitted
+	// traversal fold-cost scale (math.Float64bits; 0 = analytic), written on
+	// promotions that cross traversal modes and read by traversalFor.
+	tune      bool
+	tuneFrac  float64
+	feedback  *model.Feedback
+	foldScale atomic.Uint64
+
 	plans *planCache[E]
+
+	// shardTuns holds the per-shape-class shard-grid tuners (the sharded
+	// path has no plan-cache entry to hang a bandit off). Bounded by the
+	// plan-cache cap: beyond it new shape classes serve untuned rather than
+	// growing without bound.
+	shardTuns struct {
+		sync.Mutex
+		m map[string]*shardTuner
+	}
 
 	// redBufs is the bounded free list of K-split reduction buffers, rented
 	// per slab like gemm workspaces: get falls back to allocating, put
@@ -69,7 +91,7 @@ type GenericMultiplier[E matrix.Element] struct {
 	// instead of Threads², and makes job results independent of the parent's
 	// Threads setting.
 	serialOnce sync.Once
-	serial     *GenericMultiplier[E]
+	serial     atomic.Pointer[GenericMultiplier[E]]
 
 	// minTile is the lazily-computed shard tile floor (model break-even).
 	minTileOnce sync.Once
@@ -168,14 +190,24 @@ func NewGenericMultiplier[E matrix.Element](cfg Config, arch Arch) *GenericMulti
 	if cfgErr == nil {
 		cfgErr = trErr
 	}
-	return &GenericMultiplier[E]{
+	tune, tuneFrac, tuneErr := resolveAutotune(cfg)
+	if cfgErr == nil {
+		cfgErr = tuneErr
+	}
+	mu := &GenericMultiplier[E]{
 		cfg:       cfg,
 		arch:      model.ArchForKernel(model.ArchForDtype(arch, matrix.DtypeOf[E]()), cfg.Kernel),
 		cfgErr:    cfgErr,
 		traversal: traversal,
+		tune:      tune,
+		tuneFrac:  tuneFrac,
 		plans:     newPlanCache[E](cfg.planCacheCap()),
 		redBufs:   make(chan []E, 2*workers),
 	}
+	if tune {
+		mu.feedback = model.NewFeedback()
+	}
+	return mu
 }
 
 // NewMultiplier returns a float64 Multiplier; see NewGenericMultiplier. Use
@@ -215,13 +247,19 @@ func (mu *GenericMultiplier[E]) MulAdd(c, a, b matrix.Mat[E]) error {
 		return nil
 	}
 	if spec, ok := mu.shardSpec(a.Rows, a.Cols, b.Cols); ok {
+		if mu.tune {
+			return mu.mulAddShardedTuned(spec, c, a, b)
+		}
 		return mu.mulAddSharded(spec, c, a, b)
 	}
-	p, err := mu.planFor(a.Rows, a.Cols, b.Cols)
+	e, err := mu.entryFor(a.Rows, a.Cols, b.Cols)
 	if err != nil {
 		return err
 	}
-	p.MulAdd(c, a, b)
+	if e.tun != nil {
+		return e.tun.mulAdd(mu, c, a, b)
+	}
+	e.p.MulAdd(c, a, b)
 	return nil
 }
 
@@ -282,9 +320,21 @@ func (mu *GenericMultiplier[E]) serialMultiplier() *GenericMultiplier[E] {
 	mu.serialOnce.Do(func() {
 		cfg := mu.cfg
 		cfg.Threads = 1
-		mu.serial = NewGenericMultiplier[E](cfg, mu.arch)
+		s := NewGenericMultiplier[E](cfg, mu.arch)
+		// The twin executes under the parent's construction-time policies:
+		// validation verdict, resolved traversal, and resolved autotune state
+		// are copied rather than re-read from the environment at first
+		// batch/shard/async use, so an env change after the parent was built
+		// cannot split parent and twin behavior. The feedback store is shared
+		// — measured wins from batch traffic inform the same selection.
+		s.cfgErr = mu.cfgErr
+		s.traversal = mu.traversal
+		s.tune = mu.tune
+		s.tuneFrac = mu.tuneFrac
+		s.feedback = mu.feedback
+		mu.serial.Store(s)
 	})
-	return mu.serial
+	return mu.serial.Load()
 }
 
 // shardMinTile resolves the shard tile floor: the configured override, or
@@ -467,16 +517,34 @@ func (mu *GenericMultiplier[E]) PlanFor(m, k, n int) (*fmmexec.Plan[E], error) {
 }
 
 func (mu *GenericMultiplier[E]) planFor(m, k, n int) (*fmmexec.Plan[E], error) {
+	e, err := mu.entryFor(m, k, n)
+	if err != nil {
+		return nil, err
+	}
+	return e.p, nil
+}
+
+// entryFor returns the cached plan-cache entry for a problem's shape class,
+// building it on first use: the model-selected plan, plus — when autotuning
+// is on — the shape class's bandit and its challenger arm plans.
+func (mu *GenericMultiplier[E]) entryFor(m, k, n int) (*planEntry[E], error) {
 	key := shapeClass(m, k, n)
-	if p, ok := mu.plans.get(key); ok {
-		return p, nil
+	if e, ok := mu.plans.get(key); ok {
+		return e, nil
+	}
+	if mu.tune {
+		tun, err := mu.newPlanTuner(key, m, k, n)
+		if err != nil {
+			return nil, err
+		}
+		return mu.plans.add(key, &planEntry[E]{p: tun.arms[tun.tuner.Incumbent()].plan, tun: tun}), nil
 	}
 	cand := Recommend(mu.arch, m, k, n)
 	p, err := fmmexec.NewPlanTraversal[E](mu.cfg.gemmConfig(), cand.Variant, mu.traversalFor(cand, m, k, n), cand.Levels...)
 	if err != nil {
 		return nil, err
 	}
-	return mu.plans.add(key, p), nil
+	return mu.plans.add(key, &planEntry[E]{p: p}), nil
 }
 
 // traversalFor resolves a plan's per-level term traversal: forced modes map
@@ -495,7 +563,16 @@ func (mu *GenericMultiplier[E]) traversalFor(cand Candidate, m, k, n int) []fmme
 	case TraversalBFS:
 		return forcedSteps(TraversalBFS, len(cand.Levels))
 	}
-	return model.TraversalPlan(mu.arch, cand.Variant, bucket(m), bucket(k), bucket(n), cand.Levels, mu.cfg.Threads)
+	return model.TraversalPlanScaled(mu.arch, cand.Variant, bucket(m), bucket(k), bucket(n), cand.Levels, mu.cfg.Threads, mu.foldScaleVal())
+}
+
+// foldScaleVal reads the fitted traversal fold-cost scale: 1 (the analytic
+// model) until an autotune promotion crossing traversal modes fits one.
+func (mu *GenericMultiplier[E]) foldScaleVal() float64 {
+	if bits := mu.foldScale.Load(); bits != 0 {
+		return math.Float64frombits(bits)
+	}
+	return 1
 }
 
 // CachedPlans reports how many distinct shape classes are currently cached.
@@ -512,8 +589,13 @@ type planCache[E matrix.Element] struct {
 	m  map[string]*planEntry[E]
 }
 
+// planEntry is one cached shape class: the plan untuned serving executes,
+// and — when autotuning — the bandit plus its arm plans (tun non-nil; tun's
+// incumbent arm and p start out the same plan, and p stays the construction-
+// time pick for PlanFor inspection while the tuner's incumbent may move).
 type planEntry[E matrix.Element] struct {
 	p    *fmmexec.Plan[E]
+	tun  *planTuner[E]
 	last atomic.Int64 // logical timestamp of the most recent use
 }
 
@@ -521,7 +603,7 @@ func newPlanCache[E matrix.Element](cap int) *planCache[E] {
 	return &planCache[E]{cap: cap, m: make(map[string]*planEntry[E])}
 }
 
-func (pc *planCache[E]) get(key string) (*fmmexec.Plan[E], bool) {
+func (pc *planCache[E]) get(key string) (*planEntry[E], bool) {
 	pc.mu.RLock()
 	e := pc.m[key]
 	pc.mu.RUnlock()
@@ -529,21 +611,20 @@ func (pc *planCache[E]) get(key string) (*fmmexec.Plan[E], bool) {
 		return nil, false
 	}
 	e.last.Store(pc.tick.Add(1))
-	return e.p, true
+	return e, true
 }
 
-// add inserts p under key unless another caller won the race, in which case
-// the incumbent is returned — callers of the same shape class always share
-// one plan. When the cache is over capacity the least-recently-used entry is
-// evicted.
-func (pc *planCache[E]) add(key string, p *fmmexec.Plan[E]) *fmmexec.Plan[E] {
+// add inserts e under key unless another caller won the race, in which case
+// the incumbent entry is returned — callers of the same shape class always
+// share one plan (and one tuner). When the cache is over capacity the
+// least-recently-used entry is evicted.
+func (pc *planCache[E]) add(key string, e *planEntry[E]) *planEntry[E] {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	if e, ok := pc.m[key]; ok {
-		e.last.Store(pc.tick.Add(1))
-		return e.p
+	if have, ok := pc.m[key]; ok {
+		have.last.Store(pc.tick.Add(1))
+		return have
 	}
-	e := &planEntry[E]{p: p}
 	e.last.Store(pc.tick.Add(1))
 	pc.m[key] = e
 	if pc.cap > 0 {
@@ -558,7 +639,18 @@ func (pc *planCache[E]) add(key string, p *fmmexec.Plan[E]) *fmmexec.Plan[E] {
 			delete(pc.m, oldestKey)
 		}
 	}
-	return p
+	return e
+}
+
+// entries returns a point-in-time copy of the cache's (key, entry) pairs.
+func (pc *planCache[E]) entries() map[string]*planEntry[E] {
+	pc.mu.RLock()
+	defer pc.mu.RUnlock()
+	out := make(map[string]*planEntry[E], len(pc.m))
+	for k, v := range pc.m {
+		out[k] = v
+	}
+	return out
 }
 
 func (pc *planCache[E]) len() int {

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# fuzz_smoke.sh [fuzztime] — run every Fuzz* target in the module for the
+# given -fuzztime each (default 25s).
+#
+# Targets are auto-discovered per package with `go test -list '^Fuzz'`, so a
+# new fuzz target joins CI (and the nightly long run) by merely existing —
+# the hardcoded target list this replaced silently skipped anything added
+# after it was written. `go test -fuzz` drives one target at a time, hence
+# the loop. A failing target minimizes its input into the package's
+# testdata/ and reproduces locally with the printed seed.
+set -euo pipefail
+
+fuzztime="${1:-25s}"
+found=0
+
+for pkg in $(go list ./...); do
+  # -list compiles the test binary and prints matching identifiers one per
+  # line, followed by an "ok <pkg>" trailer; keep only the target names.
+  targets=$(go test -run '^$' -list '^Fuzz' "$pkg" | grep '^Fuzz' || true)
+  for t in $targets; do
+    found=$((found + 1))
+    echo "=== fuzz $pkg $t ($fuzztime)"
+    go test -run '^$' -fuzz "^${t}\$" -fuzztime "$fuzztime" "$pkg"
+  done
+done
+
+if [ "$found" -eq 0 ]; then
+  echo "no fuzz targets discovered — discovery is broken, failing" >&2
+  exit 1
+fi
+echo "fuzzed $found targets at $fuzztime each"
