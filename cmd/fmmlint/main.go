@@ -1,0 +1,211 @@
+// Command fmmlint runs the repo's custom static-analysis suite (see
+// internal/lint): rentrelease, hotpathalloc, detorder, and locksafe.
+//
+// It runs in two modes:
+//
+// Standalone — loads and type-checks packages itself (no go command
+// involved), which is the mode CI and developers use directly:
+//
+//	go run ./cmd/fmmlint ./...
+//	go run ./cmd/fmmlint -analyzers=detorder,locksafe ./internal/gemm
+//
+// Vet tool — speaks the go vet unitchecker protocol (-V=full / -flags /
+// <file>.cfg invocations), so the suite can ride vet's package graph and
+// caching:
+//
+//	go build -o "$(go env GOPATH)/bin/fmmlint" ./cmd/fmmlint
+//	go vet -vettool="$(go env GOPATH)/bin/fmmlint" ./...
+//
+// Exit status: 0 when clean, 1 on usage or load errors, 2 when diagnostics
+// were reported (matching vet's convention).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fmmfam/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	// go vet probes the tool before use; these must answer before any flag
+	// parsing, and a lone *.cfg argument is a per-package vet invocation.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			// The output is hashed into vet's action cache key; any stable
+			// line identifying the tool build works.
+			fmt.Printf("fmmlint version v8 buildID=none\n")
+			return
+		case args[0] == "-flags":
+			// No tool-specific flags are exposed to the vet driver.
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(runVetUnit(args[0]))
+		}
+	}
+
+	fs := flag.NewFlagSet("fmmlint", flag.ExitOnError)
+	analyzersFlag := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	listFlag := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fmmlint [-analyzers=a,b] [-list] [packages]\n\npackages default to ./... and may be ./dir, ./dir/..., or module-relative paths\n")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+
+	analyzers, err := lint.ByName(*analyzersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *listFlag {
+		for _, a := range analyzers {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Printf("%-14s %s\n", a.Name, doc)
+		}
+		return
+	}
+	os.Exit(runStandalone(fs.Args(), analyzers))
+}
+
+// runStandalone loads the requested packages through the module loader and
+// runs the suite over them.
+func runStandalone(patterns []string, analyzers []*lint.Analyzer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	pkgs, err := resolvePatterns(loader, root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	diags, err := lint.RunPackages(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// resolvePatterns maps package patterns to loaded packages: "./..." (or the
+// module path with /...) loads everything; "./dir/..." loads the subtree;
+// "./dir" or a module-relative path loads one package.
+func resolvePatterns(loader *lint.Loader, root string, patterns []string) ([]*lint.Package, error) {
+	var out []*lint.Package
+	seen := make(map[string]bool)
+	add := func(pkgs ...*lint.Package) {
+		for _, p := range pkgs {
+			if !seen[p.Path] {
+				seen[p.Path] = true
+				out = append(out, p)
+			}
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "all" || pat == loader.ModPath+"/...":
+			pkgs, err := loader.LoadAll()
+			if err != nil {
+				return nil, err
+			}
+			add(pkgs...)
+		case strings.HasSuffix(pat, "/..."):
+			prefix, err := patternImportPath(loader, root, strings.TrimSuffix(pat, "/..."))
+			if err != nil {
+				return nil, err
+			}
+			pkgs, err := loader.LoadAll()
+			if err != nil {
+				return nil, err
+			}
+			matched := false
+			for _, p := range pkgs {
+				if p.Path == prefix || strings.HasPrefix(p.Path, prefix+"/") {
+					add(p)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("fmmlint: no packages match %s", pat)
+			}
+		default:
+			path, err := patternImportPath(loader, root, pat)
+			if err != nil {
+				return nil, err
+			}
+			pkg, err := loader.Load(path)
+			if err != nil {
+				return nil, err
+			}
+			add(pkg)
+		}
+	}
+	return out, nil
+}
+
+// patternImportPath maps one non-wildcard pattern to an import path: "." and
+// "./dir" are resolved against the working directory, everything else is
+// taken as a module-relative or fully-qualified import path.
+func patternImportPath(loader *lint.Loader, root, pat string) (string, error) {
+	if pat == "." || strings.HasPrefix(pat, "./") || strings.HasPrefix(pat, "../") {
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return "", err
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return "", fmt.Errorf("fmmlint: %s is outside module root %s", pat, root)
+		}
+		if rel == "." {
+			return loader.ModPath, nil
+		}
+		return loader.ModPath + "/" + filepath.ToSlash(rel), nil
+	}
+	if pat == loader.ModPath || strings.HasPrefix(pat, loader.ModPath+"/") {
+		return pat, nil
+	}
+	return loader.ModPath + "/" + pat, nil
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("fmmlint: no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}

@@ -381,33 +381,40 @@ func (p *Plan[E]) mulCore(ws *gemm.Workspace[E], c, a, b matrix.Mat[E]) {
 // aTermsFor/bTermsFor/cTermsFor append term r's non-zero weighted blocks of
 // the given operand to dst. The ⟦U,V,W⟧ coefficients are small exact
 // rationals (±1, ±1/2, ±1/4, …), so the E(coef) conversions are exact for
-// float32 as well as float64.
+// float32 as well as float64. The appends amortize into the pooled
+// execState term slices, which converge to the plan's max term width.
+//
+//fmm:hotpath
 func (p *Plan[E]) aTermsFor(dst []gemm.Term[E], a matrix.Mat[E], r int) []gemm.Term[E] {
 	mt, kt := p.Flat.M, p.Flat.K
 	for _, ci := range p.uCols[r] {
-		dst = append(dst, gemm.Term[E]{Coef: E(ci.coef), M: a.Block(ci.idx/kt, ci.idx%kt, mt, kt)})
+		dst = append(dst, gemm.Term[E]{Coef: E(ci.coef), M: a.Block(ci.idx/kt, ci.idx%kt, mt, kt)}) //fmm:alloc-ok amortized into pooled execState
 	}
 	return dst
 }
 
+//fmm:hotpath
 func (p *Plan[E]) bTermsFor(dst []gemm.Term[E], b matrix.Mat[E], r int) []gemm.Term[E] {
 	kt, nt := p.Flat.K, p.Flat.N
 	for _, ci := range p.vCols[r] {
-		dst = append(dst, gemm.Term[E]{Coef: E(ci.coef), M: b.Block(ci.idx/nt, ci.idx%nt, kt, nt)})
+		dst = append(dst, gemm.Term[E]{Coef: E(ci.coef), M: b.Block(ci.idx/nt, ci.idx%nt, kt, nt)}) //fmm:alloc-ok amortized into pooled execState
 	}
 	return dst
 }
 
+//fmm:hotpath
 func (p *Plan[E]) cTermsFor(dst []gemm.Term[E], c matrix.Mat[E], r int) []gemm.Term[E] {
 	mt, nt := p.Flat.M, p.Flat.N
 	for _, ci := range p.wCols[r] {
-		dst = append(dst, gemm.Term[E]{Coef: E(ci.coef), M: c.Block(ci.idx/nt, ci.idx%nt, mt, nt)})
+		dst = append(dst, gemm.Term[E]{Coef: E(ci.coef), M: c.Block(ci.idx/nt, ci.idx%nt, mt, nt)}) //fmm:alloc-ok amortized into pooled execState
 	}
 	return dst
 }
 
 // mulCoreDFS is the serial term loop: terms run in ascending order on the
 // calling goroutine, each term's GEMM parallelized internally.
+//
+//fmm:hotpath
 func (p *Plan[E]) mulCoreDFS(ws *gemm.Workspace[E], c, a, b matrix.Mat[E]) {
 	mt, kt, nt := p.Flat.M, p.Flat.K, p.Flat.N
 	sm, sk, sn := a.Rows/mt, a.Cols/kt, b.Cols/nt
@@ -547,6 +554,8 @@ func (p *Plan[E]) mulCoreBFS(c, a, b matrix.Mat[E]) {
 // termProduct computes term r's explicit product Mr into prod (zeroing it
 // first) for the Naive and AB variants, single-threaded in the serial twin
 // context — the BFS parallel-phase body.
+//
+//fmm:hotpath
 func (p *Plan[E]) termProduct(ws *gemm.Workspace[E], st *execState[E], prod matrix.Mat[E], a, b matrix.Mat[E], r int) {
 	mt, kt, nt := p.Flat.M, p.Flat.K, p.Flat.N
 	prod.Zero()

@@ -1,0 +1,69 @@
+package gemm
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestAlignedBuf sweeps sizes and alignments through alignedBuf and checks
+// the three properties its unsafe.Pointer arithmetic must uphold: the
+// returned slice has exactly the requested length, its first element is
+// aligned to align·sizeof(E) bytes, and every element is writable (full
+// capacity is clipped to the aligned window, so an off-by-one in the offset
+// computation trips the bounds check — or, under -asan, the shadow poison
+// of the over-allocation's redzone). CI runs this package with -asan on
+// linux/amd64 for exactly that reason.
+func TestAlignedBuf(t *testing.T) {
+	checkBuf := func(t *testing.T, buf []float64, n, align int) {
+		t.Helper()
+		if len(buf) != n {
+			t.Fatalf("alignedBuf(%d, %d): len = %d", n, align, len(buf))
+		}
+		if n == 0 {
+			return
+		}
+		if cap(buf) != n {
+			t.Errorf("alignedBuf(%d, %d): cap = %d, want clipped to %d", n, align, cap(buf), n)
+		}
+		if align > 1 {
+			size := unsafe.Sizeof(buf[0])
+			addr := uintptr(unsafe.Pointer(&buf[0]))
+			if addr%(uintptr(align)*size) != 0 {
+				t.Errorf("alignedBuf(%d, %d): first element at %#x not %d-element aligned", n, align, addr, align)
+			}
+		}
+		// Touch every element, first and last especially: reads/writes past
+		// the aligned window are what -asan exists to catch.
+		for i := range buf {
+			buf[i] = float64(i)
+		}
+		if buf[0] != 0 || buf[n-1] != float64(n-1) {
+			t.Errorf("alignedBuf(%d, %d): readback mismatch", n, align)
+		}
+	}
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 15, 64, 1023, 4096} {
+		for _, align := range []int{0, 1, 2, 4, 8, 16} {
+			checkBuf(t, alignedBuf[float64](n, align), n, align)
+		}
+	}
+}
+
+// TestAlignedBufFloat32 pins the element-size arithmetic for the narrower
+// dtype: alignment is in elements, so align 8 means 32 bytes for float32,
+// not 64.
+func TestAlignedBufFloat32(t *testing.T) {
+	for _, align := range []int{2, 4, 8, 16} {
+		buf := alignedBuf[float32](100, align)
+		if len(buf) != 100 {
+			t.Fatalf("len = %d", len(buf))
+		}
+		size := unsafe.Sizeof(buf[0])
+		addr := uintptr(unsafe.Pointer(&buf[0]))
+		if addr%(uintptr(align)*size) != 0 {
+			t.Errorf("align %d: first element at %#x not aligned to %d bytes", align, addr, uintptr(align)*size)
+		}
+		for i := range buf {
+			buf[i] = float32(i)
+		}
+	}
+}

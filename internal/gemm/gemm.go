@@ -28,10 +28,11 @@ package gemm
 import (
 	"fmt"
 	"runtime"
-	"sync"
+	"sync/atomic"
 
 	"fmmfam/internal/kernel"
 	"fmmfam/internal/matrix"
+	"fmmfam/internal/sched"
 )
 
 // Term re-exports kernel.Term: one weighted operand of a fused combination.
@@ -125,6 +126,12 @@ type Context[E matrix.Element] struct {
 	cfg  Config
 	bk   kernel.Backend[E]
 	pool *workspacePool[E]
+	// sp is the context's bounded worker budget for packing and ic-loop
+	// fan-out. All goroutine fan-out rides internal/sched (the detorder
+	// analyzer enforces this): the pool's non-blocking token budget keeps
+	// concurrent callers from oversubscribing the machine, and nested calls
+	// degrade to serial instead of deadlocking.
+	sp *sched.Pool
 
 	// fast marks the default backend, whose inner loops run through the
 	// specialized free functions of internal/kernel (direct calls, constant
@@ -142,7 +149,7 @@ func NewContext[E matrix.Element](cfg Config) (*Context[E], error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := &Context[E]{cfg: cfg, bk: bk, pool: newWorkspacePool[E](cfg, bk), fast: bk.Name() == kernel.DefaultBackend}
+	ctx := &Context[E]{cfg: cfg, bk: bk, pool: newWorkspacePool[E](cfg, bk), sp: sched.NewPool(cfg.Threads), fast: bk.Name() == kernel.DefaultBackend}
 	ctx.pool.put(newWorkspace[E](cfg, bk))
 	return ctx, nil
 }
@@ -225,17 +232,22 @@ func (ctx *Context[E]) packB(ws *Workspace[E], bTerms []Term[E], pc, jc, kcur, n
 		ctx.bk.PackB(ws.bbuf, bTerms, pc, jc, kcur, ncur)
 		return
 	}
-	var wg sync.WaitGroup
+	// One job per panel chunk, run on the context's sched.Pool (the caller
+	// participates, helpers join as the shared budget allows). Chunks write
+	// disjoint B̃ panel ranges, so the packed buffer is bit-identical under
+	// any schedule.
 	chunk := (panels + workers - 1) / workers
+	jobs := make([]sched.Job, 0, workers)
 	for lo := 0; lo < panels; lo += chunk {
-		hi := min(lo+chunk, panels)
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			ctx.bk.PackBRange(ws.bbuf, bTerms, pc, jc, kcur, ncur, lo, hi)
-		}(lo, hi)
+		lo, hi := lo, min(lo+chunk, panels)
+		jobs = append(jobs, sched.Job{
+			Cost: int64(hi-lo) * int64(kcur),
+			Run: func() {
+				ctx.bk.PackBRange(ws.bbuf, bTerms, pc, jc, kcur, ncur, lo, hi)
+			},
+		})
 	}
-	wg.Wait()
+	ctx.sp.Run(jobs)
 }
 
 // icLoop runs the third loop around the micro-kernel, parallelized over
@@ -250,29 +262,41 @@ func (ctx *Context[E]) icLoop(ws *Workspace[E], cTerms, aTerms []Term[E], pc, jc
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	next := make(chan int, nBlocks)
-	for b := 0; b < nBlocks; b++ {
-		next <- b
+	// One job per worker slot on the context's sched.Pool: job w exclusively
+	// owns Ã buffer and accumulator w (each job runs exactly once, so no two
+	// goroutines ever share a buffer), and a shared atomic counter deals out
+	// MC row-blocks dynamically — the same schedule the previous bare-
+	// goroutine fan-out realized, now drawing from the bounded worker budget.
+	// Blocks write disjoint C row panels, so C is bit-identical under any
+	// schedule.
+	var nextBlock atomic.Int64
+	jobCost := int64(nBlocks/workers+1) * int64(cfg.MC) * int64(kcur)
+	jobs := make([]sched.Job, workers)
+	for w := range jobs {
+		abuf, acc := ws.abufs[w], ws.acc(w)
+		jobs[w] = sched.Job{
+			Cost: jobCost,
+			Run: func() {
+				for {
+					b := int(nextBlock.Add(1)) - 1
+					if b >= nBlocks {
+						return
+					}
+					ic := b * cfg.MC
+					ctx.macroKernel(ws, abuf, acc, cTerms, aTerms, ic, pc, jc, min(cfg.MC, m-ic), kcur, ncur)
+				}
+			},
+		}
 	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(abuf, acc []E) {
-			defer wg.Done()
-			for b := range next {
-				ic := b * cfg.MC
-				ctx.macroKernel(ws, abuf, acc, cTerms, aTerms, ic, pc, jc, min(cfg.MC, m-ic), kcur, ncur)
-			}
-		}(ws.abufs[w], ws.acc(w))
-	}
-	wg.Wait()
+	ctx.sp.Run(jobs)
 }
 
 // macroKernel packs one Ã block and sweeps the second and first loops around
 // the micro-kernel, scattering each register tile into every C-side term.
 // abuf and acc are the calling worker's private Ã buffer and accumulator
 // tile.
+//
+//fmm:hotpath
 func (ctx *Context[E]) macroKernel(ws *Workspace[E], abuf, acc []E, cTerms, aTerms []Term[E], ic, pc, jc, mcur, kcur, ncur int) {
 	if ctx.fast {
 		macroKernelDefault(ws, abuf, cTerms, aTerms, ic, pc, jc, mcur, kcur, ncur)
@@ -302,6 +326,8 @@ func (ctx *Context[E]) macroKernel(ws *Workspace[E], abuf, acc []E, cTerms, aTer
 // loop, instantiated once per element type. It performs the same arithmetic
 // in the same order as the generic path over the go4x4 backend, so results
 // stay bit-identical either way.
+//
+//fmm:hotpath
 func macroKernelDefault[E matrix.Element](ws *Workspace[E], abuf []E, cTerms, aTerms []Term[E], ic, pc, jc, mcur, kcur, ncur int) {
 	kernel.PackA(abuf, aTerms, ic, pc, mcur, kcur)
 	var acc [kernel.MR * kernel.NR]E

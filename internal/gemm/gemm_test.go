@@ -6,7 +6,6 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
-	"unsafe"
 
 	"fmmfam/internal/kernel"
 	"fmmfam/internal/matrix"
@@ -432,20 +431,6 @@ func TestValidateRejectsBlockingBelowBackendTile(t *testing.T) {
 	}
 }
 
-// TestAlignedBuf: buffers honor the requested element alignment without
-// losing length.
-func TestAlignedBuf(t *testing.T) {
-	for _, align := range []int{1, 2, 4, 8} {
-		for _, n := range []int{0, 1, 5, 63, 64} {
-			buf := alignedBuf[float64](n, align)
-			if len(buf) != n {
-				t.Fatalf("align=%d n=%d: len %d", align, n, len(buf))
-			}
-			if n > 0 && align > 1 {
-				if rem := (uintptr(unsafe.Pointer(&buf[0])) / 8) % uintptr(align); rem != 0 {
-					t.Fatalf("align=%d n=%d: start misaligned by %d elements", align, n, rem)
-				}
-			}
-		}
-	}
-}
+// alignedBuf's property tests live in alignedbuf_test.go; CI additionally
+// runs this package with -asan to shadow-check the unsafe.Pointer offset
+// arithmetic.

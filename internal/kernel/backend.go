@@ -192,6 +192,8 @@ func packBBufLen(nr, kc, nc int) int { return ((nc + nr - 1) / nr) * nr * kc }
 // dst in Ã layout for an arbitrary row-panel height mr. It performs the same
 // element-order arithmetic as the specialized packers, so for a given mr the
 // two are bit-identical.
+//
+//fmm:hotpath
 func packAGeneric[E matrix.Element](mr int, dst []E, terms []Term[E], r0, c0, mc, kc int) int {
 	n := packABufLen(mr, mc, kc)
 	dst = dst[:n]
@@ -226,6 +228,8 @@ func packAGeneric[E matrix.Element](mr int, dst []E, terms []Term[E], r0, c0, mc
 // packBGeneric writes the whole kc×nc combination in B̃ layout for an
 // arbitrary column-panel width nr and returns the number of elements
 // written; see packAGeneric.
+//
+//fmm:hotpath
 func packBGeneric[E matrix.Element](nr int, dst []E, terms []Term[E], r0, c0, kc, nc int) int {
 	panels := (nc + nr - 1) / nr
 	packBRangeGeneric(nr, dst, terms, r0, c0, kc, nc, 0, panels)
@@ -234,6 +238,8 @@ func packBGeneric[E matrix.Element](nr int, dst []E, terms []Term[E], r0, c0, kc
 
 // packBRangeGeneric packs column-panels [panelLo, panelHi) of the B̃ layout
 // for an arbitrary column-panel width nr; see packAGeneric.
+//
+//fmm:hotpath
 func packBRangeGeneric[E matrix.Element](nr int, dst []E, terms []Term[E], r0, c0, kc, nc, panelLo, panelHi int) {
 	for panel := panelLo; panel < panelHi; panel++ {
 		j0 := panel * nr
@@ -268,6 +274,8 @@ func packBRangeGeneric[E matrix.Element](nr int, dst []E, terms []Term[E], r0, c
 
 // scatterGeneric adds coef·acc[0:mr, 0:nr] (acc row-major with row stride
 // nrFull) into the mr×nr region of m at (r0, c0).
+//
+//fmm:hotpath
 func scatterGeneric[E matrix.Element](nrFull int, m matrix.Mat[E], r0, c0 int, coef E, acc []E, mr, nr int) {
 	for i := 0; i < mr; i++ {
 		row := m.Data[(r0+i)*m.Stride+c0 : (r0+i)*m.Stride+c0+nr]

@@ -45,6 +45,8 @@ func (go8x4[E]) PackBRange(dst []E, terms []Term[E], r0, c0, kc, nc, panelLo, pa
 // the panel reads are hoisted to one full-slice expression per p iteration;
 // the accumulators are plain locals so the compiler keeps as many in
 // registers as the ISA allows.
+//
+//fmm:hotpath
 func (go8x4[E]) Micro(kc int, ap, bp, acc []E) {
 	var c00, c01, c02, c03 E
 	var c10, c11, c12, c13 E

@@ -50,6 +50,8 @@ func SingleTerm[E matrix.Element](m matrix.Mat[E]) []Term[E] { return []Term[E]{
 // each storing its MR rows column-major (dst[panel*MR*kc + p*MR + i]). Rows
 // beyond mc are zero-padded so the micro-kernel never reads garbage.
 // Returns the number of elements written (⌈mc/MR⌉·MR·kc).
+//
+//fmm:hotpath
 func PackA[E matrix.Element](dst []E, terms []Term[E], r0, c0, mc, kc int) int {
 	panels := (mc + MR - 1) / MR
 	n := panels * MR * kc
@@ -86,6 +88,8 @@ func PackA[E matrix.Element](dst []E, terms []Term[E], r0, c0, mc, kc int) int {
 // B̃ layout: ⌈nc/NR⌉ consecutive column-panels, each storing its NR columns
 // row-major (dst[panel*kc*NR + p*NR + j]), zero-padded beyond nc.
 // Returns the number of elements written.
+//
+//fmm:hotpath
 func PackB[E matrix.Element](dst []E, terms []Term[E], r0, c0, kc, nc int) int {
 	panels := (nc + NR - 1) / NR
 	PackBRange(dst, terms, r0, c0, kc, nc, 0, panels)
@@ -95,6 +99,8 @@ func PackB[E matrix.Element](dst []E, terms []Term[E], r0, c0, kc, nc int) int {
 // PackBRange packs only column-panels [panelLo, panelHi) of the B̃ layout
 // (panel j covers source columns [j·NR, (j+1)·NR)). Distinct panel ranges
 // write disjoint regions of dst, so ranges can be packed concurrently.
+//
+//fmm:hotpath
 func PackBRange[E matrix.Element](dst []E, terms []Term[E], r0, c0, kc, nc, panelLo, panelHi int) {
 	for panel := panelLo; panel < panelHi; panel++ {
 		j0 := panel * NR
@@ -134,6 +140,8 @@ func PackBRange[E matrix.Element](dst []E, terms []Term[E], r0, c0, kc, nc, pane
 // array-pointer signature keeps the epilogue stores free of bounds checks —
 // at the plan path's short kc this is a measurable fraction of the call —
 // while the go4x4 Backend adapter converts the interface's slice form.
+//
+//fmm:hotpath
 func Micro[E matrix.Element](kc int, ap, bp []E, acc *[MR * NR]E) {
 	var c00, c01, c02, c03 E
 	var c10, c11, c12, c13 E
@@ -171,6 +179,8 @@ func Micro[E matrix.Element](kc int, ap, bp []E, acc *[MR * NR]E) {
 // mr×nr region of target m with top-left corner (r0, c0). Called once per
 // C-side term — the ABC variant's "update multiple submatrices of C from
 // registers".
+//
+//fmm:hotpath
 func Scatter[E matrix.Element](m matrix.Mat[E], r0, c0 int, coef E, acc *[MR * NR]E, mr, nr int) {
 	for i := 0; i < mr; i++ {
 		row := m.Data[(r0+i)*m.Stride+c0 : (r0+i)*m.Stride+c0+nr]

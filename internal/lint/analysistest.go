@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// This file is a miniature of golang.org/x/tools/go/analysis/analysistest:
+// fixture packages live under testdata/src/<name>, and their sources carry
+// "// want `regex`" comments marking the lines where a diagnostic matching
+// the regex is expected. RunFixture loads one fixture package, runs one
+// analyzer, and returns a list of mismatches (unexpected diagnostics,
+// unmatched expectations, regex errors) — empty means the fixture passed.
+
+// wantRe matches one expectation: want "..." or want `...`; several may
+// follow one want keyword.
+var wantRe = regexp.MustCompile("// want ((?:[\"`][^\"`]*[\"`]\\s*)+)")
+
+var wantArgRe = regexp.MustCompile("[\"`]([^\"`]*)[\"`]")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// LoadFixture parses and type-checks the fixture package in dir. The package
+// is type-checked under the import path path (usually the directory base
+// name — analyzers that scope by path element key off this). Fixture
+// packages may import the standard library only.
+func LoadFixture(dir, path string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	matches, err := filepath.Glob(filepath.Join(abs, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, fn := range matches {
+		if strings.HasSuffix(fn, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fileset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in fixture %s", abs)
+	}
+	// Fixture imports resolve through the stdlib importer only.
+	return checkPackage(path, abs, files, stdImport)
+}
+
+// RunFixture runs one analyzer over the fixture in dir and checks its
+// diagnostics against the fixture's want comments.
+func RunFixture(a *Analyzer, dir, path string) (failures []string, err error) {
+	pkg, err := LoadFixture(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := RunPackage(pkg, []*Analyzer{a})
+	if err != nil {
+		return nil, err
+	}
+	expects, err := collectExpectations(pkg)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range diags {
+		matched := false
+		for i := range expects {
+			e := &expects[i]
+			if e.hit || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			failures = append(failures, fmt.Sprintf("unexpected diagnostic at %s:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message))
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			failures = append(failures, fmt.Sprintf("no diagnostic matching %q at %s:%d", e.raw, filepath.Base(e.file), e.line))
+		}
+	}
+	sort.Strings(failures)
+	return failures, nil
+}
+
+// collectExpectations parses the want comments of every file in pkg.
+func collectExpectations(pkg *Package) ([]expectation, error) {
+	var out []expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						return nil, fmt.Errorf("lint: bad want regexp at %s: %w", pos, err)
+					}
+					out = append(out, expectation{file: pos.Filename, line: pos.Line, re: re, raw: arg[1]})
+				}
+			}
+		}
+	}
+	return out, nil
+}

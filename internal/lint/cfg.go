@@ -1,0 +1,350 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// This file implements a small statement-level control-flow graph, sufficient
+// for the rentrelease analyzer's must-release dataflow. It supports the full
+// structured-control subset of Go — if/for/range/switch/type-switch/select,
+// labeled break and continue, return, defer — and declines functions that use
+// goto (none exist in this module; the analyzer skips such functions rather
+// than risk a wrong graph).
+
+// cfgBlock is one basic block: straight-line statements plus successor edges.
+type cfgBlock struct {
+	nodes   []ast.Stmt
+	succs   []*cfgBlock
+	returns bool // block ends in an explicit return
+}
+
+// funcCFG is a function body's graph. exits lists every block from which
+// control leaves the function: return blocks and the fall-off-the-end block.
+type funcCFG struct {
+	entry  *cfgBlock
+	blocks []*cfgBlock
+	exits  []*cfgBlock
+	ok     bool // false when the body uses constructs the builder declines (goto)
+}
+
+type loopFrame struct {
+	label     string
+	brk, cont *cfgBlock // cont == nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	blocks  []*cfgBlock
+	cur     *cfgBlock
+	exits   []*cfgBlock
+	frames  []loopFrame
+	hasGoto bool
+	// pendingLabel names the label attached to the next loop/switch statement.
+	pendingLabel string
+}
+
+// buildCFG constructs the graph of one function (or function literal) body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{}
+	entry := b.newBlock()
+	b.cur = entry
+	b.stmts(body.List)
+	// Fall-off-the-end exit (reachable for functions without results, and for
+	// panicking tails; unreachable tails are pruned by the reachability walk).
+	if b.cur != nil {
+		b.exits = append(b.exits, b.cur)
+	}
+	g := &funcCFG{entry: entry, blocks: b.blocks, exits: b.exits, ok: !b.hasGoto}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+// edge links from → to (nil-safe: a nil from means unreachable code).
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	if from != nil {
+		from.succs = append(from.succs, to)
+	}
+}
+
+func (b *cfgBuilder) add(s ast.Stmt) {
+	if b.cur != nil {
+		b.cur.nodes = append(b.cur.nodes, s)
+	}
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// frameFor finds the innermost frame matching a break/continue label.
+func (b *cfgBuilder) frameFor(label string, needCont bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needCont && f.cont == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ReturnStmt:
+		b.add(s)
+		if b.cur != nil {
+			b.cur.returns = true
+			b.exits = append(b.exits, b.cur)
+		}
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag == nil && s.Init == nil, caseBodies(s.Body), s)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, false, caseBodies(s.Body), s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	default:
+		// Straight-line statements: expressions, assignments, declarations,
+		// sends, defers, go statements, empty statements.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "goto":
+		b.hasGoto = true
+		b.cur = nil
+	case "break":
+		if f := b.frameFor(label, false); f != nil {
+			b.edge(b.cur, f.brk)
+		}
+		b.cur = nil
+	case "continue":
+		if f := b.frameFor(label, true); f != nil {
+			b.edge(b.cur, f.cont)
+		}
+		b.cur = nil
+	case "fallthrough":
+		// Handled by switchStmt via explicit chaining; reaching here means a
+		// malformed tree — treat as straight-line.
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(&ast.ExprStmt{X: s.Cond})
+	cond := b.cur
+	after := b.newBlock()
+	then := b.newBlock()
+	b.edge(cond, then)
+	b.cur = then
+	b.stmts(s.Body.List)
+	b.edge(b.cur, after)
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, after)
+	} else {
+		b.edge(cond, after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	if s.Cond != nil {
+		head.nodes = append(head.nodes, &ast.ExprStmt{X: s.Cond})
+	}
+	after := b.newBlock()
+	body := b.newBlock()
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, after)
+	}
+	post := b.newBlock()
+	if s.Post != nil {
+		post.nodes = append(post.nodes, s.Post)
+	}
+	b.edge(post, head)
+	b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: post})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.edge(b.cur, post)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	head := b.newBlock()
+	// The range header (including the iteration-variable assignment) lives in
+	// the head so rents/releases in the range expression are seen.
+	head.nodes = append(head.nodes, &ast.ExprStmt{X: s.X})
+	b.edge(b.cur, head)
+	after := b.newBlock()
+	body := b.newBlock()
+	b.edge(head, body)
+	b.edge(head, after)
+	b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: head})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.edge(b.cur, head)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func caseBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			out = append(out, c.Body)
+		case *ast.CommClause:
+			out = append(out, c.Body)
+		}
+	}
+	return out
+}
+
+// switchStmt builds expression and type switches. alwaysTaken marks a bare
+// `switch {}`-style statement, though for simplicity every switch keeps an
+// edge from the head to after (a missing default) — a may-analysis over a
+// superset of paths only errs toward reporting, which is the safe direction
+// for a must-release check.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, alwaysTaken bool, bodies [][]ast.Stmt, s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if init != nil {
+		b.add(init)
+	}
+	switch sw := s.(type) {
+	case *ast.SwitchStmt:
+		if sw.Tag != nil {
+			b.add(&ast.ExprStmt{X: sw.Tag})
+		}
+	case *ast.TypeSwitchStmt:
+		b.add(sw.Assign)
+	}
+	head := b.cur
+	after := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, brk: after})
+	hasDefault := switchHasDefault(s)
+	var caseBlocks []*cfgBlock
+	for range bodies {
+		cb := b.newBlock()
+		b.edge(head, cb)
+		caseBlocks = append(caseBlocks, cb)
+	}
+	for i, body := range bodies {
+		b.cur = caseBlocks[i]
+		b.stmtsWithFallthrough(body, caseBlocks, i)
+		b.edge(b.cur, after)
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// stmtsWithFallthrough runs a case body, wiring a trailing fallthrough to the
+// next case block.
+func (b *cfgBuilder) stmtsWithFallthrough(body []ast.Stmt, caseBlocks []*cfgBlock, i int) {
+	for _, s := range body {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+			if i+1 < len(caseBlocks) {
+				b.edge(b.cur, caseBlocks[i+1])
+			}
+			b.cur = nil
+			return
+		}
+		b.stmt(s)
+	}
+}
+
+func switchHasDefault(s ast.Stmt) bool {
+	var list []ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		list = s.Body.List
+	case *ast.TypeSwitchStmt:
+		list = s.Body.List
+	case *ast.SelectStmt:
+		list = s.Body.List
+	}
+	for _, c := range list {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				return true
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	head := b.cur
+	after := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, brk: after})
+	for _, c := range s.Body.List {
+		comm, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		cb := b.newBlock()
+		if comm.Comm != nil {
+			cb.nodes = append(cb.nodes, comm.Comm)
+		}
+		b.edge(head, cb)
+		b.cur = cb
+		b.stmts(comm.Body)
+		b.edge(b.cur, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}

@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("fmmfam/internal/gemm", or the fixture name
+	// for testdata packages).
+	Path string
+	// Dir is the package directory on disk.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// fileset is the process-wide FileSet shared by every loader and the stdlib
+// source importer, so positions stay comparable across loads (and the heavy
+// stdlib type-checking is paid once per process, not once per Loader).
+var fileset = token.NewFileSet()
+
+// stdImporter memoizes stdlib packages, type-checked from GOROOT source.
+// The source importer is used instead of the gc importer because the module
+// builds in hermetic environments with no pre-compiled stdlib export data.
+var stdImporter = struct {
+	sync.Mutex
+	imp types.Importer
+}{}
+
+func stdImport(path string) (*types.Package, error) {
+	stdImporter.Lock()
+	defer stdImporter.Unlock()
+	if stdImporter.imp == nil {
+		stdImporter.imp = importer.ForCompiler(fileset, "source", nil)
+	}
+	return stdImporter.imp.Import(path)
+}
+
+// Loader parses and type-checks the packages of one Go module without
+// shelling out to the go command: import paths under the module path map to
+// directories, everything else resolves through the stdlib source importer.
+// Test files (_test.go) are not loaded — the analyzers enforce production
+// invariants.
+type Loader struct {
+	// ModRoot is the absolute module root (the directory holding go.mod).
+	ModRoot string
+	// ModPath is the module path declared in go.mod.
+	ModPath string
+	// Overlay maps absolute file paths to replacement (or additional)
+	// contents. Overlay files participate in parsing as if on disk — the
+	// seeded-violation regression tests use this to inject a contract
+	// breach into a real package without touching the tree.
+	Overlay map[string][]byte
+
+	mu       sync.Mutex
+	pkgs     map[string]*Package
+	checking map[string]bool
+}
+
+// NewLoader reads modRoot/go.mod for the module path and returns a Loader.
+func NewLoader(modRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", abs)
+	}
+	return &Loader{
+		ModRoot:  abs,
+		ModPath:  modPath,
+		pkgs:     make(map[string]*Package),
+		checking: make(map[string]bool),
+	}, nil
+}
+
+// LoadAll loads every package under the module root (the "./..." pattern),
+// in deterministic path order. Directories named testdata, vendor, or
+// starting with "." or "_" are skipped, as the go tool does.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModRoot && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		if len(l.packageFiles(dir)) == 0 {
+			continue
+		}
+		pkg, err := l.Load(l.importPathFor(dir))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// importPathFor maps a directory under the module root to its import path.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil || rel == "." {
+		return l.ModPath
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel)
+}
+
+// dirFor maps an import path under the module to its directory.
+func (l *Loader) dirFor(path string) (string, bool) {
+	if path == l.ModPath {
+		return l.ModRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		return filepath.Join(l.ModRoot, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// packageFiles returns the buildable non-test Go files of dir (absolute
+// paths), honoring build constraints for the host platform, plus any overlay
+// files placed in dir.
+func (l *Loader) packageFiles(dir string) []string {
+	seen := make(map[string]bool)
+	var files []string
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err == nil {
+		for _, name := range bp.GoFiles {
+			abs := filepath.Join(dir, name)
+			seen[abs] = true
+			files = append(files, abs)
+		}
+	}
+	for abs := range l.Overlay {
+		if filepath.Dir(abs) == dir && strings.HasSuffix(abs, ".go") &&
+			!strings.HasSuffix(abs, "_test.go") && !seen[abs] {
+			files = append(files, abs)
+		}
+	}
+	sort.Strings(files)
+	return files
+}
+
+// Load type-checks the package at the given import path (which must be the
+// module path or below), memoized per loader.
+func (l *Loader) Load(path string) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.load(path)
+}
+
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("lint: %s is outside module %s", path, l.ModPath)
+	}
+	filenames := l.packageFiles(dir)
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, fn := range filenames {
+		var src any
+		if data, ok := l.Overlay[fn]; ok {
+			src = data
+		}
+		f, err := parser.ParseFile(fileset, fn, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+	pkg, err := checkPackage(path, dir, files, l.importFor)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// importFor resolves one import during type-checking: module-internal paths
+// recurse into the loader, everything else is stdlib.
+func (l *Loader) importFor(path string) (*types.Package, error) {
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return stdImport(path)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return f(path)
+}
+
+// newInfo returns a types.Info with every map the analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// checkPackage type-checks one package's files. Type errors are hard errors:
+// the analyzers' type queries are only meaningful on well-typed code.
+func checkPackage(path, dir string, files []*ast.File, imp importerFunc) (*Package, error) {
+	info := newInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, fileset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fileset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,71 @@
+// Package gemm is the detorder fixture for an in-scope package (the final
+// import-path element "gemm" matches the analyzer's scope list): bare go
+// statements and order-sensitive writes under map ranges are reported,
+// order-independent map-range bodies are not.
+package gemm
+
+import "sort"
+
+type Mat struct{ Data []float64 }
+
+func (m *Mat) AddScaled(alpha float64, b *Mat) {
+	for i := range m.Data {
+		m.Data[i] += alpha * b.Data[i]
+	}
+}
+
+// --- violations ---
+
+func badGo(f func()) {
+	go f() // want `bare go statement`
+}
+
+func badMapRangeSliceWrite(m map[string]float64, out []float64) {
+	i := 0
+	for _, v := range m {
+		out[i] = v // want `slice element written inside range over map`
+		i++
+	}
+}
+
+func badMapRangeMutator(m map[string]*Mat, c *Mat) {
+	for _, v := range m {
+		c.AddScaled(1, v) // want `matrix mutator Mat\.AddScaled called inside range over map`
+	}
+}
+
+// --- compliant ---
+
+// Copying into another map is order-independent: map insertion order does
+// not affect the result.
+func okMapRangeIntoMap(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Scalar reductions over commutative operations (max, count) are fine.
+func okMapRangeScalar(m map[string]int) string {
+	best, bestKey := -1, ""
+	for k, v := range m {
+		if v > best {
+			best, bestKey = v, k
+		}
+	}
+	return bestKey
+}
+
+// The deterministic pattern the analyzer pushes toward: extract keys, sort,
+// then fold in sorted order.
+func okSortedKeys(m map[string]float64, out []float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+}

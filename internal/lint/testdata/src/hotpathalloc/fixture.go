@@ -1,0 +1,117 @@
+// Package hotpathalloc is the fixture for the hotpathalloc analyzer:
+// //fmm:hotpath-annotated functions containing each forbidden construct,
+// //fmm:alloc-ok suppressions, and unannotated/clean counterparts.
+package hotpathalloc
+
+import "fmt"
+
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+func sink(x any) { _ = x }
+
+// --- violations ---
+
+//fmm:hotpath
+func badMake(n int) []float64 {
+	buf := make([]float64, n) // want `hot path badMake: make allocates`
+	return buf
+}
+
+//fmm:hotpath
+func badNew() *Mat {
+	return new(Mat) // want `hot path badNew: new allocates`
+}
+
+//fmm:hotpath
+func badAppend(dst []int, v int) []int {
+	return append(dst, v) // want `hot path badAppend: append may grow its backing array`
+}
+
+//fmm:hotpath
+func badSliceLit() []int {
+	return []int{1, 2, 3} // want `hot path badSliceLit: slice literal allocates`
+}
+
+//fmm:hotpath
+func badMapLit() map[string]int {
+	return map[string]int{"a": 1} // want `hot path badMapLit: map literal allocates`
+}
+
+//fmm:hotpath
+func badAddrOfComposite() *Mat {
+	return &Mat{Rows: 1, Cols: 1} // want `hot path badAddrOfComposite: address of composite literal allocates`
+}
+
+//fmm:hotpath
+func badClosure() func() int {
+	n := 0
+	return func() int { n++; return n } // want `hot path badClosure: function literal`
+}
+
+//fmm:hotpath
+func badGo(f func()) {
+	go f() // want `hot path badGo: go statement allocates a goroutine`
+}
+
+//fmm:hotpath
+func badFmt(x int) {
+	fmt.Println(x) // want `hot path badFmt: fmt\.Println allocates`
+}
+
+//fmm:hotpath
+func badBoxing(v int) {
+	sink(v) // want `hot path badBoxing: argument boxed into interface parameter`
+}
+
+//fmm:hotpath
+func badIfaceConv(v int) any {
+	return any(v) // want `hot path badIfaceConv: conversion to interface any allocates`
+}
+
+//fmm:hotpath
+func badConcat(a, b string) string {
+	return a + b // want `hot path badConcat: string concatenation allocates`
+}
+
+//fmm:hotpath
+func badBytesToString(b []byte) string {
+	return string(b) // want `hot path badBytesToString: byte/rune-slice to string conversion allocates`
+}
+
+// --- compliant ---
+
+// okNotAnnotated allocates freely: no directive, no diagnostics.
+func okNotAnnotated(n int) []float64 {
+	return make([]float64, n)
+}
+
+//fmm:hotpath
+func okCleanLoop(dst, src []float64, alpha float64) {
+	for i := range src {
+		dst[i] += alpha * src[i]
+	}
+}
+
+//fmm:hotpath
+func okStructValueAndArray(m *Mat) float64 {
+	var acc [16]float64
+	t := Mat{Rows: m.Rows, Cols: m.Cols, Data: m.Data}
+	for i := range acc {
+		acc[i] = float64(t.Rows)
+	}
+	return acc[0]
+}
+
+//fmm:hotpath
+func okAmortizedAppend(dst []float64, v float64) []float64 {
+	dst = append(dst, v) //fmm:alloc-ok amortized growth into a reused pooled buffer
+	return dst
+}
+
+//fmm:hotpath
+func okInterfaceToInterface(x any) {
+	sink(x) // interface-to-interface: no boxing
+}

@@ -1,0 +1,100 @@
+// Package locksafe is the fixture for the locksafe analyzer: value copies
+// of lock-holding structs and of the engine's pool-owned types (Workspace)
+// in every flagged position, plus pointer-based compliant counterparts.
+package locksafe
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// embeds embeds a guarded value, so it is transitively no-copy.
+type embeds struct {
+	g guarded
+}
+
+// Workspace matches the engine's pool-owned type name: no lock inside, but
+// copying aliases pool-owned buffers.
+type Workspace struct {
+	bufs [][]float64
+}
+
+// --- violations ---
+
+func badParam(g guarded) { // want `badParam takes parameter g by value \(contains sync\.Mutex\)`
+	g.n++
+}
+
+func badReturn(g *guarded) guarded { // want `badReturn returns a no-copy value \(contains sync\.Mutex\)`
+	return *g
+}
+
+func badEmbedded(e embeds) { // want `badEmbedded takes parameter e by value \(contains sync\.Mutex\)`
+	e.g.n++
+}
+
+func badWorkspaceParam(ws Workspace) { // want `badWorkspaceParam takes parameter ws by value \(contains Workspace\)`
+	ws.bufs = nil
+}
+
+func (g guarded) badValueReceiver() { // want `method badValueReceiver has value receiver of no-copy type \(contains sync\.Mutex\)`
+	g.n++
+}
+
+func badAssign(g *guarded) {
+	cp := *g // want `assignment copies a no-copy value \(contains sync\.Mutex\)`
+	cp.n = 1
+}
+
+func badCallArg(g *guarded) {
+	consumePtr(*g) // want `call passes a no-copy value \(contains sync\.Mutex\)`
+}
+
+// consumePtr's own signature is also a violation.
+func consumePtr(x guarded) { // want `consumePtr takes parameter x by value \(contains sync\.Mutex\)`
+	x.n++
+}
+
+func badRange(gs []guarded) {
+	for _, g := range gs { // want `range copies a no-copy value into g \(contains sync\.Mutex\)`
+		_ = g.n
+	}
+}
+
+// --- compliant ---
+
+func okPointerParam(g *guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func okPointerReturn() *guarded {
+	return &guarded{}
+}
+
+func okWorkspacePointer(ws *Workspace) {
+	ws.bufs = append(ws.bufs, nil)
+}
+
+func okRangePointers(gs []*guarded) {
+	for _, g := range gs {
+		g.n++
+	}
+}
+
+func okRangeIndices(gs []guarded) {
+	for i := range gs {
+		gs[i].n++
+	}
+}
+
+// Plain structs without lock or pool state copy freely.
+type plain struct{ a, b int }
+
+func okPlainCopies(p plain) plain {
+	q := p
+	return q
+}

@@ -1,0 +1,16 @@
+// Package other is the detorder out-of-scope fixture: the same constructs
+// the in-scope fixture flags must produce no diagnostics here, because the
+// package's import path is outside the determinism-critical scope.
+package other
+
+func fanOut(f func()) {
+	go f() // out of scope: no diagnostic
+}
+
+func mapRangeSliceWrite(m map[string]float64, out []float64) {
+	i := 0
+	for _, v := range m {
+		out[i] = v // out of scope: no diagnostic
+		i++
+	}
+}

@@ -1,0 +1,197 @@
+// Package rentrelease is the fixture for the rentrelease analyzer: mock
+// pool types whose rent/release method names match the real engine's specs,
+// plus violating and compliant renting functions.
+package rentrelease
+
+import "errors"
+
+var errBoom = errors.New("boom")
+
+type Workspace struct{ buf []float64 }
+
+type workspacePool struct{ ch chan *Workspace }
+
+func (p *workspacePool) get() *Workspace {
+	select {
+	case ws := <-p.ch:
+		return ws
+	default:
+		return &Workspace{buf: make([]float64, 64)}
+	}
+}
+
+func (p *workspacePool) put(ws *Workspace) {
+	select {
+	case p.ch <- ws:
+	default:
+	}
+}
+
+type Context struct{ pool *workspacePool }
+
+// The wrapper transfers ownership to its caller: returning the rented value
+// must not be reported.
+func (c *Context) GetWorkspace() *Workspace   { return c.pool.get() }
+func (c *Context) PutWorkspace(ws *Workspace) { c.pool.put(ws) }
+
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+type termState struct{ terms []int }
+
+func (s *termState) use() { s.terms = s.terms[:0] }
+
+type Plan struct {
+	termBufs chan []float64
+}
+
+func (p *Plan) rentTermBuf(rows, cols int) Mat {
+	var buf []float64
+	select {
+	case buf = <-p.termBufs:
+	default:
+		buf = make([]float64, rows*cols)
+	}
+	return Mat{Rows: rows, Cols: cols, Data: buf}
+}
+
+func (p *Plan) returnTermBuf(m Mat) {
+	select {
+	case p.termBufs <- m.Data:
+	default:
+	}
+}
+
+func (p *Plan) stateFor(sm, sk, sn int) (*termState, func()) {
+	st := &termState{}
+	return st, func() { st.terms = st.terms[:0] }
+}
+
+type GenericMultiplier struct{ redBufs chan []float64 }
+
+func (mu *GenericMultiplier) rentRedBuf(rows, cols int) Mat {
+	return Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+func (mu *GenericMultiplier) returnRedBuf(m Mat) {
+	select {
+	case mu.redBufs <- m.Data:
+	default:
+	}
+}
+
+// --- violations ---
+
+func leakSimple(ctx *Context) {
+	ws := ctx.GetWorkspace() // want `ws rented via Context\.GetWorkspace is not released with PutWorkspace on every path`
+	ws.buf[0] = 1
+}
+
+func leakOnErrorPath(ctx *Context, fail bool) error {
+	ws := ctx.GetWorkspace() // want `ws rented via Context\.GetWorkspace is not released with PutWorkspace on every path`
+	ws.buf[0] = 1
+	if fail {
+		return errBoom // leaks ws
+	}
+	ctx.PutWorkspace(ws)
+	return nil
+}
+
+func leakReleaseClosure(p *Plan, fail bool) {
+	st, release := p.stateFor(1, 2, 3) // want `release returned by Plan\.stateFor is not called on every path`
+	st.use()
+	if fail {
+		return // leaks the exec state
+	}
+	release()
+}
+
+func leakOnLoopBreak(mu *GenericMultiplier, n int) {
+	for i := 0; i < n; i++ {
+		m := mu.rentRedBuf(2, 2) // want `m rented via GenericMultiplier\.rentRedBuf is not released with returnRedBuf on every path`
+		m.Data[0] = float64(i)
+		if i == 3 {
+			break // leaks m
+		}
+		mu.returnRedBuf(m)
+	}
+}
+
+func leakTermBufOneArm(p *Plan, which bool) {
+	m := p.rentTermBuf(4, 4) // want `m rented via Plan\.rentTermBuf is not released with returnTermBuf on every path`
+	switch {
+	case which:
+		p.returnTermBuf(m)
+	default:
+		m.Data[0] = 1 // this arm forgets the release
+	}
+}
+
+// --- compliant ---
+
+func okDeferred(ctx *Context) {
+	ws := ctx.GetWorkspace()
+	defer ctx.PutWorkspace(ws)
+	ws.buf[0] = 1
+}
+
+func okReleasedOnBothPaths(ctx *Context, fail bool) error {
+	ws := ctx.GetWorkspace()
+	ws.buf[0] = 1
+	if fail {
+		ctx.PutWorkspace(ws)
+		return errBoom
+	}
+	ctx.PutWorkspace(ws)
+	return nil
+}
+
+func okClosurePair(p *Plan) {
+	st, release := p.stateFor(1, 1, 1)
+	defer release()
+	st.use()
+}
+
+func okPoolDirect(pool *workspacePool) {
+	ws := pool.get()
+	defer pool.put(ws)
+	ws.buf[0] = 1
+}
+
+// Ownership transfers out of the function: the caller inherits the release
+// obligation, so nothing is reported here.
+func okOwnershipReturned(ctx *Context) *Workspace {
+	ws := ctx.GetWorkspace()
+	ws.buf[0] = 1
+	return ws
+}
+
+// Renting into a slice transfers ownership to the container (released by a
+// later loop); the analyzer accepts this without chasing it.
+func okRentIntoSlice(p *Plan, n int) {
+	bufs := make([]Mat, n)
+	for i := range bufs {
+		bufs[i] = p.rentTermBuf(4, 4)
+	}
+	for _, b := range bufs {
+		p.returnTermBuf(b)
+	}
+}
+
+// Jobs that rent inside a function literal are analyzed as their own
+// bodies: rent and deferred release balance inside the closure.
+func okRentInsideClosure(p *Plan, run func(func())) {
+	run(func() {
+		st, release := p.stateFor(2, 2, 2)
+		defer release()
+		st.use()
+	})
+}
+
+func okRedBufStraightLine(mu *GenericMultiplier) {
+	m := mu.rentRedBuf(2, 2)
+	m.Data[0] = 1
+	mu.returnRedBuf(m)
+}

@@ -1,0 +1,94 @@
+package fmmfam
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStatsConcurrentWithServingAndAutotune hammers Stats() from dedicated
+// reader goroutines while servers drive traffic through a multiplier with
+// autotuning at its maximum exploration fraction — so bandit records,
+// verdict checkpoints, and promotions/demotions race against snapshotting.
+// Under -race this proves the observability surface never tears against the
+// tuner state it reports. Results are still checked against the naive
+// reference: autotuning may swap which plan serves a call, never what it
+// computes.
+func TestStatsConcurrentWithServingAndAutotune(t *testing.T) {
+	mu := NewMultiplier(Config{
+		MC: 16, KC: 16, NC: 32, Threads: 2,
+		Autotune: true, AutotuneFraction: 0.5,
+	}, PaperArch())
+	refs := makeRefProducts(7)
+
+	var stop atomic.Bool
+	var readers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for !stop.Load() {
+				s := mu.Stats()
+				if !s.Autotune || s.Fraction != 0.5 {
+					t.Errorf("Stats() = {Autotune: %v, Fraction: %g}; want {true, 0.5}", s.Autotune, s.Fraction)
+					return
+				}
+				// Walk the whole snapshot so the race detector observes the
+				// reads against concurrent tuner writes.
+				for _, sh := range s.Shapes {
+					for _, a := range sh.Arms {
+						_ = a.Samples
+					}
+					_ = len(sh.Promotions)
+				}
+			}
+		}()
+	}
+
+	const servers = 4
+	const iters = 60
+	var wg sync.WaitGroup
+	errc := make(chan error, servers)
+	for g := 0; g < servers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				r := refs[(g+it)%len(refs)]
+				c := NewMatrix(r.want.Rows, r.want.Cols)
+				if err := mu.MulAdd(c, r.a, r.b); err != nil {
+					errc <- err
+					return
+				}
+				if d := c.MaxAbsDiff(r.want); d > 1e-9 {
+					t.Errorf("goroutine %d iter %d: diff %g", g, it, d)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	stop.Store(true)
+	readers.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	s := mu.Stats()
+	if s.CachedPlans == 0 {
+		t.Error("Stats().CachedPlans = 0 after serving traffic")
+	}
+	if len(s.Shapes) == 0 {
+		t.Error("Stats().Shapes empty after serving autotuned traffic")
+	}
+	for _, sh := range s.Shapes {
+		var total uint64
+		for _, a := range sh.Arms {
+			total += a.Samples
+		}
+		if total == 0 {
+			t.Errorf("shape %s (%s): tuner exists but recorded no samples", sh.Shape, sh.Kind)
+		}
+	}
+}
