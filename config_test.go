@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"runtime"
 	"testing"
+	"time"
 
 	"fmmfam/internal/matrix"
 )
@@ -42,6 +43,12 @@ func TestConfigValidate(t *testing.T) {
 		{"negative ShardMinTile", func(c *Config) { c.ShardMinTile = -1 }, false},
 		{"negative QueueWorkers", func(c *Config) { c.QueueWorkers = -1 }, false},
 		{"negative QueueDepth", func(c *Config) { c.QueueDepth = -2 }, false},
+		{"serve knobs set", func(c *Config) {
+			c.ServeAddr, c.CoalesceWindow, c.CoalesceMaxJobs, c.AdmissionDepth = "127.0.0.1:0", 250e3, 16, 8
+		}, true},
+		{"coalescing disabled by negative window", func(c *Config) { c.CoalesceWindow = -1 }, true},
+		{"negative CoalesceMaxJobs", func(c *Config) { c.CoalesceMaxJobs = -1 }, false},
+		{"negative AdmissionDepth", func(c *Config) { c.AdmissionDepth = -3 }, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -157,4 +164,97 @@ func TestKernelsListsBuiltins(t *testing.T) {
 	if !found["go4x4"] || !found["go8x4"] {
 		t.Fatalf("Kernels() = %v, want both go4x4 and go8x4", Kernels())
 	}
+}
+
+// TestServeParams pins the serve-knob resolution order: environment mirrors
+// win over Config fields, zero fields fill defaults, a negative window
+// disables coalescing, and malformed mirror values fail both ServeParams and
+// Validate (a deployment typo must stop the server at startup, not silently
+// serve defaults).
+func TestServeParams(t *testing.T) {
+	base := Config{MC: 96, KC: 256, NC: 2048, Threads: 1}
+
+	t.Run("defaults", func(t *testing.T) {
+		p, err := base.ServeParams()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ServeParams{
+			Addr:            DefaultServeAddr,
+			CoalesceWindow:  DefaultCoalesceWindow,
+			CoalesceMaxJobs: DefaultCoalesceMaxJobs,
+			AdmissionDepth:  DefaultAdmissionDepth,
+		}
+		if p != want {
+			t.Fatalf("ServeParams() = %+v, want %+v", p, want)
+		}
+		if !p.Coalesce() {
+			t.Fatal("default params must enable coalescing")
+		}
+	})
+
+	t.Run("fields", func(t *testing.T) {
+		cfg := base
+		cfg.ServeAddr = "127.0.0.1:9000"
+		cfg.CoalesceWindow = 250 * time.Microsecond
+		cfg.CoalesceMaxJobs = 8
+		cfg.AdmissionDepth = 4
+		p, err := cfg.ServeParams()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ServeParams{Addr: "127.0.0.1:9000", CoalesceWindow: 250 * time.Microsecond, CoalesceMaxJobs: 8, AdmissionDepth: 4}
+		if p != want {
+			t.Fatalf("ServeParams() = %+v, want %+v", p, want)
+		}
+	})
+
+	t.Run("negative window disables coalescing", func(t *testing.T) {
+		cfg := base
+		cfg.CoalesceWindow = -1
+		p, err := cfg.ServeParams()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Coalesce() {
+			t.Fatalf("Coalesce() = true with window %v", p.CoalesceWindow)
+		}
+	})
+
+	t.Run("env mirrors win", func(t *testing.T) {
+		t.Setenv("FMMFAM_SERVE_ADDR", "127.0.0.1:9911")
+		t.Setenv("FMMFAM_COALESCE_WINDOW", "2ms")
+		t.Setenv("FMMFAM_COALESCE_MAXJOBS", "5")
+		t.Setenv("FMMFAM_ADMISSION_DEPTH", "7")
+		cfg := base
+		cfg.ServeAddr = "ignored:1"
+		cfg.CoalesceWindow = time.Second
+		cfg.CoalesceMaxJobs = 99
+		cfg.AdmissionDepth = 99
+		p, err := cfg.ServeParams()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ServeParams{Addr: "127.0.0.1:9911", CoalesceWindow: 2 * time.Millisecond, CoalesceMaxJobs: 5, AdmissionDepth: 7}
+		if p != want {
+			t.Fatalf("ServeParams() = %+v, want %+v", p, want)
+		}
+	})
+
+	t.Run("malformed env fails Validate", func(t *testing.T) {
+		for env, bad := range map[string]string{
+			"FMMFAM_COALESCE_WINDOW":  "fast",
+			"FMMFAM_COALESCE_MAXJOBS": "many",
+			"FMMFAM_ADMISSION_DEPTH":  "-2",
+		} {
+			t.Setenv(env, bad)
+			if _, err := base.ServeParams(); err == nil {
+				t.Errorf("%s=%q: ServeParams() accepted", env, bad)
+			}
+			if err := base.Validate(); err == nil {
+				t.Errorf("%s=%q: Validate() accepted", env, bad)
+			}
+			t.Setenv(env, "")
+		}
+	})
 }

@@ -49,6 +49,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"time"
 
 	"fmmfam/internal/autotune"
 	"fmmfam/internal/core"
@@ -181,6 +182,38 @@ type Config struct {
 	// in 20). Validate rejects values outside [0, 0.5].
 	AutotuneFraction float64
 
+	// ServeAddr is the listen address of the fmmserve wire front-end
+	// (cmd/fmmserve, package serve). Empty means DefaultServeAddr. The
+	// FMMFAM_SERVE_ADDR environment variable overrides this field without
+	// recompiling. The in-library MulAdd/MulAddBatch/MulAddAsync surfaces
+	// ignore it.
+	ServeAddr string
+	// CoalesceWindow bounds how long the wire front-end holds a small
+	// request open waiting for others to share a MulAddBatch dispatch with:
+	// the first request of a window arms the timer, and the window flushes
+	// when it fires or when CoalesceMaxJobs requests have joined, whichever
+	// is first. 0 means DefaultCoalesceWindow; negative disables coalescing
+	// (every request dispatches individually). The FMMFAM_COALESCE_WINDOW
+	// environment variable (a Go duration string, e.g. "250us" or "-1ms" to
+	// disable) overrides this field.
+	CoalesceWindow time.Duration
+	// CoalesceMaxJobs caps how many requests one coalescing window collects
+	// before flushing regardless of the timer. 0 means
+	// DefaultCoalesceMaxJobs; Validate rejects negatives (disable
+	// coalescing with a negative CoalesceWindow instead). The
+	// FMMFAM_COALESCE_MAXJOBS environment variable overrides this field.
+	CoalesceMaxJobs int
+	// AdmissionDepth bounds the wire front-end's in-flight work — requests
+	// admitted to compute (or queued async) but not yet completed. At the
+	// bound, new work is refused with HTTP 429 and a Retry-After hint
+	// instead of queueing unbounded: the same backpressure contract as the
+	// async layer's bounded queue, except rejecting instead of blocking
+	// (a blocked HTTP handler would just move the unbounded queue into the
+	// kernel's accept backlog). 0 means DefaultAdmissionDepth; Validate
+	// rejects negatives. The FMMFAM_ADMISSION_DEPTH environment variable
+	// overrides this field.
+	AdmissionDepth int
+
 	// Calibrate, when set, replaces the Arch passed to NewMultiplier with
 	// machine constants measured at construction time (model.Calibrate:
 	// a GEMM probe for τa through the configured kernel and a bandwidth
@@ -266,7 +299,102 @@ const (
 	// DefaultPlanCacheCap bounds the plan cache; each plan is a few KiB of
 	// coefficient lists (workspace pools are attached but drain when idle).
 	DefaultPlanCacheCap = 64
+	// DefaultServeAddr is the wire front-end's default listen address.
+	DefaultServeAddr = ":8077"
+	// DefaultCoalesceWindow is the default coalescing window: long enough
+	// that a 64-client small-matrix workload fills windows by count, short
+	// enough that an isolated request pays well under a millisecond of
+	// added latency.
+	DefaultCoalesceWindow = 500 * time.Microsecond
+	// DefaultCoalesceMaxJobs is the default per-window job cap — sized so a
+	// full window amortizes one pool dispatch across a few dozen small
+	// products without the flush's MulAddBatch becoming a latency cliff.
+	DefaultCoalesceMaxJobs = 32
+	// DefaultAdmissionDepth is the default bound on the wire front-end's
+	// in-flight work before it starts refusing with 429.
+	DefaultAdmissionDepth = 256
 )
+
+// ServeParams is the resolved wire-serving configuration: Config's serve
+// knobs after applying their environment-variable mirrors and defaults.
+// Build one with Config.ServeParams; package serve and cmd/fmmserve consume
+// it.
+type ServeParams struct {
+	// Addr is the resolved listen address.
+	Addr string
+	// CoalesceWindow is the resolved window duration; ≤ 0 means coalescing
+	// is disabled (see Coalesce).
+	CoalesceWindow time.Duration
+	// CoalesceMaxJobs is the resolved per-window job cap.
+	CoalesceMaxJobs int
+	// AdmissionDepth is the resolved in-flight work bound.
+	AdmissionDepth int
+}
+
+// Coalesce reports whether small-request coalescing is enabled.
+func (p ServeParams) Coalesce() bool { return p.CoalesceWindow > 0 }
+
+// ServeParams resolves the serve knobs (ServeAddr, CoalesceWindow,
+// CoalesceMaxJobs, AdmissionDepth) against their environment mirrors
+// (FMMFAM_SERVE_ADDR, FMMFAM_COALESCE_WINDOW, FMMFAM_COALESCE_MAXJOBS,
+// FMMFAM_ADMISSION_DEPTH — each wins over its field when set) and fills
+// defaults. A malformed mirror value is an error here and from Validate, so
+// a deployment typo fails at startup rather than silently serving defaults.
+func (c Config) ServeParams() (ServeParams, error) {
+	return resolveServe(c)
+}
+
+func resolveServe(c Config) (ServeParams, error) {
+	p := ServeParams{
+		Addr:            c.ServeAddr,
+		CoalesceWindow:  c.CoalesceWindow,
+		CoalesceMaxJobs: c.CoalesceMaxJobs,
+		AdmissionDepth:  c.AdmissionDepth,
+	}
+	if v := os.Getenv("FMMFAM_SERVE_ADDR"); v != "" {
+		p.Addr = v
+	}
+	if v := os.Getenv("FMMFAM_COALESCE_WINDOW"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return ServeParams{}, fmt.Errorf("fmmfam: FMMFAM_COALESCE_WINDOW=%q, need a duration (e.g. 250us; negative disables coalescing)", v)
+		}
+		p.CoalesceWindow = d
+	}
+	if v := os.Getenv("FMMFAM_COALESCE_MAXJOBS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return ServeParams{}, fmt.Errorf("fmmfam: FMMFAM_COALESCE_MAXJOBS=%q, need an integer ≥ 0 (0 = default %d)", v, DefaultCoalesceMaxJobs)
+		}
+		p.CoalesceMaxJobs = n
+	}
+	if v := os.Getenv("FMMFAM_ADMISSION_DEPTH"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return ServeParams{}, fmt.Errorf("fmmfam: FMMFAM_ADMISSION_DEPTH=%q, need an integer ≥ 0 (0 = default %d)", v, DefaultAdmissionDepth)
+		}
+		p.AdmissionDepth = n
+	}
+	if p.CoalesceMaxJobs < 0 {
+		return ServeParams{}, fmt.Errorf("fmmfam: CoalesceMaxJobs=%d, need ≥ 0 (0 = default %d; disable coalescing with a negative CoalesceWindow)", p.CoalesceMaxJobs, DefaultCoalesceMaxJobs)
+	}
+	if p.AdmissionDepth < 0 {
+		return ServeParams{}, fmt.Errorf("fmmfam: AdmissionDepth=%d, need ≥ 0 (0 = default %d)", p.AdmissionDepth, DefaultAdmissionDepth)
+	}
+	if p.Addr == "" {
+		p.Addr = DefaultServeAddr
+	}
+	if p.CoalesceWindow == 0 {
+		p.CoalesceWindow = DefaultCoalesceWindow
+	}
+	if p.CoalesceMaxJobs == 0 {
+		p.CoalesceMaxJobs = DefaultCoalesceMaxJobs
+	}
+	if p.AdmissionDepth == 0 {
+		p.AdmissionDepth = DefaultAdmissionDepth
+	}
+	return p, nil
+}
 
 // DefaultConfig returns the single-threaded default blocking with default
 // serving knobs.
@@ -291,7 +419,9 @@ func (c Config) gemmConfig() gemm.Config {
 // backend's micro-tile (MC ≥ MR, KC ≥ 1, NC ≥ NR) with at least one worker —
 // those driver-facing rules are checked by gemm.ValidateFor, the single
 // source — and the serving knobs that have no negative sentinel
-// (ShardMinTile, QueueWorkers, QueueDepth) must be non-negative.
+// (ShardMinTile, QueueWorkers, QueueDepth, CoalesceMaxJobs, AdmissionDepth)
+// must be non-negative, with the serve knobs' environment mirrors required
+// to parse (see Config.ServeParams).
 // NewMultiplier (and NewMultiplier32, which validates against the float32
 // registry instead) records the result and surfaces it from every entry
 // point, so an invalid config fails fast instead of computing with nonsense
@@ -318,6 +448,9 @@ func validateConfig[E matrix.Element](c Config) error {
 		return err
 	}
 	if _, _, err := resolveAutotune(c); err != nil {
+		return err
+	}
+	if _, err := resolveServe(c); err != nil {
 		return err
 	}
 	return nil

@@ -4,11 +4,13 @@ import (
 	"go/ast"
 	"go/types"
 	"path/filepath"
+	"strings"
 )
 
 // DetOrder enforces the engine's determinism contract in the packages where
 // floating-point results are folded: fmmexec's term loops, gemm's blocked
-// loops, shard's tile fold, and the multiplier's sharded reduction.
+// loops, shard's tile fold, the multiplier's sharded reduction, and the
+// serve package's coalescing/dispatch layer.
 //
 // Two rules:
 //
@@ -23,17 +25,22 @@ import (
 //     statement bypasses the pool's bounded worker budget (oversubscribing
 //     the machine under concurrent callers) and its deterministic
 //     cost-sorted seeding. PR 6 removed exactly such a fan-out; this rule
-//     keeps it out.
+//     keeps it out. A go statement whose line carries an //fmm:go-ok
+//     comment is waived — that is for bounded service-lifecycle goroutines
+//     (a shutdown watcher, a listener loop), never for compute fan-out, and
+//     the comment must say why.
 var DetOrder = &Analyzer{
 	Name: "detorder",
 	Doc: `forbid nondeterministic fold order and bare goroutine fan-out
 
-In internal/fmmexec, internal/gemm, internal/shard, and multiplier.go:
-ranging over a map while the loop body writes slice/array elements or calls
-matrix mutators is forbidden (map order is random; fold order into C is part
-of the bit-reproducibility contract — iterate a sorted key slice instead),
-and bare go statements are forbidden (all fan-out goes through
-internal/sched's bounded pool).`,
+In internal/fmmexec, internal/gemm, internal/shard, serve, and
+multiplier.go: ranging over a map while the loop body writes slice/array
+elements or calls matrix mutators is forbidden (map order is random; fold
+order into C is part of the bit-reproducibility contract — iterate a sorted
+key slice instead), and bare go statements are forbidden (all fan-out goes
+through internal/sched's bounded pool; a bounded service-lifecycle
+goroutine may be waived with a //fmm:go-ok comment on its line explaining
+why).`,
 	Run: runDetOrder,
 }
 
@@ -43,6 +50,25 @@ var detOrderPkgs = map[string]bool{
 	"fmmexec": true,
 	"gemm":    true,
 	"shard":   true,
+	"serve":   true,
+}
+
+// goOKDirective waives the bare-go rule for the go statement on its line —
+// the escape hatch for bounded service-lifecycle goroutines in scoped
+// packages (mirroring hotpathalloc's //fmm:alloc-ok).
+const goOKDirective = "fmm:go-ok"
+
+// goOKLines collects the lines carrying an //fmm:go-ok waiver.
+func goOKLines(pass *Pass, file *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, goOKDirective) {
+				lines[pass.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
 }
 
 // matMutators are methods that mutate a matrix or reduction buffer in place.
@@ -61,10 +87,14 @@ func runDetOrder(pass *Pass) error {
 		if !scoped {
 			continue
 		}
+		goOK := goOKLines(pass, file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
-				pass.Reportf(n.Pos(), "bare go statement: route fan-out through internal/sched so the worker budget stays bounded and seeding deterministic")
+				if goOK[pass.Fset.Position(n.Pos()).Line] {
+					return true
+				}
+				pass.Reportf(n.Pos(), "bare go statement: route fan-out through internal/sched so the worker budget stays bounded and seeding deterministic (annotate the line //fmm:go-ok only for bounded service-lifecycle goroutines)")
 			case *ast.RangeStmt:
 				if isMapType(pass.Info.Types[n.X].Type) {
 					checkMapRangeBody(pass, n)

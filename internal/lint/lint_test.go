@@ -17,6 +17,7 @@ func TestFixtures(t *testing.T) {
 		{RentRelease, "rentrelease"},
 		{HotPathAlloc, "hotpathalloc"},
 		{DetOrder, "gemm"},  // in scope: final path element matches
+		{DetOrder, "serve"}, // in scope: serving front-end, with //fmm:go-ok waivers
 		{DetOrder, "other"}, // out of scope: same constructs, no diagnostics
 		{LockSafe, "locksafe"},
 	}

@@ -55,7 +55,8 @@ func TestRepoClean(t *testing.T) {
 func TestSeededViolations(t *testing.T) {
 	root := repoRoot(t)
 	cases := []struct {
-		name     string   // subtest, also the reporting analyzer
+		name     string   // subtest, also the reporting analyzer unless analyzer is set
+		analyzer string   // reporting analyzer when it differs from name
 		file     string   // module-relative path of the seeded overlay file
 		src      string   // seeded source
 		wantSubs []string // substrings the diagnostic must contain
@@ -97,6 +98,20 @@ func seededHotAlloc(n int) []float64 {
 
 func seededBareGo(done chan struct{}) {
 	go func() { close(done) }()
+}
+`,
+			wantSubs: []string{"seeded_violation.go", "bare go statement", "internal/sched"},
+		},
+		{
+			name:     "detorder-serve",
+			analyzer: "detorder",
+			file:     "serve/seeded_violation.go",
+			src: `package serve
+
+func seededServeFanout(jobs []func()) {
+	for _, j := range jobs {
+		go j()
+	}
 }
 `,
 			wantSubs: []string{"seeded_violation.go", "bare go statement", "internal/sched"},
@@ -145,9 +160,13 @@ func seededWorkspaceCopy(ws gemm.Workspace[float64]) *gemm.Workspace[float64] {
 					t.Errorf("no seeded diagnostic mentions %q; got %v", want, seeded)
 				}
 			}
+			wantAnalyzer := tc.analyzer
+			if wantAnalyzer == "" {
+				wantAnalyzer = tc.name
+			}
 			for _, d := range seeded {
-				if d.Analyzer != tc.name {
-					t.Errorf("seeded violation reported by %s, want %s: %s", d.Analyzer, tc.name, d)
+				if d.Analyzer != wantAnalyzer {
+					t.Errorf("seeded violation reported by %s, want %s: %s", d.Analyzer, wantAnalyzer, d)
 				}
 			}
 		})

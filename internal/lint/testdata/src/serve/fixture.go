@@ -1,0 +1,57 @@
+// Package serve is the detorder fixture for the serving front-end scope
+// (final import-path element "serve"): bare go statements are reported,
+// //fmm:go-ok-waived service-lifecycle goroutines are not, and map-range
+// fold-order rules apply like in the engine packages.
+package serve
+
+import "sync"
+
+type Mat struct{ Data []float64 }
+
+func (m *Mat) AddScaled(alpha float64, b *Mat) {
+	for i := range m.Data {
+		m.Data[i] += alpha * b.Data[i]
+	}
+}
+
+// --- violations ---
+
+func badComputeFanout(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func() { // want `bare go statement`
+			defer wg.Done()
+			j()
+		}()
+	}
+	wg.Wait()
+}
+
+func badMapRangeFold(pending map[uint64]*Mat, c *Mat) {
+	for _, m := range pending {
+		c.AddScaled(1, m) // want `matrix mutator Mat\.AddScaled called inside range over map`
+	}
+}
+
+// --- compliant ---
+
+// A bounded service-lifecycle goroutine (shutdown watcher, listener loop)
+// carries an //fmm:go-ok waiver naming its reason.
+func okLifecycleWatcher(done <-chan struct{}, release func(), wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { //fmm:go-ok: bounded shutdown watcher, joined by Close
+		defer wg.Done()
+		<-done
+		release()
+	}()
+}
+
+// Snapshotting counters out of a map into another map is order-independent.
+func okStatsSnapshot(hist map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(hist))
+	for k, v := range hist {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package serve_test
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+
+	"fmmfam"
+	"fmmfam/serve"
+	"fmmfam/serve/servetest"
+)
+
+// BenchmarkServeCoalesce measures small-request serving throughput with the
+// coalescing window on vs off, many concurrent clients hammering one
+// /v1/multiply endpoint with 32³ products — the amortization regime the
+// window exists for. CI pins the coalesce/direct ratio; the gate lives there
+// rather than here so a noisy single-CPU dev box doesn't flake the suite.
+func BenchmarkServeCoalesce(b *testing.B) {
+	modes := []struct {
+		name   string
+		window time.Duration
+	}{
+		{"coalesce", 200 * time.Microsecond},
+		{"direct", -1},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := fmmfam.DefaultConfig().Parallel()
+			cfg.CoalesceWindow = mode.window
+			cfg.CoalesceMaxJobs = 64
+			cfg.AdmissionDepth = 1024
+			h, err := servetest.Start(cfg, fmmfam.PaperArch())
+			if err != nil {
+				b.Fatalf("servetest.Start: %v", err)
+			}
+			defer h.Close()
+
+			rng := rand.New(rand.NewSource(1))
+			a, bb := fmmfam.NewMatrix(32, 32), fmmfam.NewMatrix(32, 32)
+			a.FillRand(rng)
+			bb.FillRand(rng)
+			frame := serve.AppendRequest[float64](nil, a, bb)
+
+			b.SetParallelism(32) // a flood: ~32·GOMAXPROCS concurrent clients
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				tr := &http.Transport{}
+				defer tr.CloseIdleConnections()
+				cl := &http.Client{Transport: tr}
+				for pb.Next() {
+					resp, err := cl.Post(h.URL+"/v1/multiply", "application/octet-stream", bytes.NewReader(frame))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					_, cpErr := io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if cpErr != nil || resp.StatusCode != http.StatusOK {
+						b.Errorf("status %d, body err %v", resp.StatusCode, cpErr)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			st, err := h.Client().Stats()
+			if err != nil {
+				b.Fatalf("stats: %v", err)
+			}
+			if st.Coalesce64.Batches > 0 {
+				b.ReportMetric(float64(st.Coalesce64.Jobs)/float64(st.Coalesce64.Batches), "jobs/batch")
+			}
+		})
+	}
+}

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fmmfam"
+	"fmmfam/internal/matrix"
+)
+
+// ErrServerClosed is reported for work submitted after shutdown began.
+var ErrServerClosed = errors.New("serve: server closed")
+
+// coalesceSizeLimit is the threshold below which a multiply request is
+// coalesced instead of dispatched directly: requests with max(m,k,n) ≤ this
+// join a window and ship as one MulAddBatch. 128 keeps coalescing to the
+// regime where per-call overhead (HTTP handling, plan-cache lookup, pool
+// dispatch) is comparable to the product itself — the small-matrix
+// ML-inference traffic the batch path amortizes — while anything larger
+// goes straight to MulAdd, whose auto-sharding and intra-plan parallelism
+// want the whole worker pool, not a single-threaded batch slot.
+const coalesceSizeLimit = 128
+
+// coalescer collects small multiply requests into time/size-bounded windows
+// and dispatches each window as one MulAddBatch, amortizing plan lookup and
+// pool scheduling across the window. The first request of a window arms a
+// timer (ServeParams.CoalesceWindow); the window flushes when the timer
+// fires or when CoalesceMaxJobs requests have joined, whichever happens
+// first. No dedicated dispatcher goroutine exists: a size-triggered flush
+// runs the batch on the submitter that filled the window, and a
+// time-triggered flush runs on the timer's callback goroutine — every
+// waiter blocks on its window's done channel either way.
+//
+// Error granularity is per window: MulAddBatch joins per-job errors, and
+// the join is reported to every waiter of the window. Requests are
+// dimension-checked at decode time, so a window error is systemic (an
+// invalid engine config), not one job's bad input taking out its
+// neighbours.
+type coalescer[E matrix.Element] struct {
+	mul     *fmmfam.GenericMultiplier[E]
+	window  time.Duration
+	maxJobs int
+
+	mtx    sync.Mutex
+	closed bool
+	open   *coalesceWindow[E] // the accepting window, nil when none
+
+	// Observability counters, read by Stats.
+	batches      atomic.Uint64 // windows dispatched
+	jobs         atomic.Uint64 // requests that went through a window
+	sizeFlushes  atomic.Uint64 // windows flushed by reaching maxJobs
+	timerFlushes atomic.Uint64 // windows flushed by the timer
+}
+
+// coalesceWindow is one batch in the making: its jobs, the timer racing the
+// size bound, and the done channel its waiters block on. err is written
+// once before done is closed.
+type coalesceWindow[E matrix.Element] struct {
+	jobs  []fmmfam.GenericBatchJob[E]
+	timer *time.Timer
+	done  chan struct{}
+	err   error
+}
+
+func newCoalescer[E matrix.Element](mul *fmmfam.GenericMultiplier[E], p fmmfam.ServeParams) *coalescer[E] {
+	return &coalescer[E]{mul: mul, window: p.CoalesceWindow, maxJobs: p.CoalesceMaxJobs}
+}
+
+// submit adds c += a·b to the open window (opening one if needed) and
+// blocks until the window's batch has executed. Exactly one goroutine runs
+// each window: the submitter that fills it, or the timer callback — the
+// detach-under-lock handshake in submit and flushTimer guarantees a window
+// is taken off co.open exactly once.
+func (co *coalescer[E]) submit(c, a, b matrix.Mat[E]) error {
+	co.mtx.Lock()
+	if co.closed {
+		co.mtx.Unlock()
+		return ErrServerClosed
+	}
+	w := co.open
+	if w == nil {
+		w = &coalesceWindow[E]{done: make(chan struct{})}
+		w.timer = time.AfterFunc(co.window, func() { co.flushTimer(w) })
+		co.open = w
+	}
+	w.jobs = append(w.jobs, fmmfam.GenericBatchJob[E]{C: c, A: a, B: b})
+	full := len(w.jobs) >= co.maxJobs
+	if full {
+		co.open = nil // detached: the timer callback will find co.open != w and stand down
+	}
+	co.mtx.Unlock()
+	if full {
+		w.timer.Stop()
+		co.sizeFlushes.Add(1)
+		co.run(w)
+	}
+	<-w.done
+	return w.err
+}
+
+// flushTimer is the timer callback: detach the window if it is still the
+// accepting one and run it. When the size path (or close) detached it
+// first, that path owns the flush and this callback stands down.
+func (co *coalescer[E]) flushTimer(w *coalesceWindow[E]) {
+	co.mtx.Lock()
+	if co.open != w {
+		co.mtx.Unlock()
+		return
+	}
+	co.open = nil
+	co.mtx.Unlock()
+	co.timerFlushes.Add(1)
+	co.run(w)
+}
+
+// run executes a detached window and releases its waiters.
+func (co *coalescer[E]) run(w *coalesceWindow[E]) {
+	w.err = co.mul.MulAddBatch(w.jobs)
+	co.batches.Add(1)
+	co.jobs.Add(uint64(len(w.jobs)))
+	close(w.done)
+}
+
+// close flushes the open window (its waiters complete normally) and fails
+// all later submits with ErrServerClosed. Idempotent.
+func (co *coalescer[E]) close() {
+	co.mtx.Lock()
+	co.closed = true
+	w := co.open
+	co.open = nil
+	co.mtx.Unlock()
+	if w != nil {
+		w.timer.Stop()
+		co.run(w)
+	}
+}
+
+// snapshot reads the counters for Stats.
+func (co *coalescer[E]) snapshot() CoalesceStats {
+	return CoalesceStats{
+		Enabled:      true,
+		WindowNS:     co.window.Nanoseconds(),
+		MaxJobs:      co.maxJobs,
+		Batches:      co.batches.Load(),
+		Jobs:         co.jobs.Load(),
+		SizeFlushes:  co.sizeFlushes.Load(),
+		TimerFlushes: co.timerFlushes.Load(),
+	}
+}

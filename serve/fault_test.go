@@ -1,0 +1,253 @@
+// Fault-path tests: malformed payloads, dimension mismatches, oversized
+// requests, queue-full 429s with a Retry-After that is actually honored, and
+// shutdown racing in-flight work.
+package serve_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"fmmfam"
+	"fmmfam/serve"
+	"fmmfam/serve/servetest"
+)
+
+// postRaw posts raw bytes to a harness endpoint and returns the status.
+func postRaw(t *testing.T, h *servetest.Harness, path string, body []byte) int {
+	t.Helper()
+	resp, err := http.Post(h.URL+path, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestServeMalformedRequests drives each decode failure through the real
+// HTTP stack and checks the mapped status: frame-shape garbage is a client
+// error (400), anything that tripped a size cap is 413, and none of it may
+// consume an admission slot or count as a completed request.
+func TestServeMalformedRequests(t *testing.T) {
+	h := startHarness(t, serveCfg())
+	defer h.Close()
+
+	a, b := fmmfam.NewMatrix(2, 3), fmmfam.NewMatrix(3, 2)
+	good := serve.AppendRequest[float64](nil, a, b)
+
+	badMagic := append([]byte("NOPE"), good[4:]...)
+	badDtype := append([]byte(nil), good...)
+	badDtype[4] = 99
+	trailing := append(append([]byte(nil), good...), 0xAB)
+	oversize := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(oversize[5:], 1<<20) // m far past MaxDim
+
+	cases := []struct {
+		name string
+		path string
+		body []byte
+		want int
+	}{
+		{"empty-body", "/v1/multiply", nil, http.StatusBadRequest},
+		{"bad-magic", "/v1/multiply", badMagic, http.StatusBadRequest},
+		{"bad-dtype", "/v1/multiply", badDtype, http.StatusBadRequest},
+		{"truncated", "/v1/multiply", good[:len(good)-5], http.StatusBadRequest},
+		{"trailing", "/v1/multiply", trailing, http.StatusBadRequest},
+		{"oversize-dims", "/v1/multiply", oversize, http.StatusRequestEntityTooLarge},
+		{"async-bad-magic", "/v1/async", badMagic, http.StatusBadRequest},
+		{"batch-no-count", "/v1/batch", []byte{1, 2}, http.StatusBadRequest},
+		{"batch-count-overrun", "/v1/batch", func() []byte {
+			body := make([]byte, 4)
+			binary.LittleEndian.PutUint32(body, 3) // claims 3 frames, carries 1
+			return append(body, good...)
+		}(), http.StatusBadRequest},
+		{"batch-count-cap", "/v1/batch", func() []byte {
+			body := make([]byte, 4)
+			binary.LittleEndian.PutUint32(body, 1<<20)
+			return append(body, good...)
+		}(), http.StatusRequestEntityTooLarge},
+		{"batch-trailing", "/v1/batch", func() []byte {
+			body := make([]byte, 4)
+			binary.LittleEndian.PutUint32(body, 1)
+			return append(append(body, good...), 0xCD)
+		}(), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := postRaw(t, h, tc.path, tc.body); got != tc.want {
+				t.Fatalf("POST %s (%s) = %d, want %d", tc.path, tc.name, got, tc.want)
+			}
+		})
+	}
+
+	// Unknown and malformed async ids.
+	for _, tc := range []struct {
+		id   string
+		want int
+	}{{"999999", http.StatusNotFound}, {"not-a-number", http.StatusBadRequest}} {
+		resp, err := http.Get(h.URL + "/v1/async/" + tc.id)
+		if err != nil {
+			t.Fatalf("GET /v1/async/%s: %v", tc.id, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET /v1/async/%s = %d, want %d", tc.id, resp.StatusCode, tc.want)
+		}
+	}
+
+	st, err := h.Client().Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Completed != 0 {
+		t.Errorf("malformed requests counted as completed: %d", st.Completed)
+	}
+	if st.Admission.InFlight != 0 {
+		t.Errorf("malformed requests left %d admission slots held", st.Admission.InFlight)
+	}
+	if st.Admission.Admitted != 0 {
+		t.Errorf("malformed requests acquired %d admission slots before failing decode", st.Admission.Admitted)
+	}
+}
+
+// TestServeAdmissionControl fills the admission gate with slow async work,
+// checks that the next request is refused with 429 + Retry-After, and that a
+// client honoring the hint eventually gets through once the gate drains.
+func TestServeAdmissionControl(t *testing.T) {
+	cfg := serveCfg()
+	cfg.AdmissionDepth = 2
+	cfg.CoalesceWindow = -1 // direct dispatch keeps slot accounting deterministic
+	cfg.Threads = 1         // one worker: the second job queues behind the first
+	h := startHarness(t, cfg)
+	defer h.Close()
+	cl := h.Client()
+
+	rng := rand.New(rand.NewSource(5))
+	// Chunky products on a single worker: the first job alone runs for
+	// hundreds of milliseconds, so both admission slots stay held (one
+	// executing, one queued) long after the submit round-trips return.
+	a, b := fmmfam.NewMatrix(512, 512), fmmfam.NewMatrix(512, 512)
+	a.FillRand(rng)
+	b.FillRand(rng)
+	var handles []*serve.AsyncHandle
+	for i := 0; i < 2; i++ {
+		hnd, err := cl.SubmitAsync(fmmfam.NewMatrix(512, 512), a, b)
+		if err != nil {
+			t.Fatalf("SubmitAsync %d: %v", i, err)
+		}
+		handles = append(handles, hnd)
+	}
+
+	// Gate is full: a bare client (no retry budget) must see 429 with a
+	// usable Retry-After.
+	sa, sb := fmmfam.NewMatrix(8, 8), fmmfam.NewMatrix(8, 8)
+	sa.FillRand(rng)
+	sb.FillRand(rng)
+	err := cl.Multiply(fmmfam.NewMatrix(8, 8), sa, sb)
+	var herr *serve.HTTPError
+	if !errors.As(err, &herr) || herr.Status != http.StatusTooManyRequests {
+		t.Fatalf("multiply against a full gate = %v, want HTTP 429", err)
+	}
+	if herr.RetryAfter <= 0 {
+		t.Fatalf("429 carried no Retry-After hint: %+v", herr)
+	}
+
+	// A client that honors Retry-After succeeds once the async work drains.
+	patient := h.Client()
+	patient.Retry429 = 10
+	if err := patient.Multiply(fmmfam.NewMatrix(8, 8), sa, sb); err != nil {
+		t.Fatalf("retrying multiply never got through: %v", err)
+	}
+
+	for i, hnd := range handles {
+		if err := hnd.Collect(); err != nil {
+			t.Fatalf("Collect %d: %v", i, err)
+		}
+	}
+
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Admission.Rejected == 0 {
+		t.Errorf("stats: no rejections recorded after observed 429s: %+v", st.Admission)
+	}
+	if st.Admission.InFlight != 0 {
+		t.Errorf("stats: %d slots still held after all work drained", st.Admission.InFlight)
+	}
+}
+
+// TestServeShutdown covers both halves of shutdown: an in-flight request
+// racing harness teardown completes cleanly (HTTP drains before compute
+// closes), and requests after Server.Close get a clean 503, not a hang.
+func TestServeShutdown(t *testing.T) {
+	t.Run("in-flight-completes", func(t *testing.T) {
+		h := startHarness(t, serveCfg())
+		rng := rand.New(rand.NewSource(9))
+		a, b := fmmfam.NewMatrix(320, 320), fmmfam.NewMatrix(320, 320)
+		a.FillRand(rng)
+		b.FillRand(rng)
+		cl := h.Client()
+
+		var wg sync.WaitGroup
+		var mulErr error
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mulErr = cl.Multiply(fmmfam.NewMatrix(320, 320), a, b)
+		}()
+		// Close only after the request has demonstrably reached the engine
+		// (it holds an admission slot) — a fixed sleep flakes on a loaded
+		// single-core runner where the client goroutine may not have dialed
+		// yet.
+		admitDeadline := time.Now().Add(10 * time.Second)
+		for {
+			st, err := h.Client().Stats()
+			if err != nil {
+				t.Fatalf("stats while waiting for admission: %v", err)
+			}
+			if st.Admission.Admitted >= 1 {
+				break
+			}
+			if time.Now().After(admitDeadline) {
+				t.Fatal("multiply never acquired an admission slot")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if err := h.Close(); err != nil {
+			t.Fatalf("Close with work in flight: %v", err)
+		}
+		wg.Wait()
+		if mulErr != nil {
+			t.Fatalf("in-flight multiply failed during shutdown: %v", mulErr)
+		}
+	})
+
+	t.Run("post-close-503", func(t *testing.T) {
+		h := startHarness(t, serveCfg())
+		defer h.Close()
+		// Close compute directly while the listener still accepts: the
+		// handler must answer 503 ErrServerClosed, never hang on a closed
+		// engine.
+		if err := h.Server.Close(); err != nil {
+			t.Fatalf("Server.Close: %v", err)
+		}
+		rng := rand.New(rand.NewSource(13))
+		a, b := fmmfam.NewMatrix(16, 16), fmmfam.NewMatrix(16, 16)
+		a.FillRand(rng)
+		b.FillRand(rng)
+		err := h.Client().Multiply(fmmfam.NewMatrix(16, 16), a, b)
+		var herr *serve.HTTPError
+		if !errors.As(err, &herr) || herr.Status != http.StatusServiceUnavailable {
+			t.Fatalf("multiply after Close = %v, want HTTP 503", err)
+		}
+		if _, err := h.Client().SubmitAsync(fmmfam.NewMatrix(16, 16), a, b); !errors.As(err, &herr) || herr.Status != http.StatusServiceUnavailable {
+			t.Fatalf("async submit after Close = %v, want HTTP 503", err)
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"fmmfam"
+	"fmmfam/internal/matrix"
+	"fmmfam/serve"
+)
+
+// FuzzServeRequest fuzzes the wire request decoder — the one parser that
+// faces raw network bytes. Invariants on any input: no panic; on error, no
+// partial matrices escape; on success, the header is within the advertised
+// caps and re-encoding the decoded matrices reproduces the input frame
+// byte-for-byte (the codec is a bijection on valid frames).
+// scripts/fuzz_smoke.sh picks this target up by Fuzz* discovery.
+func FuzzServeRequest(f *testing.F) {
+	a, b := fmmfam.NewMatrix(2, 3), fmmfam.NewMatrix(3, 4)
+	for i := range a.Data {
+		a.Data[i] = float64(i) * 0.5
+	}
+	for i := range b.Data {
+		b.Data[i] = -float64(i)
+	}
+	a32, b32 := fmmfam.NewMatrix32(3, 2), fmmfam.NewMatrix32(2, 1)
+	f.Add(serve.AppendRequest[float64](nil, a, b))
+	f.Add(serve.AppendRequest[float32](nil, a32, b32))
+	f.Add([]byte("FMM1"))                                                     // truncated header
+	f.Add([]byte("NOPE\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00")) // bad magic
+	f.Add(append(serve.AppendRequest[float64](nil, a, b), 0x00))              // trailing byte
+	huge := serve.AppendRequest[float64](nil, fmmfam.NewMatrix(1, 1), fmmfam.NewMatrix(1, 1))
+	binary.LittleEndian.PutUint32(huge[5:], 1<<31-1) // absurd m
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, a64, b64, af32, bf32, err := serve.DecodeRequest(data)
+		if err != nil {
+			if a64.Data != nil || b64.Data != nil || af32.Data != nil || bf32.Data != nil {
+				t.Fatalf("decode error %v but partial matrices escaped", err)
+			}
+			return
+		}
+		if h.M <= 0 || h.K <= 0 || h.N <= 0 || h.M > serve.MaxDim || h.K > serve.MaxDim || h.N > serve.MaxDim {
+			t.Fatalf("accepted out-of-cap dims %d×%d×%d", h.M, h.K, h.N)
+		}
+		if int64(h.M)*int64(h.N) > serve.MaxFrameElems {
+			t.Fatalf("accepted dims %d×%d×%d whose result alone is %d elements", h.M, h.K, h.N, int64(h.M)*int64(h.N))
+		}
+		var re []byte
+		if h.Dtype == matrix.Float32 {
+			if af32.Rows != h.M || af32.Cols != h.K || bf32.Rows != h.K || bf32.Cols != h.N {
+				t.Fatalf("float32 matrices %d×%d · %d×%d disagree with header %d×%d×%d",
+					af32.Rows, af32.Cols, bf32.Rows, bf32.Cols, h.M, h.K, h.N)
+			}
+			re = serve.AppendRequest[float32](nil, af32, bf32)
+		} else {
+			if a64.Rows != h.M || a64.Cols != h.K || b64.Rows != h.K || b64.Cols != h.N {
+				t.Fatalf("float64 matrices %d×%d · %d×%d disagree with header %d×%d×%d",
+					a64.Rows, a64.Cols, b64.Rows, b64.Cols, h.M, h.K, h.N)
+			}
+			re = serve.AppendRequest[float64](nil, a64, b64)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encode of accepted %d-byte frame produced different %d-byte frame", len(data), len(re))
+		}
+	})
+}

@@ -1,0 +1,252 @@
+// Package serve is the wire-facing serving front-end of the engine: an
+// HTTP service (binary matrix payloads, JSON control surfaces) wrapping a
+// GenericMultiplier pair (float64 + float32) with small-request coalescing
+// into MulAddBatch, bounded admission control that refuses with 429 +
+// Retry-After instead of queueing unbounded work, async submit/collect on
+// top of MulAddAsync, graceful shutdown that drains in-flight work through
+// Multiplier.Close, and a /stats endpoint exposing Multiplier.Stats plus
+// per-endpoint latency histograms.
+//
+// The wire format is deliberately dumb: a fixed little-endian header naming
+// the element type and dimensions, followed by the operands' row-major
+// bits. No compression, no self-describing schema — a multiply request is
+// decoded with two slice casts' worth of work, which matters when the
+// payloads are 32×32 matrices arriving from 64 concurrent clients.
+//
+// Endpoints (see the README "Serving over the wire" section):
+//
+//	POST /v1/multiply  one request frame  → one result frame
+//	POST /v1/batch     uint32 count + count request frames → count result frames
+//	POST /v1/async     one request frame  → 202 {"id": "..."}
+//	GET  /v1/async/{id}                   → one result frame (collect once)
+//	GET  /v1/stats                        → JSON Stats
+//	GET  /healthz                         → 200 ok
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"fmmfam/internal/matrix"
+)
+
+// Wire-format constants. A request frame is
+//
+//	magic "FMM1" | dtype uint8 | m, k, n uint32 LE | A (m·k elems) | B (k·n elems)
+//
+// and a result frame is
+//
+//	magic "FMM1" | dtype uint8 | rows, cols uint32 LE | C (rows·cols elems)
+//
+// with every element little-endian IEEE-754 in row-major order.
+const (
+	// Magic opens every frame; a mismatch fails fast with ErrBadMagic so a
+	// stray JSON or HTML body never reaches the dimension logic.
+	Magic = "FMM1"
+	// headerLen is the frame header size: magic + dtype + three uint32 dims.
+	headerLen = 4 + 1 + 3*4
+	// MaxDim caps each dimension of a wire request. It exists to bound the
+	// decoder, not the engine: a single 65536² operand is already 32 GiB of
+	// float64s, far past what one request should ship over HTTP.
+	MaxDim = 1 << 16
+	// MaxFrameElems caps the total element count of one frame's payload
+	// (both operands of a request together): 2²⁶ elements is 512 MiB of
+	// float64s. Oversized requests are refused with ErrTooLarge before any
+	// allocation happens.
+	MaxFrameElems = 1 << 26
+)
+
+// Decode failure modes, distinguished so the HTTP layer can map payload
+// size violations to 413 and everything else to 400.
+var (
+	// ErrBadMagic reports a frame that does not open with Magic.
+	ErrBadMagic = errors.New("serve: bad frame magic")
+	// ErrBadDtype reports an unknown element-type tag.
+	ErrBadDtype = errors.New("serve: unknown dtype tag")
+	// ErrTruncated reports a frame shorter than its header claims.
+	ErrTruncated = errors.New("serve: frame shorter than header dimensions require")
+	// ErrTrailing reports extra bytes after the payload the header claims.
+	ErrTrailing = errors.New("serve: trailing bytes after frame payload")
+	// ErrTooLarge reports dimensions past MaxDim or a payload past
+	// MaxFrameElems.
+	ErrTooLarge = errors.New("serve: frame exceeds size limits")
+	// ErrBadDims reports a request frame with a zero dimension. Zero dims
+	// are refused outright: a k=0 request carries no payload at all yet
+	// names an m×n result, which would let a 17-byte frame demand a
+	// gigabyte allocation.
+	ErrBadDims = errors.New("serve: zero dimension in request frame")
+)
+
+// Header is a decoded frame header: the element type and the three
+// dimensions of C(m×n) = A(m×k)·B(k×n). Result frames carry the result's
+// rows in M and cols in K, with N zero.
+type Header struct {
+	Dtype   matrix.Dtype
+	M, K, N int
+}
+
+// appendHeader writes a frame header. Result frames pass n == 0.
+func appendHeader(dst []byte, dt matrix.Dtype, m, k, n int) []byte {
+	dst = append(dst, Magic...)
+	dst = append(dst, byte(dt))
+	var dims [12]byte
+	binary.LittleEndian.PutUint32(dims[0:], uint32(m))
+	binary.LittleEndian.PutUint32(dims[4:], uint32(k))
+	binary.LittleEndian.PutUint32(dims[8:], uint32(n))
+	return append(dst, dims[:]...)
+}
+
+// DecodeHeader decodes and validates a frame header: magic, a known dtype
+// tag, and dimensions within MaxDim. It does not check the payload length —
+// the per-frame decoders do, since request and result frames size
+// differently.
+func DecodeHeader(buf []byte) (Header, error) {
+	if len(buf) < headerLen {
+		return Header{}, fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(buf), headerLen)
+	}
+	if string(buf[:4]) != Magic {
+		return Header{}, fmt.Errorf("%w: % x", ErrBadMagic, buf[:4])
+	}
+	var h Header
+	switch buf[4] {
+	case byte(matrix.Float64):
+		h.Dtype = matrix.Float64
+	case byte(matrix.Float32):
+		h.Dtype = matrix.Float32
+	default:
+		return Header{}, fmt.Errorf("%w: %d", ErrBadDtype, buf[4])
+	}
+	h.M = int(binary.LittleEndian.Uint32(buf[5:]))
+	h.K = int(binary.LittleEndian.Uint32(buf[9:]))
+	h.N = int(binary.LittleEndian.Uint32(buf[13:]))
+	if h.M > MaxDim || h.K > MaxDim || h.N > MaxDim {
+		return Header{}, fmt.Errorf("%w: dims %d×%d×%d, MaxDim %d", ErrTooLarge, h.M, h.K, h.N, MaxDim)
+	}
+	return h, nil
+}
+
+// reqElems returns the total payload element count of a request frame with
+// header h. The dims are each ≤ MaxDim = 2¹⁶, so the products stay far from
+// overflowing int64 (and int: the package requires a 64-bit platform for
+// payloads near the cap, like the rest of the engine).
+func (h Header) reqElems() int64 {
+	return int64(h.M)*int64(h.K) + int64(h.K)*int64(h.N)
+}
+
+// AppendRequest encodes one multiply request frame, C(m×n) = A·B, appending
+// to dst. The operands may be strided views; the wire always carries tight
+// row-major data.
+func AppendRequest[E matrix.Element](dst []byte, a, b matrix.Mat[E]) []byte {
+	dst = appendHeader(dst, matrix.DtypeOf[E](), a.Rows, a.Cols, b.Cols)
+	dst = appendElems(dst, a)
+	return appendElems(dst, b)
+}
+
+// DecodeRequest decodes a request frame into its operands (and the result
+// header), allocating tight backing for A and B. The payload length must
+// match the header dimensions exactly.
+func DecodeRequest(buf []byte) (h Header, a64, b64 matrix.Mat[float64], a32, b32 matrix.Mat[float32], err error) {
+	h, err = DecodeHeader(buf)
+	if err != nil {
+		return
+	}
+	if h.M < 1 || h.K < 1 || h.N < 1 {
+		err = fmt.Errorf("%w: dims %d×%d×%d", ErrBadDims, h.M, h.K, h.N)
+		return
+	}
+	// Cap the result alongside the operands: with k small, m·k + k·n can sit
+	// far under the payload cap while m·n names a huge C allocation.
+	elems := h.reqElems()
+	if elems > MaxFrameElems || int64(h.M)*int64(h.N) > MaxFrameElems {
+		err = fmt.Errorf("%w: %d payload + %d result elements, cap %d", ErrTooLarge, elems, int64(h.M)*int64(h.N), MaxFrameElems)
+		return
+	}
+	payload := buf[headerLen:]
+	want := elems * int64(h.Dtype.Size())
+	switch {
+	case int64(len(payload)) < want:
+		err = fmt.Errorf("%w: %d payload bytes, dims %d×%d×%d need %d", ErrTruncated, len(payload), h.M, h.K, h.N, want)
+		return
+	case int64(len(payload)) > want:
+		err = fmt.Errorf("%w: %d payload bytes, dims %d×%d×%d need %d", ErrTrailing, len(payload), h.M, h.K, h.N, want)
+		return
+	}
+	if h.Dtype == matrix.Float32 {
+		a32 = decodeElems[float32](payload, h.M, h.K)
+		b32 = decodeElems[float32](payload[int64(h.M)*int64(h.K)*4:], h.K, h.N)
+	} else {
+		a64 = decodeElems[float64](payload, h.M, h.K)
+		b64 = decodeElems[float64](payload[int64(h.M)*int64(h.K)*8:], h.K, h.N)
+	}
+	return
+}
+
+// AppendResult encodes one result frame (rows×cols matrix C), appending to
+// dst.
+func AppendResult[E matrix.Element](dst []byte, c matrix.Mat[E]) []byte {
+	dst = appendHeader(dst, matrix.DtypeOf[E](), c.Rows, c.Cols, 0)
+	return appendElems(dst, c)
+}
+
+// DecodeResult decodes a result frame of element type E. The frame's dtype
+// tag must match E and the payload must size to rows×cols exactly.
+func DecodeResult[E matrix.Element](buf []byte) (matrix.Mat[E], error) {
+	h, err := DecodeHeader(buf)
+	if err != nil {
+		return matrix.Mat[E]{}, err
+	}
+	if h.Dtype != matrix.DtypeOf[E]() {
+		return matrix.Mat[E]{}, fmt.Errorf("%w: result dtype %s, want %s", ErrBadDtype, h.Dtype, matrix.DtypeOf[E]())
+	}
+	elems := int64(h.M) * int64(h.K)
+	if elems > MaxFrameElems {
+		return matrix.Mat[E]{}, fmt.Errorf("%w: %d payload elements, cap %d", ErrTooLarge, elems, MaxFrameElems)
+	}
+	payload := buf[headerLen:]
+	want := elems * int64(h.Dtype.Size())
+	if int64(len(payload)) != want {
+		return matrix.Mat[E]{}, fmt.Errorf("%w: %d payload bytes, %d×%d result needs %d", ErrTruncated, len(payload), h.M, h.K, want)
+	}
+	return decodeElems[E](payload, h.M, h.K), nil
+}
+
+// appendElems appends m's elements row-major little-endian. Strided views
+// are walked row by row; the wire layout is always tight.
+func appendElems[E matrix.Element](dst []byte, m matrix.Mat[E]) []byte {
+	var scratch [8]byte
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for _, v := range row {
+			switch v := any(v).(type) {
+			case float64:
+				binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+				dst = append(dst, scratch[:8]...)
+			case float32:
+				binary.LittleEndian.PutUint32(scratch[:4], math.Float32bits(v))
+				dst = append(dst, scratch[:4]...)
+			}
+		}
+	}
+	return dst
+}
+
+// decodeElems decodes rows×cols little-endian elements from the front of
+// payload into a freshly-allocated tight matrix. The caller has already
+// checked payload is long enough.
+func decodeElems[E matrix.Element](payload []byte, rows, cols int) matrix.Mat[E] {
+	out := matrix.New[E](rows, cols)
+	if matrix.DtypeOf[E]() == matrix.Float32 {
+		data := any(out.Data).([]float32)
+		for i := range data {
+			data[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[i*4:]))
+		}
+	} else {
+		data := any(out.Data).([]float64)
+		for i := range data {
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+		}
+	}
+	return out
+}

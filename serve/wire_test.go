@@ -1,0 +1,122 @@
+package serve_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fmmfam"
+	"fmmfam/serve"
+)
+
+// TestWireRoundTrip encodes request and result frames at both precisions and
+// decodes them back, checking bit-identity (including non-finite values) and
+// that strided views encode the same bytes as dense matrices.
+func TestWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+
+	t.Run("float64", func(t *testing.T) {
+		a, b := fmmfam.NewMatrix(5, 7), fmmfam.NewMatrix(7, 3)
+		a.FillRand(rng)
+		b.FillRand(rng)
+		a.Set(0, 0, math.Inf(1))
+		a.Set(1, 2, math.NaN())
+		buf := serve.AppendRequest[float64](nil, a, b)
+		h, a64, b64, _, _, err := serve.DecodeRequest(buf)
+		if err != nil {
+			t.Fatalf("DecodeRequest: %v", err)
+		}
+		if h.M != 5 || h.K != 7 || h.N != 3 {
+			t.Fatalf("header dims %d×%d×%d, want 5×7×3", h.M, h.K, h.N)
+		}
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 7; j++ {
+				if math.Float64bits(a64.At(i, j)) != math.Float64bits(a.At(i, j)) {
+					t.Fatalf("A(%d,%d) bits changed in transit", i, j)
+				}
+			}
+		}
+		if b64.MaxAbsDiff(b) != 0 {
+			t.Fatal("B changed in transit")
+		}
+	})
+
+	t.Run("float32", func(t *testing.T) {
+		a, b := fmmfam.NewMatrix32(4, 6), fmmfam.NewMatrix32(6, 2)
+		a.FillRand(rng)
+		b.FillRand(rng)
+		buf := serve.AppendRequest[float32](nil, a, b)
+		_, _, _, a32, b32, err := serve.DecodeRequest(buf)
+		if err != nil {
+			t.Fatalf("DecodeRequest: %v", err)
+		}
+		if a32.MaxAbsDiff(a) != 0 || b32.MaxAbsDiff(b) != 0 {
+			t.Fatal("float32 payload changed in transit")
+		}
+	})
+
+	t.Run("result", func(t *testing.T) {
+		c := fmmfam.NewMatrix(3, 9)
+		c.FillRand(rng)
+		got, err := serve.DecodeResult[float64](serve.AppendResult(nil, c))
+		if err != nil {
+			t.Fatalf("DecodeResult: %v", err)
+		}
+		if got.MaxAbsDiff(c) != 0 {
+			t.Fatal("result frame changed in transit")
+		}
+	})
+
+	t.Run("strided-view", func(t *testing.T) {
+		// A view into a larger matrix must serialize its logical elements,
+		// not its backing stride.
+		big := fmmfam.NewMatrix(10, 10)
+		big.FillRand(rng)
+		view := big.View(2, 3, 4, 5)
+		dense := fmmfam.NewMatrix(4, 5)
+		dense.AddScaled(1, view)
+		id := fmmfam.NewMatrix(5, 5)
+		vb := serve.AppendRequest[float64](nil, view, id)
+		db := serve.AppendRequest[float64](nil, dense, id)
+		if len(vb) != len(db) {
+			t.Fatalf("view frame %d bytes, dense frame %d", len(vb), len(db))
+		}
+		for i := range vb {
+			if vb[i] != db[i] {
+				t.Fatalf("view and dense frames diverge at byte %d", i)
+			}
+		}
+	})
+}
+
+// TestWireDecodeErrors drives each decoder failure mode and checks the
+// sentinel it maps to.
+func TestWireDecodeErrors(t *testing.T) {
+	a, b := fmmfam.NewMatrix(2, 3), fmmfam.NewMatrix(3, 2)
+	good := serve.AppendRequest[float64](nil, a, b)
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, serve.ErrTruncated},
+		{"short-header", good[:10], serve.ErrTruncated},
+		{"bad-magic", append([]byte("NOPE"), good[4:]...), serve.ErrBadMagic},
+		{"bad-dtype", func() []byte { c := append([]byte(nil), good...); c[4] = 99; return c }(), serve.ErrBadDtype},
+		{"truncated-payload", good[:len(good)-8], serve.ErrTruncated},
+		{"trailing-bytes", append(append([]byte(nil), good...), 0xFF), serve.ErrTrailing},
+		{"oversize-dim", func() []byte {
+			c := append([]byte(nil), good...)
+			c[5], c[6], c[7], c[8] = 0xFF, 0xFF, 0xFF, 0x00 // m = 2^24-1 > MaxDim
+			return c
+		}(), serve.ErrTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, _, _, _, err := serve.DecodeRequest(tc.buf); !errors.Is(err, tc.want) {
+				t.Fatalf("DecodeRequest(%s) = %v, want %v", tc.name, err, tc.want)
+			}
+		})
+	}
+}
