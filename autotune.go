@@ -292,6 +292,14 @@ type ShapeTuning struct {
 // every shape class's bandit — per-arm sample counts, window medians, roles,
 // traffic split, and the full promotion history.
 type MultiplierStats struct {
+	// Kernel is the micro-kernel backend this engine resolved from its
+	// configuration (Config.Kernel / FMMFAM_KERNEL; empty selections resolve
+	// to the default backend). A configured-but-unavailable backend is
+	// reported with an " (unavailable)" suffix — every compute call is
+	// failing validation in that state. Autotune promotions may route
+	// individual shape classes to other backends; those show per-shape in
+	// Shapes.
+	Kernel string
 	// Autotune and Fraction are the resolved serving knobs (after the
 	// FMMFAM_AUTOTUNE override).
 	Autotune bool
@@ -312,6 +320,7 @@ type MultiplierStats struct {
 // snapshotted under its own lock) but not across classes.
 func (mu *GenericMultiplier[E]) Stats() MultiplierStats {
 	s := MultiplierStats{
+		Kernel:      mu.resolvedKernel(),
 		Autotune:    mu.tune,
 		Fraction:    mu.tuneFrac,
 		FoldScale:   mu.foldScaleVal(),
@@ -323,6 +332,16 @@ func (mu *GenericMultiplier[E]) Stats() MultiplierStats {
 	}
 	sortShapeTunings(s.Shapes)
 	return s
+}
+
+// resolvedKernel names the backend this engine's configuration resolves to
+// at its element type, marking a selection that cannot resolve on this host.
+func (mu *GenericMultiplier[E]) resolvedKernel() string {
+	name, ok := kernel.ResolveNameFor(mu.cfg.Kernel, matrix.DtypeOf[E]())
+	if !ok {
+		return name + " (unavailable)"
+	}
+	return name
 }
 
 func (mu *GenericMultiplier[E]) shapeTunings(serial bool) []ShapeTuning {

@@ -401,29 +401,17 @@ func BenchmarkAblationPeeling(b *testing.B) {
 }
 
 // BenchmarkAblationKernel isolates the micro-kernel (every registered
-// backend — the GFLOPS ratio between backends is what
-// model.RegisterKernelEfficiency records) and the fused packing.
+// backend at both element types — the GFLOPS ratio between backends is what
+// model.RegisterKernelDtypeEfficiency records; the micro32 rows are where an
+// AVX2 backend's doubled float32 lanes show as doubled flop rate) and the
+// fused packing.
 func BenchmarkAblationKernel(b *testing.B) {
 	const kc = 256
 	for _, name := range kernel.BackendsFor(matrix.Float64) {
-		bk := kernel.MustResolve[float64](name)
-		ap := make([]float64, bk.PackABufLen(bk.MR(), kc))
-		bp := make([]float64, bk.PackBBufLen(kc, bk.NR()))
-		for i := range ap {
-			ap[i] = 1.5
-		}
-		for i := range bp {
-			bp[i] = -0.5
-		}
-		b.Run("micro/"+name, func(b *testing.B) {
-			acc := make([]float64, bk.MR()*bk.NR())
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				bk.Micro(kc, ap, bp, acc)
-			}
-			secs := b.Elapsed().Seconds() / float64(b.N)
-			b.ReportMetric(2*float64(bk.MR())*float64(bk.NR())*float64(kc)/secs*1e-9, "GFLOPS")
-		})
+		benchMicro[float64](b, "micro/"+name, name, kc)
+	}
+	for _, name := range kernel.BackendsFor(matrix.Float32) {
+		benchMicro[float32](b, "micro32/"+name, name, kc)
 	}
 	src1, src2 := matrix.New[float64](96, kc), matrix.New[float64](96, kc)
 	src1.Fill(1)
@@ -442,6 +430,29 @@ func BenchmarkAblationKernel(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			kernel.PackA(buf, terms, 0, 0, 96, kc)
 		}
+	})
+}
+
+// benchMicro times one backend's micro-kernel at element type E over a
+// steady rank-kc update and reports realized GFLOPS.
+func benchMicro[E matrix.Element](b *testing.B, row, name string, kc int) {
+	bk := kernel.MustResolve[E](name)
+	ap := make([]E, bk.PackABufLen(bk.MR(), kc))
+	bp := make([]E, bk.PackBBufLen(kc, bk.NR()))
+	for i := range ap {
+		ap[i] = 1.5
+	}
+	for i := range bp {
+		bp[i] = -0.5
+	}
+	b.Run(row, func(b *testing.B) {
+		acc := make([]E, bk.MR()*bk.NR())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bk.Micro(kc, ap, bp, acc)
+		}
+		secs := b.Elapsed().Seconds() / float64(b.N)
+		b.ReportMetric(2*float64(bk.MR())*float64(bk.NR())*float64(kc)/secs*1e-9, "GFLOPS")
 	})
 }
 

@@ -6,14 +6,17 @@
 // fmmfam/serve; this binary just binds them to a socket and a signal
 // handler.
 //
-//	fmmserve [-addr :8077] [-threads N] [-autotune] \
+//	fmmserve [-addr :8077] [-threads N] [-autotune] [-kernel avx2] \
 //	         [-coalesce-window 500µs] [-coalesce-maxjobs 32] [-admission-depth 256]
 //
 // Every flag has an environment mirror resolved by the engine config
-// (FMMFAM_SERVE_ADDR, FMMFAM_COALESCE_WINDOW, FMMFAM_COALESCE_MAXJOBS,
-// FMMFAM_ADMISSION_DEPTH, FMMFAM_AUTOTUNE); the environment wins over flag
-// defaults but explicit flags win over everything, matching the engine's
-// env-mirror contract. SIGINT/SIGTERM trigger graceful shutdown: the
+// (FMMFAM_SERVE_ADDR, FMMFAM_KERNEL, FMMFAM_COALESCE_WINDOW,
+// FMMFAM_COALESCE_MAXJOBS, FMMFAM_ADMISSION_DEPTH, FMMFAM_AUTOTUNE); the
+// environment wins over flag defaults but explicit flags win over
+// everything, matching the engine's env-mirror contract. An unavailable
+// kernel selection (e.g. avx2 on a host without AVX2+FMA) fails boot with
+// the recorded reason; /v1/stats reports every backend's availability and
+// which one each engine resolved. SIGINT/SIGTERM trigger graceful shutdown: the
 // listener stops, in-flight requests complete, open coalescing windows
 // flush, and the engines drain through Multiplier.Close before the process
 // exits.
@@ -63,6 +66,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	addr := fs.String("addr", "", "listen address (default Config.ServeAddr, env FMMFAM_SERVE_ADDR)")
 	threads := fs.Int("threads", 0, "engine worker threads (0 = all CPUs)")
 	autotune := fs.Bool("autotune", false, "enable online plan autotuning on served traffic")
+	kernelName := fs.String("kernel", "", "micro-kernel backend for both engines (default engine default, env FMMFAM_KERNEL; /v1/stats lists availability)")
 	window := fs.Duration("coalesce-window", 0, "coalescing window for small requests (0 = engine default, negative disables)")
 	maxJobs := fs.Int("coalesce-maxjobs", 0, "max requests per coalescing window (0 = engine default)")
 	depth := fs.Int("admission-depth", 0, "max in-flight requests before 429 (0 = engine default)")
@@ -78,6 +82,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		cfg.Threads = *threads
 	}
 	cfg.Autotune = *autotune
+	cfg.Kernel = os.Getenv("FMMFAM_KERNEL")
+	if *kernelName != "" {
+		cfg.Kernel = *kernelName
+	}
 	cfg.CoalesceWindow = *window
 	cfg.CoalesceMaxJobs = *maxJobs
 	cfg.AdmissionDepth = *depth
@@ -94,7 +102,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		srv.Close()
 		return err
 	}
-	fmt.Fprintf(out, "fmmserve listening on %s (threads=%d autotune=%v)\n", ln.Addr(), cfg.Threads, cfg.Autotune)
+	kernelLabel := cfg.Kernel
+	if kernelLabel == "" {
+		kernelLabel = "default"
+	}
+	fmt.Fprintf(out, "fmmserve listening on %s (threads=%d autotune=%v kernel=%s)\n", ln.Addr(), cfg.Threads, cfg.Autotune, kernelLabel)
 
 	hs := &http.Server{Handler: srv}
 	serveErr := make(chan error, 1)

@@ -458,8 +458,53 @@ func validateConfig[E matrix.Element](c Config) error {
 
 // Kernels lists the registered micro-kernel backend names, sorted; any of
 // them is a valid Config.Kernel / FMMFAM_KERNEL value. See
-// internal/kernel/conformance for what a new backend must pass to join.
+// internal/kernel/conformance for what a new backend must pass to join, and
+// KernelStatuses for per-backend availability detail (the avx2 assembly
+// backend only registers on amd64 hosts with AVX2+FMA).
 func Kernels() []string { return kernel.Backends() }
+
+// KernelStatus is one backend's availability on this host and build.
+type KernelStatus struct {
+	// Name is the registry name; a valid Config.Kernel value when Available.
+	Name string
+	// Dtypes lists the element types the backend registered for ("float32",
+	// "float64"), sorted; empty when unavailable.
+	Dtypes []string
+	// Available reports whether the backend registered on this host.
+	Available bool
+	// Reason explains an unavailable backend — e.g. the avx2 backend on a
+	// host without AVX2+FMA, or in a purego/non-amd64 build ("" when
+	// available).
+	Reason string
+}
+
+// CPUInfo reports the host properties kernel dispatch consulted: the
+// architecture, whether the AVX2+FMA probe passed, and whether this build
+// carries assembly backends at all.
+type CPUInfo struct {
+	Arch   string
+	AVX2   bool
+	PureGo bool
+}
+
+// KernelStatuses reports every backend known to this build, available or
+// not, sorted by name — the operator's answer to "is avx2 actually in use
+// here, and if not, why not". Served alongside each engine's resolved
+// backend (MultiplierStats.Kernel) in the /v1/stats surface.
+func KernelStatuses() []KernelStatus {
+	sts := kernel.Statuses()
+	out := make([]KernelStatus, len(sts))
+	for i, st := range sts {
+		out[i] = KernelStatus{Name: st.Name, Dtypes: st.Dtypes, Available: st.Available, Reason: st.Reason}
+	}
+	return out
+}
+
+// HostCPU reports the dispatch-relevant CPU features of this host and build.
+func HostCPU() CPUInfo {
+	f := kernel.HostCPU()
+	return CPUInfo{Arch: f.Arch, AVX2: f.AVX2, PureGo: f.PureGo}
+}
 
 func (c Config) shardThreshold() int {
 	switch {

@@ -1,6 +1,7 @@
 package gemm
 
 import (
+	"fmt"
 	"unsafe"
 
 	"fmmfam/internal/kernel"
@@ -62,7 +63,32 @@ func newWorkspace[E matrix.Element](cfg Config, bk kernel.Backend[E]) *Workspace
 			ws.accs[i] = alignedBuf[E](bk.MR()*bk.NR(), align)
 		}
 	}
+	// Assert — not just compute — the backend's alignment contract on every
+	// packed-panel start. A SIMD backend that declared Align and received a
+	// misaligned panel would at best run slow and at worst fault on aligned
+	// loads; catching the breach here, once per workspace construction, costs
+	// a few pointer mods and names the offending buffer.
+	assertAligned(ws.bbuf, align, "B̃")
+	for i := range ws.abufs {
+		assertAligned(ws.abufs[i], align, "Ã")
+		if generic {
+			assertAligned(ws.accs[i], align, "acc")
+		}
+	}
 	return ws
+}
+
+// assertAligned panics when a packed buffer's start violates the backend's
+// element-granular alignment requirement — an internal invariant of
+// alignedBuf, checked at workspace construction (never on the hot path).
+func assertAligned[E matrix.Element](buf []E, align int, what string) {
+	if align <= 1 || len(buf) == 0 {
+		return
+	}
+	addr := uintptr(unsafe.Pointer(&buf[0]))
+	if addr%(uintptr(align)*unsafe.Sizeof(buf[0])) != 0 {
+		panic(fmt.Sprintf("gemm: %s packing buffer start %#x violates backend alignment of %d elements", what, addr, align))
+	}
 }
 
 // alignedBuf returns a length-n element slice whose first element is aligned

@@ -1,0 +1,388 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2/FMA micro-kernels with the paper's Haswell register blocking: the
+// rank-kc update C[MR×NR] = Ã-panel · B̃-panel with MR×NR = 8×6 (float64)
+// and 16×6 (float32). Per k-step the kernel loads one A micro-column as two
+// ymm vectors and broadcasts the six B values, retiring 12 FMA instructions
+// — 48 (f64) / 96 (f32) flops — against 8 loads' worth of memory traffic.
+//
+// Register plan (both dtypes): Y0–Y11 hold the 2×6 accumulator grid
+// (column j, half h in Y(2j+h)), Y12/Y13 the two A vector halves, Y14 the
+// current B broadcast. Y15/X15 is never touched: under the Go internal ABI
+// X15 is the fixed zero register, and NOSPLIT leaves must keep it zero.
+//
+// Accumulators are column-major in registers (lane l of Y(2j+h) is row
+// lanes·h+l of column j), while the Backend contract fixes acc as row-major
+// MR×NR — the epilogue transposes with per-lane stores. The transpose is
+// O(MR·NR) against the loop's O(MR·NR·kc) FMAs, so it amortizes away at the
+// driver's kc (64–512).
+//
+// Packed panels come from alignedBuf with Align()=32 bytes, and the A-panel
+// stride (MR elements) keeps every A load 32-byte aligned; loads still use
+// unaligned forms (VMOVUPD/VMOVUPS) so the kernels stay correct for any
+// caller-provided buffer (the ablation benchmark packs into plain slices) —
+// on AVX2 hardware an unaligned load instruction on aligned data costs the
+// same as the aligned form.
+
+// func microF64AVX2(kc int, ap, bp, acc *float64)
+// acc[i*6+j] = Σ_p ap[p*8+i] · bp[p*6+j]; overwrites acc (kc==0 handled by
+// the Go wrapper).
+TEXT ·microF64AVX2(SB), NOSPLIT, $0-32
+	MOVQ kc+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), BX
+	MOVQ acc+24(FP), DI
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	VXORPD Y8, Y8, Y8
+	VXORPD Y9, Y9, Y9
+	VXORPD Y10, Y10, Y10
+	VXORPD Y11, Y11, Y11
+
+f64loop:
+	VMOVUPD (SI), Y12   // A rows 0–3
+	VMOVUPD 32(SI), Y13 // A rows 4–7
+
+	VBROADCASTSD (BX), Y14
+	VFMADD231PD Y12, Y14, Y0
+	VFMADD231PD Y13, Y14, Y1
+	VBROADCASTSD 8(BX), Y14
+	VFMADD231PD Y12, Y14, Y2
+	VFMADD231PD Y13, Y14, Y3
+	VBROADCASTSD 16(BX), Y14
+	VFMADD231PD Y12, Y14, Y4
+	VFMADD231PD Y13, Y14, Y5
+	VBROADCASTSD 24(BX), Y14
+	VFMADD231PD Y12, Y14, Y6
+	VFMADD231PD Y13, Y14, Y7
+	VBROADCASTSD 32(BX), Y14
+	VFMADD231PD Y12, Y14, Y8
+	VFMADD231PD Y13, Y14, Y9
+	VBROADCASTSD 40(BX), Y14
+	VFMADD231PD Y12, Y14, Y10
+	VFMADD231PD Y13, Y14, Y11
+
+	ADDQ $64, SI
+	ADDQ $48, BX
+	DECQ CX
+	JNZ  f64loop
+
+	// Epilogue: lane l of Y(2j+h) is acc row 4h+l, column j — store each
+	// lane to acc[(4h+l)*6+j]*8 bytes. VMOVSD/VMOVHPD cover lanes 0–1; an
+	// VEXTRACTF128 into X12 exposes lanes 2–3.
+
+	// column 0: rows 0–3 (Y0), rows 4–7 (Y1)
+	VMOVSD       X0, 0(DI)
+	VMOVHPD      X0, 48(DI)
+	VEXTRACTF128 $1, Y0, X12
+	VMOVSD       X12, 96(DI)
+	VMOVHPD      X12, 144(DI)
+	VMOVSD       X1, 192(DI)
+	VMOVHPD      X1, 240(DI)
+	VEXTRACTF128 $1, Y1, X12
+	VMOVSD       X12, 288(DI)
+	VMOVHPD      X12, 336(DI)
+
+	// column 1
+	VMOVSD       X2, 8(DI)
+	VMOVHPD      X2, 56(DI)
+	VEXTRACTF128 $1, Y2, X12
+	VMOVSD       X12, 104(DI)
+	VMOVHPD      X12, 152(DI)
+	VMOVSD       X3, 200(DI)
+	VMOVHPD      X3, 248(DI)
+	VEXTRACTF128 $1, Y3, X12
+	VMOVSD       X12, 296(DI)
+	VMOVHPD      X12, 344(DI)
+
+	// column 2
+	VMOVSD       X4, 16(DI)
+	VMOVHPD      X4, 64(DI)
+	VEXTRACTF128 $1, Y4, X12
+	VMOVSD       X12, 112(DI)
+	VMOVHPD      X12, 160(DI)
+	VMOVSD       X5, 208(DI)
+	VMOVHPD      X5, 256(DI)
+	VEXTRACTF128 $1, Y5, X12
+	VMOVSD       X12, 304(DI)
+	VMOVHPD      X12, 352(DI)
+
+	// column 3
+	VMOVSD       X6, 24(DI)
+	VMOVHPD      X6, 72(DI)
+	VEXTRACTF128 $1, Y6, X12
+	VMOVSD       X12, 120(DI)
+	VMOVHPD      X12, 168(DI)
+	VMOVSD       X7, 216(DI)
+	VMOVHPD      X7, 264(DI)
+	VEXTRACTF128 $1, Y7, X12
+	VMOVSD       X12, 312(DI)
+	VMOVHPD      X12, 360(DI)
+
+	// column 4
+	VMOVSD       X8, 32(DI)
+	VMOVHPD      X8, 80(DI)
+	VEXTRACTF128 $1, Y8, X12
+	VMOVSD       X12, 128(DI)
+	VMOVHPD      X12, 176(DI)
+	VMOVSD       X9, 224(DI)
+	VMOVHPD      X9, 272(DI)
+	VEXTRACTF128 $1, Y9, X12
+	VMOVSD       X12, 320(DI)
+	VMOVHPD      X12, 368(DI)
+
+	// column 5
+	VMOVSD       X10, 40(DI)
+	VMOVHPD      X10, 88(DI)
+	VEXTRACTF128 $1, Y10, X12
+	VMOVSD       X12, 136(DI)
+	VMOVHPD      X12, 184(DI)
+	VMOVSD       X11, 232(DI)
+	VMOVHPD      X11, 280(DI)
+	VEXTRACTF128 $1, Y11, X12
+	VMOVSD       X12, 328(DI)
+	VMOVHPD      X12, 376(DI)
+
+	VZEROUPPER
+	RET
+
+// func microF32AVX2(kc int, ap, bp, acc *float32)
+// acc[i*6+j] = Σ_p ap[p*16+i] · bp[p*6+j]; overwrites acc.
+TEXT ·microF32AVX2(SB), NOSPLIT, $0-32
+	MOVQ kc+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), BX
+	MOVQ acc+24(FP), DI
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	VXORPS Y10, Y10, Y10
+	VXORPS Y11, Y11, Y11
+
+f32loop:
+	VMOVUPS (SI), Y12   // A rows 0–7
+	VMOVUPS 32(SI), Y13 // A rows 8–15
+
+	VBROADCASTSS (BX), Y14
+	VFMADD231PS Y12, Y14, Y0
+	VFMADD231PS Y13, Y14, Y1
+	VBROADCASTSS 4(BX), Y14
+	VFMADD231PS Y12, Y14, Y2
+	VFMADD231PS Y13, Y14, Y3
+	VBROADCASTSS 8(BX), Y14
+	VFMADD231PS Y12, Y14, Y4
+	VFMADD231PS Y13, Y14, Y5
+	VBROADCASTSS 12(BX), Y14
+	VFMADD231PS Y12, Y14, Y6
+	VFMADD231PS Y13, Y14, Y7
+	VBROADCASTSS 16(BX), Y14
+	VFMADD231PS Y12, Y14, Y8
+	VFMADD231PS Y13, Y14, Y9
+	VBROADCASTSS 20(BX), Y14
+	VFMADD231PS Y12, Y14, Y10
+	VFMADD231PS Y13, Y14, Y11
+
+	ADDQ $64, SI
+	ADDQ $24, BX
+	DECQ CX
+	JNZ  f32loop
+
+	// Epilogue: lane l of Y(2j+h) is acc row 8h+l, column j — store lane l
+	// to acc[(8h+l)*6+j]*4 bytes. VEXTRACTPS addresses the four lanes of an
+	// xmm directly to memory; VEXTRACTF128 exposes lanes 4–7.
+
+	// column 0: rows 0–7 (Y0), rows 8–15 (Y1)
+	VEXTRACTPS   $0, X0, 0(DI)
+	VEXTRACTPS   $1, X0, 24(DI)
+	VEXTRACTPS   $2, X0, 48(DI)
+	VEXTRACTPS   $3, X0, 72(DI)
+	VEXTRACTF128 $1, Y0, X12
+	VEXTRACTPS   $0, X12, 96(DI)
+	VEXTRACTPS   $1, X12, 120(DI)
+	VEXTRACTPS   $2, X12, 144(DI)
+	VEXTRACTPS   $3, X12, 168(DI)
+	VEXTRACTPS   $0, X1, 192(DI)
+	VEXTRACTPS   $1, X1, 216(DI)
+	VEXTRACTPS   $2, X1, 240(DI)
+	VEXTRACTPS   $3, X1, 264(DI)
+	VEXTRACTF128 $1, Y1, X12
+	VEXTRACTPS   $0, X12, 288(DI)
+	VEXTRACTPS   $1, X12, 312(DI)
+	VEXTRACTPS   $2, X12, 336(DI)
+	VEXTRACTPS   $3, X12, 360(DI)
+
+	// column 1
+	VEXTRACTPS   $0, X2, 4(DI)
+	VEXTRACTPS   $1, X2, 28(DI)
+	VEXTRACTPS   $2, X2, 52(DI)
+	VEXTRACTPS   $3, X2, 76(DI)
+	VEXTRACTF128 $1, Y2, X12
+	VEXTRACTPS   $0, X12, 100(DI)
+	VEXTRACTPS   $1, X12, 124(DI)
+	VEXTRACTPS   $2, X12, 148(DI)
+	VEXTRACTPS   $3, X12, 172(DI)
+	VEXTRACTPS   $0, X3, 196(DI)
+	VEXTRACTPS   $1, X3, 220(DI)
+	VEXTRACTPS   $2, X3, 244(DI)
+	VEXTRACTPS   $3, X3, 268(DI)
+	VEXTRACTF128 $1, Y3, X12
+	VEXTRACTPS   $0, X12, 292(DI)
+	VEXTRACTPS   $1, X12, 316(DI)
+	VEXTRACTPS   $2, X12, 340(DI)
+	VEXTRACTPS   $3, X12, 364(DI)
+
+	// column 2
+	VEXTRACTPS   $0, X4, 8(DI)
+	VEXTRACTPS   $1, X4, 32(DI)
+	VEXTRACTPS   $2, X4, 56(DI)
+	VEXTRACTPS   $3, X4, 80(DI)
+	VEXTRACTF128 $1, Y4, X12
+	VEXTRACTPS   $0, X12, 104(DI)
+	VEXTRACTPS   $1, X12, 128(DI)
+	VEXTRACTPS   $2, X12, 152(DI)
+	VEXTRACTPS   $3, X12, 176(DI)
+	VEXTRACTPS   $0, X5, 200(DI)
+	VEXTRACTPS   $1, X5, 224(DI)
+	VEXTRACTPS   $2, X5, 248(DI)
+	VEXTRACTPS   $3, X5, 272(DI)
+	VEXTRACTF128 $1, Y5, X12
+	VEXTRACTPS   $0, X12, 296(DI)
+	VEXTRACTPS   $1, X12, 320(DI)
+	VEXTRACTPS   $2, X12, 344(DI)
+	VEXTRACTPS   $3, X12, 368(DI)
+
+	// column 3
+	VEXTRACTPS   $0, X6, 12(DI)
+	VEXTRACTPS   $1, X6, 36(DI)
+	VEXTRACTPS   $2, X6, 60(DI)
+	VEXTRACTPS   $3, X6, 84(DI)
+	VEXTRACTF128 $1, Y6, X12
+	VEXTRACTPS   $0, X12, 108(DI)
+	VEXTRACTPS   $1, X12, 132(DI)
+	VEXTRACTPS   $2, X12, 156(DI)
+	VEXTRACTPS   $3, X12, 180(DI)
+	VEXTRACTPS   $0, X7, 204(DI)
+	VEXTRACTPS   $1, X7, 228(DI)
+	VEXTRACTPS   $2, X7, 252(DI)
+	VEXTRACTPS   $3, X7, 276(DI)
+	VEXTRACTF128 $1, Y7, X12
+	VEXTRACTPS   $0, X12, 300(DI)
+	VEXTRACTPS   $1, X12, 324(DI)
+	VEXTRACTPS   $2, X12, 348(DI)
+	VEXTRACTPS   $3, X12, 372(DI)
+
+	// column 4
+	VEXTRACTPS   $0, X8, 16(DI)
+	VEXTRACTPS   $1, X8, 40(DI)
+	VEXTRACTPS   $2, X8, 64(DI)
+	VEXTRACTPS   $3, X8, 88(DI)
+	VEXTRACTF128 $1, Y8, X12
+	VEXTRACTPS   $0, X12, 112(DI)
+	VEXTRACTPS   $1, X12, 136(DI)
+	VEXTRACTPS   $2, X12, 160(DI)
+	VEXTRACTPS   $3, X12, 184(DI)
+	VEXTRACTPS   $0, X9, 208(DI)
+	VEXTRACTPS   $1, X9, 232(DI)
+	VEXTRACTPS   $2, X9, 256(DI)
+	VEXTRACTPS   $3, X9, 280(DI)
+	VEXTRACTF128 $1, Y9, X12
+	VEXTRACTPS   $0, X12, 304(DI)
+	VEXTRACTPS   $1, X12, 328(DI)
+	VEXTRACTPS   $2, X12, 352(DI)
+	VEXTRACTPS   $3, X12, 376(DI)
+
+	// column 5
+	VEXTRACTPS   $0, X10, 20(DI)
+	VEXTRACTPS   $1, X10, 44(DI)
+	VEXTRACTPS   $2, X10, 68(DI)
+	VEXTRACTPS   $3, X10, 92(DI)
+	VEXTRACTF128 $1, Y10, X12
+	VEXTRACTPS   $0, X12, 116(DI)
+	VEXTRACTPS   $1, X12, 140(DI)
+	VEXTRACTPS   $2, X12, 164(DI)
+	VEXTRACTPS   $3, X12, 188(DI)
+	VEXTRACTPS   $0, X11, 212(DI)
+	VEXTRACTPS   $1, X11, 236(DI)
+	VEXTRACTPS   $2, X11, 260(DI)
+	VEXTRACTPS   $3, X11, 284(DI)
+	VEXTRACTF128 $1, Y11, X12
+	VEXTRACTPS   $0, X12, 308(DI)
+	VEXTRACTPS   $1, X12, 332(DI)
+	VEXTRACTPS   $2, X12, 356(DI)
+	VEXTRACTPS   $3, X12, 380(DI)
+
+	VZEROUPPER
+	RET
+
+// func scatterF64AVX2(dst *float64, stride int, coef float64, acc *float64)
+// Full-tile scatter: dst points at C[r0][c0]; adds coef·acc[i*6+j] to the
+// 8×6 region row by row (4+2 lanes per row). Fringe tiles take the generic
+// Go path (see the wrapper).
+TEXT ·scatterF64AVX2(SB), NOSPLIT, $0-32
+	MOVQ         dst+0(FP), DI
+	MOVQ         stride+8(FP), DX
+	VBROADCASTSD coef+16(FP), Y0
+	MOVQ         acc+24(FP), SI
+	MOVQ         $8, CX
+	SHLQ         $3, DX // stride in bytes
+
+f64scatter:
+	VMOVUPD     (SI), Y1   // acc row, cols 0–3
+	VMOVUPD     32(SI), X2 // acc row, cols 4–5
+	VMOVUPD     (DI), Y3
+	VMOVUPD     32(DI), X4
+	VFMADD231PD Y1, Y0, Y3
+	VFMADD231PD X2, X0, X4
+	VMOVUPD     Y3, (DI)
+	VMOVUPD     X4, 32(DI)
+	ADDQ        $48, SI
+	ADDQ        DX, DI
+	DECQ        CX
+	JNZ         f64scatter
+
+	VZEROUPPER
+	RET
+
+// func scatterF32AVX2(dst *float32, stride int, coef float32, acc *float32)
+// Full-tile 16×6 scatter; rows move as 4+2 lanes (16-byte vector + 8-byte
+// pair).
+TEXT ·scatterF32AVX2(SB), NOSPLIT, $0-32
+	MOVQ         dst+0(FP), DI
+	MOVQ         stride+8(FP), DX
+	VBROADCASTSS coef+16(FP), X0
+	MOVQ         acc+24(FP), SI
+	MOVQ         $16, CX
+	SHLQ         $2, DX // stride in bytes
+
+f32scatter:
+	VMOVUPS     (SI), X1   // acc row, cols 0–3
+	VMOVSD      16(SI), X2 // acc row, cols 4–5 (8 bytes)
+	VMOVUPS     (DI), X3
+	VMOVSD      16(DI), X4
+	VFMADD231PS X1, X0, X3
+	VFMADD231PS X2, X0, X4
+	VMOVUPS     X3, (DI)
+	VMOVSD      X4, 16(DI)
+	ADDQ        $24, SI
+	ADDQ        DX, DI
+	DECQ        CX
+	JNZ         f32scatter
+
+	RET

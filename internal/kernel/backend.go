@@ -112,7 +112,11 @@ func MustRegister[E matrix.Element](b Backend[E]) {
 
 // Resolve returns the backend registered under name for element type E; the
 // empty name selects DefaultBackend. Unknown (name, dtype) pairs error with
-// the list of backends registered for that dtype.
+// the list of backends registered for that dtype; names that are known but
+// could not register on this host or build (e.g. "avx2" without AVX2+FMA
+// hardware, or under the purego tag) error with the recorded reason, so a
+// misdirected FMMFAM_KERNEL fails validation with an explanation instead of
+// a bare lookup failure.
 func Resolve[E matrix.Element](name string) (Backend[E], error) {
 	if name == "" {
 		name = DefaultBackend
@@ -122,6 +126,10 @@ func Resolve[E matrix.Element](name string) (Backend[E], error) {
 	b, ok := registry.m[regKey{name: name, dtype: d}]
 	registry.RUnlock()
 	if !ok {
+		if reason := UnavailableReason(name); reason != "" {
+			return nil, fmt.Errorf("kernel: backend %q is unavailable on this host: %s (registered for %s: %v)",
+				name, reason, d, BackendsFor(d))
+		}
 		return nil, fmt.Errorf("kernel: unknown backend %q for %s (registered: %v)", name, d, BackendsFor(d))
 	}
 	return b.(Backend[E]), nil

@@ -1,0 +1,30 @@
+//go:build amd64 && !purego
+
+package conformance_test
+
+import (
+	"testing"
+
+	"fmmfam/internal/kernel"
+	"fmmfam/internal/kernel/conformance"
+)
+
+// Differential fuzz targets for the avx2 assembly backend. Build-tagged to
+// asm-capable builds and skipped (not failed) on amd64 hosts whose CPU lacks
+// AVX2+FMA, so `go test -fuzz` discovery and scripts/fuzz_smoke.sh work
+// unchanged across the fleet. TestRegisteredBackendsConform already covers
+// the deterministic suite via registry iteration.
+
+func FuzzConformAVX2(f *testing.F) {
+	if !kernel.HostCPU().AVX2 {
+		f.Skip("host lacks AVX2+FMA")
+	}
+	conformance.FuzzDifferential[float64](f, kernel.AVX2Backend)
+}
+
+func FuzzConformAVX2F32(f *testing.F) {
+	if !kernel.HostCPU().AVX2 {
+		f.Skip("host lacks AVX2+FMA")
+	}
+	conformance.FuzzDifferential[float32](f, kernel.AVX2Backend)
+}

@@ -1,0 +1,48 @@
+//go:build amd64 && !purego
+
+package kernel
+
+// cpuid executes the CPUID instruction for (leaf, sub); implemented in
+// cpufeat_amd64.s. No external dependency: the probe is ~10 instructions and
+// runs once at init.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register XCR0 (requires OSXSAVE, checked by
+// the caller); implemented in cpufeat_amd64.s.
+func xgetbv0() (eax, edx uint32)
+
+// pureGoBuild: this build includes the amd64 assembly backends.
+const pureGoBuild = false
+
+// hostAVX2 is the boot-time result of the AVX2+FMA probe.
+var hostAVX2 = detectAVX2FMA()
+
+// detectAVX2FMA reports whether this CPU can run the avx2 backend: AVX2 and
+// FMA instruction support plus OS-managed XMM/YMM register state (OSXSAVE +
+// XCR0 bits 1 and 2 — without it the kernel would fault or corrupt ymm state
+// on context switch). The same three-step probe every runtime dispatcher
+// performs; misdetection fails closed to the pure-Go backends.
+func detectAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const (
+		cpuidFMA     = 1 << 12 // leaf 1 ECX: fused multiply-add
+		cpuidOSXSAVE = 1 << 27 // leaf 1 ECX: XGETBV available, OS uses XSAVE
+		cpuidAVX     = 1 << 28 // leaf 1 ECX: AVX
+		cpuidAVX2    = 1 << 5  // leaf 7 EBX: AVX2
+		xcr0SSE      = 1 << 1  // XCR0: XMM state saved on context switch
+		xcr0AVX      = 1 << 2  // XCR0: YMM state saved on context switch
+	)
+	_, _, ecx1, _ := cpuid(1, 0)
+	if ecx1&(cpuidFMA|cpuidOSXSAVE|cpuidAVX) != cpuidFMA|cpuidOSXSAVE|cpuidAVX {
+		return false
+	}
+	xlo, _ := xgetbv0()
+	if xlo&(xcr0SSE|xcr0AVX) != xcr0SSE|xcr0AVX {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&cpuidAVX2 != 0
+}

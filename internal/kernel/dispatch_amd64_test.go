@@ -1,0 +1,49 @@
+//go:build amd64 && !purego
+
+package kernel
+
+import (
+	"testing"
+
+	"fmmfam/internal/matrix"
+)
+
+// TestAVX2RegistrationMatchesProbe: on amd64 assembly builds, avx2 is
+// registered for both dtypes exactly when the CPUID probe reports AVX2+FMA
+// with OS-enabled YMM state, and carries an explanatory reason otherwise.
+func TestAVX2RegistrationMatchesProbe(t *testing.T) {
+	cpu := HostCPU()
+	if cpu.PureGo {
+		t.Fatal("PureGo reported on an amd64 assembly build")
+	}
+	for _, d := range []matrix.Dtype{matrix.Float64, matrix.Float32} {
+		registered := false
+		for _, name := range BackendsFor(d) {
+			if name == AVX2Backend {
+				registered = true
+			}
+		}
+		if registered != cpu.AVX2 {
+			t.Fatalf("avx2 registered=%v for %s but HostCPU().AVX2=%v", registered, d, cpu.AVX2)
+		}
+	}
+	if !cpu.AVX2 && UnavailableReason(AVX2Backend) == "" {
+		t.Fatal("avx2 unregistered on amd64 without a recorded reason")
+	}
+}
+
+// TestAVX2TileShape pins the paper's Haswell register blocking on hosts that
+// have the backend: 8×6 float64 and 16×6 float32 tiles, 32-byte alignment.
+func TestAVX2TileShape(t *testing.T) {
+	if !HostCPU().AVX2 {
+		t.Skip("host lacks AVX2+FMA")
+	}
+	b64 := MustResolve[float64](AVX2Backend)
+	if b64.MR() != 8 || b64.NR() != 6 || b64.Align() != 4 {
+		t.Fatalf("float64 tile = %d×%d align %d, want 8×6 align 4", b64.MR(), b64.NR(), b64.Align())
+	}
+	b32 := MustResolve[float32](AVX2Backend)
+	if b32.MR() != 16 || b32.NR() != 6 || b32.Align() != 8 {
+		t.Fatalf("float32 tile = %d×%d align %d, want 16×6 align 8", b32.MR(), b32.NR(), b32.Align())
+	}
+}

@@ -115,3 +115,33 @@ func okAmortizedAppend(dst []float64, v float64) []float64 {
 func okInterfaceToInterface(x any) {
 	sink(x) // interface-to-interface: no boxing
 }
+
+// --- assembly-wrapper shape ---
+// A SIMD backend's Go wrapper reslices for bounds proofs and hands raw
+// element pointers to a bodyless assembly routine (the avx2 backend's Micro
+// wrappers are this shape). The wrapper rides the micro-kernel hot path, so
+// it must stay allocation-free: reslicing, indexing, and taking element
+// addresses are all fine; materializing a temporary tile is not.
+
+func microAsm(kc int, ap, bp, acc *float64) // implemented in assembly
+
+//fmm:hotpath
+func okAsmWrapper(kc int, ap, bp, acc []float64) {
+	acc = acc[:48:48]
+	if kc <= 0 {
+		for i := range acc {
+			acc[i] = 0
+		}
+		return
+	}
+	ap = ap[: kc*8 : kc*8]
+	bp = bp[: kc*6 : kc*6]
+	microAsm(kc, &ap[0], &bp[0], &acc[0])
+}
+
+//fmm:hotpath
+func badAsmWrapperTemp(kc int, ap, bp []float64) float64 {
+	acc := make([]float64, 48) // want `hot path badAsmWrapperTemp: make allocates`
+	microAsm(kc, &ap[0], &bp[0], &acc[0])
+	return acc[0]
+}

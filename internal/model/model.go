@@ -93,6 +93,15 @@ var kernelEff = struct {
 }{m: map[effKey]float64{
 	{"go4x4", matrix.Float64}: 1.0,
 	{"go8x4", matrix.Float64}: 0.97, // wider tile halves B traffic but the 32 accumulators spill registers
+	// The avx2 entries only take effect on hosts where the backend
+	// registered (ArchForKernel checks the registry before pricing); the
+	// ratios are measured micro-kernel rates from BenchmarkAblationKernel
+	// (kc=256, best of repeated runs on the AVX2 dev container): the 8×6
+	// float64 FMA kernel retires ~12× the default backend's scalar rate, and
+	// the 16×6 float32 kernel doubles that again — twice the lanes per
+	// 256-bit register.
+	{kernel.AVX2Backend, matrix.Float64}: 12.0,
+	{kernel.AVX2Backend, matrix.Float32}: 24.0,
 }}
 
 // RegisterKernelEfficiency records the relative flop rate of a registered

@@ -481,6 +481,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Admission:    AdmissionStats{Depth: s.params.AdmissionDepth, Admitted: s.admitted.Load(), Rejected: s.rejected.Load(), InFlight: len(s.admit)},
 		Multiplier:   s.mu64.Stats(),
 		Multiplier32: s.mu32.Stats(),
+		CPU:          fmmfam.HostCPU(),
+		Kernels:      fmmfam.KernelStatuses(),
 	}
 	for name, h := range s.hist {
 		st.Endpoints[name] = h.snapshot()

@@ -138,7 +138,15 @@ type Stats struct {
 	// the server.
 	AsyncPending int
 	// Multiplier and Multiplier32 are the engines' own observability
-	// surfaces (plan cache, autotune arms, promotions).
+	// surfaces (resolved kernel backend, plan cache, autotune arms,
+	// promotions).
 	Multiplier   fmmfam.MultiplierStats
 	Multiplier32 fmmfam.MultiplierStats
+	// CPU and Kernels report the host's dispatch-relevant CPU features and
+	// every known micro-kernel backend's availability (with the reason when
+	// one could not register — e.g. avx2 without AVX2+FMA hardware), so
+	// operators can see at a glance whether the assembly backend is actually
+	// in use and why not when it isn't.
+	CPU     fmmfam.CPUInfo
+	Kernels []fmmfam.KernelStatus
 }
